@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the ACTIVE_growth experiment table (quick scale)."""
+
+from conftest import run_experiment
+
+
+def test_active_growth(benchmark):
+    result = run_experiment(benchmark, "ACTIVE_growth")
+    assert result.tables
+    assert result.findings

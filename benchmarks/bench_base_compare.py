@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the BASE_compare experiment table (quick scale)."""
+
+from conftest import run_experiment
+
+
+def test_base_compare(benchmark):
+    result = run_experiment(benchmark, "BASE_compare")
+    assert result.tables
+    assert result.findings

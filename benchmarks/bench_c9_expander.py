@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the C9_expander experiment table (quick scale)."""
+
+from conftest import run_experiment
+
+
+def test_c9_expander(benchmark):
+    result = run_experiment(benchmark, "C9_expander")
+    assert result.tables
+    assert result.findings

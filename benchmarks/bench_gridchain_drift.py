@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the GRIDCHAIN_drift experiment table (quick scale)."""
+
+from conftest import run_experiment
+
+
+def test_gridchain_drift(benchmark):
+    result = run_experiment(benchmark, "GRIDCHAIN_drift")
+    assert result.tables
+    assert result.findings

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the KCOBRA_k experiment table (quick scale)."""
+
+from conftest import run_experiment
+
+
+def test_kcobra_k(benchmark):
+    result = run_experiment(benchmark, "KCOBRA_k")
+    assert result.tables
+    assert result.findings

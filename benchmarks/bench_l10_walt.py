@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the L10_walt experiment table (quick scale)."""
+
+from conftest import run_experiment
+
+
+def test_l10_walt(benchmark):
+    result = run_experiment(benchmark, "L10_walt")
+    assert result.tables
+    assert result.findings

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the L11_tensor experiment table (quick scale)."""
+
+from conftest import run_experiment
+
+
+def test_l11_tensor(benchmark):
+    result = run_experiment(benchmark, "L11_tensor")
+    assert result.tables
+    assert result.findings

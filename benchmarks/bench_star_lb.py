@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the STAR_lb experiment table (quick scale)."""
+
+from conftest import run_experiment
+
+
+def test_star_lb(benchmark):
+    result = run_experiment(benchmark, "STAR_lb")
+    assert result.tables
+    assert result.findings

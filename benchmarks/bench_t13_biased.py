@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the T13_biased experiment table (quick scale)."""
+
+from conftest import run_experiment
+
+
+def test_t13_biased(benchmark):
+    result = run_experiment(benchmark, "T13_biased")
+    assert result.tables
+    assert result.findings

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the T15_regular experiment table (quick scale)."""
+
+from conftest import run_experiment
+
+
+def test_t15_regular(benchmark):
+    result = run_experiment(benchmark, "T15_regular")
+    assert result.tables
+    assert result.findings

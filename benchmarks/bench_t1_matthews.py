@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the T1_matthews experiment table (quick scale)."""
+
+from conftest import run_experiment
+
+
+def test_t1_matthews(benchmark):
+    result = run_experiment(benchmark, "T1_matthews")
+    assert result.tables
+    assert result.findings

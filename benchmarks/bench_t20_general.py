@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the T20_general experiment table (quick scale)."""
+
+from conftest import run_experiment
+
+
+def test_t20_general(benchmark):
+    result = run_experiment(benchmark, "T20_general")
+    assert result.tables
+    assert result.findings

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the T3_grid experiment table (quick scale)."""
+
+from conftest import run_experiment
+
+
+def test_t3_grid(benchmark):
+    result = run_experiment(benchmark, "T3_grid")
+    assert result.tables
+    assert result.findings

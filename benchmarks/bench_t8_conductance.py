@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the T8_conductance experiment table (quick scale)."""
+
+from conftest import run_experiment
+
+
+def test_t8_conductance(benchmark):
+    result = run_experiment(benchmark, "T8_conductance")
+    assert result.tables
+    assert result.findings

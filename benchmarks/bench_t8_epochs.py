@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the T8_epochs experiment table (quick scale)."""
+
+from conftest import run_experiment
+
+
+def test_t8_epochs(benchmark):
+    result = run_experiment(benchmark, "T8_epochs")
+    assert result.tables
+    assert result.findings

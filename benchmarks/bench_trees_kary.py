@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the TREES_kary experiment table (quick scale)."""
+
+from conftest import run_experiment
+
+
+def test_trees_kary(benchmark):
+    result = run_experiment(benchmark, "TREES_kary")
+    assert result.tables
+    assert result.findings

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_<experiment-id>.py`` regenerates one paper-claim table at
+``quick`` scale (single-shot timing: the experiments are themselves
+Monte-Carlo aggregates, so statistical repetition lives inside them,
+not in pytest-benchmark rounds).  ``bench_kernels.py`` holds the
+microbenchmarks and the DESIGN.md ablations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get
+
+SEED = 2016
+
+
+def run_experiment(benchmark, exp_id: str):
+    """Benchmark one experiment run and echo its tables."""
+    exp = get(exp_id)
+    result = benchmark.pedantic(
+        lambda: exp.run(scale="quick", seed=SEED), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    return result

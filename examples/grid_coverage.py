@@ -1,0 +1,80 @@
+"""Theorem 3 up close: watch a 2-cobra walk cover the grid in O(n).
+
+Renders the coverage wavefront of a 2-cobra walk on ``[0, n]^2`` as
+ASCII frames, then sweeps the grid size to exhibit the linear scaling
+(exponent fit ~= 1.0) the theorem proves.
+
+Usage::
+
+    python examples/grid_coverage.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import Table, fit_power_law
+from repro.core import CobraWalk, cobra_cover_trials
+from repro.graphs import grid, grid_coords
+
+
+def render_frame(first_activation: np.ndarray, n: int, t: int) -> str:
+    """ASCII heatmap: '#' covered, '+' active frontier age, '.' untouched."""
+    side = n + 1
+    fa = first_activation.reshape(side, side)
+    lines = []
+    for y in range(side - 1, -1, -1):
+        row = []
+        for x in range(side):
+            v = fa[y, x]
+            if v < 0:
+                row.append("·")
+            elif t - v <= 1:
+                row.append("#")
+            else:
+                row.append("o")
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def wavefront_demo(n: int = 24, frames: int = 4) -> None:
+    g = grid(n, 2)
+    center = (n // 2) * (n + 1) + n // 2
+    walk = CobraWalk(g, start=center, seed=7)
+    result = None
+    print(f"--- 2-cobra wavefront on [0,{n}]^2 from the center ---")
+    checkpoints = None
+    while not walk.all_covered:
+        walk.step()
+        if checkpoints is None:
+            # estimate total time from Theorem 3's linear law to pick frames
+            checkpoints = {max(1, int(2.6 * n * f / frames)) for f in range(1, frames + 1)}
+        if walk.t in checkpoints:
+            print(f"\nstep {walk.t} ({walk.num_covered}/{g.n} covered):")
+            print(render_frame(walk.first_activation, n, walk.t))
+    print(f"\nfully covered at step {walk.t} ≈ {walk.t / n:.2f}·n\n")
+
+
+def scaling_demo() -> None:
+    ns = [8, 16, 32, 64]
+    table = Table(["n", "mean cover", "cover/n"], title="Theorem 3 linear scaling")
+    covers = []
+    for n in ns:
+        times = cobra_cover_trials(grid(n, 2), trials=8, seed=n)
+        covers.append(float(np.nanmean(times)))
+        table.add_row([n, covers[-1], covers[-1] / n])
+    fit = fit_power_law(ns, covers)
+    table.add_row(["fit", f"n^{fit.exponent:.3f} ± {fit.exponent_ci95:.3f}", ""])
+    print(table.render())
+    print("\nTheorem 3: cover time = O(n) — the fitted exponent sits at 1, "
+          "not the\nrandom walk's 2 (and the cover/n constant is the paper's "
+          "d-dependent factor).")
+
+
+def main() -> None:
+    wavefront_demo()
+    scaling_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: run a cobra walk and see why it beats a random walk.
+
+Usage::
+
+    python examples/quickstart.py
+
+Builds a 2-D grid, runs a 2-cobra walk (the paper's headline process)
+to full coverage, and compares against a simple random walk and push
+gossip from the same start vertex.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import cobra_cover_time
+from repro.graphs import grid
+from repro.walks import push_spread_time, rw_cover_time
+
+
+def main() -> None:
+    n = 40  # grid extent: vertices are [0, 40]^2
+    g = grid(n, 2)
+    print(f"graph: {g.name} with {g.n} vertices, {g.m} edges")
+
+    # --- the paper's process: a 2-cobra walk -------------------------
+    result = cobra_cover_time(g, k=2, start=0, seed=1)
+    print(f"\n2-cobra walk covered all vertices in {result.cover_time} steps")
+    print(f"  (Theorem 3 predicts O(n) = O({n}); measured/{n} = "
+          f"{result.cover_time / n:.2f})")
+
+    # the per-vertex first-activation times are in the result:
+    far_corner = g.n - 1
+    print(f"  far corner first activated at step "
+          f"{result.first_activation[far_corner]}")
+
+    # --- baselines ----------------------------------------------------
+    rw = rw_cover_time(g, start=0, seed=2)
+    push = push_spread_time(g, start=0, seed=3)
+    print(f"\nsimple random walk cover : {rw} steps "
+          f"({rw / result.cover_time:.0f}x slower)")
+    print(f"push gossip spread       : {push} rounds "
+          f"(same O(diameter) class as the cobra walk here)")
+
+    # --- reproducibility ----------------------------------------------
+    again = cobra_cover_time(g, k=2, start=0, seed=1)
+    assert again.cover_time == result.cover_time
+    print("\nseeded rerun reproduced the identical trajectory — "
+          "all repro APIs take a seed.")
+
+
+if __name__ == "__main__":
+    main()

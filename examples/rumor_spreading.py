@@ -1,0 +1,105 @@
+"""Rumor spreading in a peer-to-peer overlay.
+
+The paper's message-passing motivation: a vertex may forward k copies
+of a message to random neighbors each round.  On a P2P-style overlay
+(random 8-regular — the classical robust overlay topology) we compare
+the time for one message to reach every peer under:
+
+* 2-cobra forwarding (the paper's protocol),
+* push gossip (every informed node forwards every round — more
+  messages per round, the classical baseline),
+* 2 parallel random walks (token passing, constant state),
+* a single random walk (the minimal-state baseline).
+
+We also measure the per-protocol *message cost* (total forwards until
+full dissemination), the trade-off the paper's intro highlights: a
+cobra walk's per-round message budget equals k·|active| ≤ 2·frontier,
+while push pays |informed| forwards every round.
+
+Usage::
+
+    python examples/rumor_spreading.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import Table, summarize
+from repro.core import CobraWalk
+from repro.graphs import random_regular
+from repro.sim import spawn_seeds
+from repro.walks import parallel_cover_time, push_spread_time, rw_cover_time
+
+
+def cobra_rounds_and_messages(graph, seed) -> tuple[int, int]:
+    walk = CobraWalk(graph, k=2, start=0, seed=seed, record_history=True)
+    result = walk.run_until_cover(10 * graph.n * 20)
+    messages = int(2 * result.active_size_history[:-1].sum())
+    return result.cover_time, messages
+
+
+def push_rounds_and_messages(graph, seed) -> tuple[int, int]:
+    # re-simulate push, counting one forward per informed vertex per round
+    from repro.graphs import sample_uniform_neighbors
+    from repro.sim import resolve_rng
+
+    rng = resolve_rng(seed)
+    informed = np.zeros(graph.n, dtype=bool)
+    informed[0] = True
+    messages = 0
+    for t in range(1, 10 * graph.n * 20):
+        senders = np.flatnonzero(informed)
+        messages += senders.size
+        targets = sample_uniform_neighbors(graph, senders, rng)
+        informed[targets] = True
+        if informed.all():
+            return t, messages
+    raise RuntimeError("push did not finish")
+
+
+def main() -> None:
+    n = 2048
+    g = random_regular(n, 8, seed=5)
+    print(f"overlay: {g.name}, n={g.n}, diameter-scale ~ log n = {np.log(n):.1f}\n")
+
+    trials = 10
+    rows = {
+        "2-cobra forwarding": [],
+        "push gossip": [],
+    }
+    msg = {"2-cobra forwarding": [], "push gossip": []}
+    for s_cobra, s_push in zip(spawn_seeds(1, trials), spawn_seeds(2, trials)):
+        r, m = cobra_rounds_and_messages(g, s_cobra)
+        rows["2-cobra forwarding"].append(r)
+        msg["2-cobra forwarding"].append(m)
+        r, m = push_rounds_and_messages(g, s_push)
+        rows["push gossip"].append(r)
+        msg["push gossip"].append(m)
+
+    par = [parallel_cover_time(g, walkers=2, seed=s) for s in spawn_seeds(3, 3)]
+    rw = [rw_cover_time(g, seed=s) for s in spawn_seeds(4, 2)]
+
+    table = Table(
+        ["protocol", "rounds (mean)", "rounds (median)", "messages (mean)"],
+        title="time and message cost to inform all peers",
+    )
+    for name in rows:
+        s = summarize(rows[name])
+        table.add_row([name, s.mean, s.median, float(np.mean(msg[name]))])
+    table.add_row(["2 parallel walks", float(np.mean(par)), float(np.median(par)), float(np.mean(par)) * 2])
+    table.add_row(["single random walk", float(np.mean(rw)), float(np.median(rw)), float(np.mean(rw))])
+    print(table.render())
+
+    print(
+        "\nReading: cobra forwarding finishes in O(log^2 n) rounds "
+        "(Corollary 9)\nat a total message cost comparable to push "
+        "gossip's — but with at most\ntwo forwards per active vertex per "
+        "round and no 'already informed'\nbookkeeping, while token-passing "
+        "protocols (walk-based) pay ~n log n\nrounds — the trade-off space "
+        "the paper's introduction lays out."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package
+(offline environments lacking PEP 660 build deps use the setup.py
+develop path via `--no-use-pep517`)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""cobra-walks: coalescing-branching random walks and their bounds.
+
+Reproduction of Mitzenmacher, Rajaraman & Roche, *Better Bounds for
+Coalescing-Branching Random Walks* (SPAA 2016).  See DESIGN.md for the
+system inventory and EXPERIMENTS.md for the paper-vs-measured record.
+
+The most used entry points are re-exported here::
+
+    from repro import grid, CobraWalk, cobra_cover_time
+    result = cobra_cover_time(grid(64, 2), seed=0)
+    print(result.cover_time)
+
+Subpackages
+-----------
+``repro.graphs``
+    CSR graph substrate and generators.
+``repro.core``
+    The paper's processes and bounds (cobra, Walt, biased walks).
+``repro.walks``
+    Baselines: simple/parallel walks, gossip, coalescing, branching.
+``repro.spectral``
+    Conductance, spectral gaps, directed Cheeger machinery.
+``repro.sim`` / ``repro.analysis``
+    Monte-Carlo harness and exponent-fit analysis.
+``repro.experiments``
+    One registered experiment per paper claim, with a CLI.
+"""
+
+from ._version import __version__
+from .core import (
+    CobraRunResult,
+    CobraWalk,
+    WaltProcess,
+    cobra_cover_time,
+    cobra_hitting_time,
+    walt_cover_time,
+)
+from .graphs import Graph, grid, hypercube, lollipop, random_regular, torus
+
+__all__ = [
+    "__version__",
+    "CobraRunResult",
+    "CobraWalk",
+    "WaltProcess",
+    "cobra_cover_time",
+    "cobra_hitting_time",
+    "walt_cover_time",
+    "Graph",
+    "grid",
+    "hypercube",
+    "lollipop",
+    "random_regular",
+    "torus",
+]

@@ -1,0 +1,26 @@
+"""Analysis helpers: exponent fits, summary stats, result tables."""
+
+from .scaling import (
+    PowerLawFit,
+    ShapeFit,
+    doubling_ratios,
+    fit_constant_to_shape,
+    fit_power_law,
+)
+from .plot import ascii_loglog, ascii_plot
+from .stats import SummaryStats, bootstrap_ci, summarize
+from .tables import Table
+
+__all__ = [
+    "PowerLawFit",
+    "ShapeFit",
+    "doubling_ratios",
+    "fit_constant_to_shape",
+    "fit_power_law",
+    "SummaryStats",
+    "bootstrap_ci",
+    "summarize",
+    "Table",
+    "ascii_loglog",
+    "ascii_plot",
+]

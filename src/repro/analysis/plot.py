@@ -1,0 +1,107 @@
+"""ASCII plotting for terminal-first experiment output.
+
+The paper has no figures; our experiments emit figure-shaped artifacts
+anyway — log–log scatter of cover/hitting times per series — rendered
+as plain text so they survive logs, CI output, and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_plot", "ascii_loglog"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render one or more ``name -> (xs, ys)`` series as an ASCII
+    scatter plot with shared axes.
+
+    Points outside a log-transformed axis (non-positive values) are
+    dropped.  Series are drawn in order with markers ``o x + * …``; a
+    legend line maps markers to names.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 16 or height < 6:
+        raise ValueError("plot area too small")
+
+    def tx(v: np.ndarray, log: bool) -> np.ndarray:
+        return np.log10(v) if log else v
+
+    cleaned: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name, (xs, ys) in series.items():
+        x = np.asarray(xs, dtype=np.float64)
+        y = np.asarray(ys, dtype=np.float64)
+        keep = np.isfinite(x) & np.isfinite(y)
+        if logx:
+            keep &= x > 0
+        if logy:
+            keep &= y > 0
+        if keep.sum() == 0:
+            continue
+        cleaned[name] = (tx(x[keep], logx), tx(y[keep], logy))
+    if not cleaned:
+        raise ValueError("no finite points to plot")
+
+    all_x = np.concatenate([v[0] for v in cleaned.values()])
+    all_y = np.concatenate([v[1] for v in cleaned.values()])
+    x0, x1 = float(all_x.min()), float(all_x.max())
+    y0, y1 = float(all_y.min()), float(all_y.max())
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for (name, (x, y)), marker in zip(cleaned.items(), _MARKERS):
+        cols = np.clip(((x - x0) / (x1 - x0) * (width - 1)).round(), 0, width - 1)
+        rows = np.clip(((y - y0) / (y1 - y0) * (height - 1)).round(), 0, height - 1)
+        for c, r in zip(cols.astype(int), rows.astype(int)):
+            canvas[height - 1 - r][c] = marker
+
+    def label(v: float, log: bool) -> str:
+        val = 10**v if log else v
+        return f"{val:.3g}"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    ytop = label(y1, logy)
+    ybot = label(y0, logy)
+    pad = max(len(ytop), len(ybot))
+    for i, row in enumerate(canvas):
+        left = ytop if i == 0 else (ybot if i == height - 1 else "")
+        lines.append(f"{left:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    xlabel = f"{label(x0, logx)}" + " " * max(1, width - len(label(x0, logx)) - len(label(x1, logx))) + label(x1, logx)
+    lines.append(" " * (pad + 2) + xlabel)
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(cleaned.items(), _MARKERS)
+    )
+    lines.append(" " * (pad + 2) + legend)
+    return "\n".join(lines)
+
+
+def ascii_loglog(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    title: str | None = None,
+) -> str:
+    """Log–log :func:`ascii_plot` (the exponent-comparison view)."""
+    return ascii_plot(
+        series, width=width, height=height, logx=True, logy=True, title=title
+    )

@@ -1,0 +1,74 @@
+"""Summary statistics and bootstrap confidence intervals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..sim.rng import SeedLike, resolve_rng
+
+__all__ = ["SummaryStats", "summarize", "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Location/scale summary of a sample (NaNs dropped, counted)."""
+
+    n: int
+    mean: float
+    std: float
+    median: float
+    q25: float
+    q75: float
+    minimum: float
+    maximum: float
+    ci95_half_width: float
+    nan_count: int
+
+
+def summarize(values) -> SummaryStats:
+    """Summarise a 1-D sample."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    ok = arr[~np.isnan(arr)]
+    nan_count = int(arr.size - ok.size)
+    if ok.size == 0:
+        nan = float("nan")
+        return SummaryStats(0, nan, nan, nan, nan, nan, nan, nan, nan, nan_count)
+    std = float(ok.std(ddof=1)) if ok.size > 1 else 0.0
+    half = 1.96 * std / np.sqrt(ok.size) if ok.size > 1 else 0.0
+    return SummaryStats(
+        n=int(ok.size),
+        mean=float(ok.mean()),
+        std=std,
+        median=float(np.median(ok)),
+        q25=float(np.quantile(ok, 0.25)),
+        q75=float(np.quantile(ok, 0.75)),
+        minimum=float(ok.min()),
+        maximum=float(ok.max()),
+        ci95_half_width=float(half),
+        nan_count=nan_count,
+    )
+
+
+def bootstrap_ci(
+    values,
+    stat: Callable[[np.ndarray], float] = np.mean,
+    *,
+    iters: int = 2000,
+    level: float = 0.95,
+    seed: SeedLike = None,
+) -> tuple[float, float]:
+    """Percentile bootstrap interval for ``stat`` of the sample."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    arr = arr[~np.isnan(arr)]
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    if not 0.0 < level < 1.0:
+        raise ValueError("level must be in (0, 1)")
+    rng = resolve_rng(seed)
+    idx = rng.integers(0, arr.size, size=(iters, arr.size))
+    stats = np.array([stat(arr[row]) for row in idx])
+    alpha = (1.0 - level) / 2.0
+    return float(np.quantile(stats, alpha)), float(np.quantile(stats, 1.0 - alpha))

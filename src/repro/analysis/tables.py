@@ -1,0 +1,85 @@
+"""Plain-text result tables for experiment output.
+
+Experiments print rows the way the paper would tabulate them; the same
+object renders aligned ASCII (terminal) and markdown (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A simple column-aligned results table.
+
+    >>> t = Table(["n", "cover", "cover/n"], title="grid")
+    >>> t.add_row([64, 181, 2.83])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], *, title: str | None = None) -> None:
+        if not headers:
+            raise ValueError("need at least one column")
+        self.headers = [str(h) for h in headers]
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        """Append a row (values are formatted: floats to 4 significant
+        digits, everything else via ``str``)."""
+        row = [self._fmt(v) for v in values]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} entries, expected {len(self.headers)}"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(v: Any) -> str:
+        if isinstance(v, (bool, np.bool_)):
+            return "yes" if v else "no"
+        if isinstance(v, (np.floating, np.integer)):
+            v = v.item()
+        if isinstance(v, float):
+            if v != v:  # NaN
+                return "-"
+            if v == 0:
+                return "0"
+            if abs(v) >= 1e5 or abs(v) < 1e-3:
+                return f"{v:.3e}"
+            return f"{v:.4g}"
+        return str(v)
+
+    def render(self) -> str:
+        """Aligned plain-text rendering."""
+        widths = [
+            max(len(self.headers[i]), *(len(r[i]) for r in self.rows)) if self.rows else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines = []
+        if self.title:
+            lines.append(f"== {self.title} ==")
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering."""
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join(["---"] * len(self.headers)) + "|")
+        for r in self.rows:
+            lines.append("| " + " | ".join(r) + " |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,266 @@
+"""Biased random walks (paper Section 5.1).
+
+An *ε-biased walk* (Azar et al. [5]) moves to a uniform neighbor with
+probability ``1 − ε`` and lets a memoryless controller pick the
+neighbor with probability ``ε``.  The paper's new variant is the
+*inverse-degree-biased walk*: at vertex ``v ≠ target`` the controller
+probability is ``1/d(v)``; at the target the walk is unbiased.
+
+Provided here:
+
+* simulators for both walks with pluggable controllers;
+* the shortest-path controller (optimal-ish for hitting a target);
+* exact hitting/return times by linear solve for any chain;
+* Theorem 13's stationary lower bound for ε-biased walks;
+* σ̂ path products (exact via Dijkstra in log space), Lemma 18's
+  ``e^{−p(x,v)}`` upper bound, Lemma 16's Metropolis chain, and
+  Corollary 17's return-time bound;
+* Lemma 14's dominance-side transition kernel (the coupling
+  inequality the cobra bound rests on).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.base import Graph
+from ..graphs.checks import bfs_distances
+from ..sim.rng import SeedLike, resolve_rng
+
+__all__ = [
+    "toward_target_controller",
+    "epsilon_biased_transition",
+    "inverse_degree_biased_transition",
+    "simulate_biased_hit",
+    "exact_hitting_times",
+    "exact_return_time",
+    "stationary_lower_bound_thm13",
+    "sigma_hat_exact",
+    "sigma_hat_lemma18_bound",
+    "metropolis_chain_lemma16",
+    "return_time_bound_cor17",
+    "MetropolisChain",
+]
+
+
+def toward_target_controller(graph: Graph, target: int) -> np.ndarray:
+    """Controller table: at each vertex, the neighbor one BFS hop
+    closer to *target* (the target maps to itself)."""
+    dist = bfs_distances(graph, target)
+    if (dist < 0).any():
+        raise ValueError("controller needs a connected graph")
+    choice = np.empty(graph.n, dtype=np.int64)
+    choice[target] = target
+    for v in range(graph.n):
+        if v == target:
+            continue
+        nbrs = graph.neighbors(v)
+        closer = nbrs[dist[nbrs] == dist[v] - 1]
+        choice[v] = closer[0]
+    return choice
+
+
+def epsilon_biased_transition(
+    graph: Graph, controller: np.ndarray, eps: float
+) -> np.ndarray:
+    """Dense transition matrix of the ε-biased walk under *controller*.
+
+    ``P(v, ·) = (1 − ε)·uniform(N(v)) + ε·δ_{controller[v]}``.
+    """
+    if not 0.0 <= eps <= 1.0:
+        raise ValueError("eps must be in [0, 1]")
+    n = graph.n
+    p = np.zeros((n, n))
+    for v in range(n):
+        nbrs = graph.neighbors(v)
+        p[v, nbrs] += (1.0 - eps) / nbrs.size
+        p[v, controller[v]] += eps
+    return p
+
+
+def inverse_degree_biased_transition(
+    graph: Graph, target: int, controller: np.ndarray | None = None
+) -> np.ndarray:
+    """Dense transition matrix of the inverse-degree-biased walk with
+    the given *target* (bias ``1/d(v)`` everywhere except the target,
+    which steps uniformly).  Default controller: toward-target BFS."""
+    if controller is None:
+        controller = toward_target_controller(graph, target)
+    n = graph.n
+    p = np.zeros((n, n))
+    for v in range(n):
+        nbrs = graph.neighbors(v)
+        d = nbrs.size
+        if v == target:
+            p[v, nbrs] += 1.0 / d
+        else:
+            p[v, nbrs] += (1.0 - 1.0 / d) / d
+            p[v, controller[v]] += 1.0 / d
+    return p
+
+
+def simulate_biased_hit(
+    graph: Graph,
+    target: int,
+    *,
+    start: int = 0,
+    eps: float | None = None,
+    controller: np.ndarray | None = None,
+    seed: SeedLike = None,
+    max_steps: int = 10_000_000,
+) -> int | None:
+    """Simulate one biased walk until it hits *target*.
+
+    ``eps=None`` selects the inverse-degree bias ``1/d(v)``; a float
+    selects the constant ε-bias.  Returns the hitting step or ``None``.
+    """
+    rng = resolve_rng(seed)
+    if controller is None:
+        controller = toward_target_controller(graph, target)
+    v = start
+    for t in range(max_steps + 1):
+        if v == target:
+            return t
+        d = graph.degree(v)
+        bias = (1.0 / d) if eps is None else eps
+        if rng.random() < bias:
+            v = int(controller[v])
+        else:
+            nbrs = graph.neighbors(v)
+            v = int(nbrs[int(rng.random() * d)])
+    return None
+
+
+def exact_hitting_times(p: np.ndarray, target: int) -> np.ndarray:
+    """Expected hitting times ``h(v → target)`` for a finite chain by
+    solving ``(I − Q) h = 1`` on the non-target states."""
+    n = p.shape[0]
+    idx = np.array([i for i in range(n) if i != target])
+    q = p[np.ix_(idx, idx)]
+    h = np.linalg.solve(np.eye(n - 1) - q, np.ones(n - 1))
+    out = np.zeros(n)
+    out[idx] = h
+    return out
+
+
+def exact_return_time(p: np.ndarray, v: int) -> float:
+    """Expected return time to *v*: ``1 + Σ_y P(v,y) h(y → v)``."""
+    h = exact_hitting_times(p, v)
+    return float(1.0 + p[v] @ h)
+
+
+def stationary_lower_bound_thm13(graph: Graph, targets: list[int], eps: float) -> float:
+    """Theorem 13 (Azar et al.): a controller exists making the
+    stationary mass of set ``S`` at least
+    ``Σ_{v∈S} d(v) / (Σ_{v∈S} d(v) + Σ_{x∉S} β^{Δ(x,S)−1} d(x))`` with
+    ``β = 1 − ε``."""
+    if not targets:
+        raise ValueError("target set must be non-empty")
+    if not 0.0 < eps <= 1.0:
+        raise ValueError("eps must be in (0, 1]")
+    beta = 1.0 - eps
+    dist = np.full(graph.n, np.iinfo(np.int64).max, dtype=np.int64)
+    for v in targets:
+        dist = np.minimum(dist, bfs_distances(graph, v))
+    in_s = np.zeros(graph.n, dtype=bool)
+    in_s[targets] = True
+    deg = graph.degrees.astype(np.float64)
+    s_vol = deg[in_s].sum()
+    outside = ~in_s
+    decay = beta ** np.maximum(dist[outside] - 1, 0)
+    return float(s_vol / (s_vol + (decay * deg[outside]).sum()))
+
+
+def sigma_hat_exact(graph: Graph, target: int) -> np.ndarray:
+    """``σ̂(x, target) = max over x→target paths of Π_{y∈path}(1 − 1/d(y))``.
+
+    Maximising the product equals minimising ``Σ −log(1 − 1/d(y))``
+    over path vertices (endpoints included), a vertex-weighted Dijkstra.
+    Degree-1 vertices contribute a zero factor (``−log 0 = ∞``), which
+    the arithmetic handles naturally.  ``σ̂(target, target)`` is the
+    single-vertex path product ``1 − 1/d(target)``.
+    """
+    deg = graph.degrees.astype(np.float64)
+    with np.errstate(divide="ignore"):
+        w = -np.log1p(-1.0 / deg)  # -log(1 - 1/d), inf when d == 1
+    cost = np.full(graph.n, np.inf)
+    cost[target] = w[target]
+    heap = [(cost[target], target)]
+    while heap:
+        c, u = heapq.heappop(heap)
+        if c > cost[u]:
+            continue
+        for v in graph.neighbors(u):
+            nc = c + w[v]
+            if nc < cost[v]:
+                cost[v] = nc
+                heapq.heappush(heap, (nc, int(v)))
+    return np.exp(-cost)
+
+
+def sigma_hat_lemma18_bound(graph: Graph, target: int) -> np.ndarray:
+    """Lemma 18: ``σ̂(x, v) ≤ e^{−p(x, v)}`` with ``p`` the
+    inverse-degree-weighted shortest path distance."""
+    from ..graphs.checks import weighted_inverse_degree_distance
+
+    return np.exp(-weighted_inverse_degree_distance(graph, target))
+
+
+@dataclass(frozen=True)
+class MetropolisChain:
+    """Lemma 16's construction.
+
+    ``target_pi`` is the distribution the Metropolis chain is built
+    for; ``m`` is the Metropolis matrix (with self-loops); ``p`` is the
+    derived self-loop-free chain, which Lemma 16 proves is a valid
+    inverse-degree-biased walk (``P(x, y) ≥ (1 − 1/d(x))/d(x)``)."""
+
+    target_pi: np.ndarray
+    m: np.ndarray
+    p: np.ndarray
+
+
+def metropolis_chain_lemma16(graph: Graph, targets: list[int]) -> MetropolisChain:
+    """Build Lemma 16's Metropolis chain for target set ``S``.
+
+    ``π_M(v) = γ·d(v)`` on ``S`` and ``γ·σ̂(x, S)·d(x)`` off it, where
+    ``σ̂(x, S) = min_{v∈S} σ̂(x, v)``.
+
+    Degree-1 vertices have ``σ̂ = 0`` (their path factor ``1 − 1/d`` is
+    zero), which would put zero stationary mass on them and break the
+    Metropolis ratio; we floor ``σ̂`` at a tiny positive value, which
+    leaves every tested quantity unchanged to machine precision.
+    """
+    if not targets:
+        raise ValueError("target set must be non-empty")
+    sigma = np.min(np.stack([sigma_hat_exact(graph, v) for v in targets]), axis=0)
+    sigma = np.maximum(sigma, 1e-280)
+    deg = graph.degrees.astype(np.float64)
+    weights = sigma * deg
+    weights[np.asarray(targets)] = deg[np.asarray(targets)]
+    pi = weights / weights.sum()
+    n = graph.n
+    m = np.zeros((n, n))
+    for x in range(n):
+        for y in graph.neighbors(x):
+            # Metropolis with uniform-neighbor proposal
+            m[x, y] = min(1.0 / deg[x], pi[y] / (pi[x] * deg[y]))
+        m[x, x] = 1.0 - m[x].sum()
+    p = m.copy()
+    np.fill_diagonal(p, 0.0)
+    rows = p.sum(axis=1)
+    p /= rows[:, None]
+    return MetropolisChain(target_pi=pi, m=m, p=p)
+
+
+def return_time_bound_cor17(graph: Graph, v: int) -> float:
+    """Corollary 17: some inverse-degree-biased walk returns to ``v``
+    within ``(d(v) + Σ_{x≠v} σ̂(x,v)·d(x)) / d(v)`` expected steps."""
+    sigma = sigma_hat_exact(graph, v)
+    deg = graph.degrees.astype(np.float64)
+    mask = np.ones(graph.n, dtype=bool)
+    mask[v] = False
+    return float((deg[v] + (sigma[mask] * deg[mask]).sum()) / deg[v])

@@ -1,0 +1,117 @@
+"""Closed-form bound values from every theorem in the paper.
+
+These return the *growth expressions* the theorems assert (constants
+set to 1 unless the paper pins one down); experiments compare measured
+quantities against these shapes by exponent fitting and ratio tables,
+never by absolute value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "harmonic_number",
+    "matthews_cover_bound",
+    "thm3_grid_cover",
+    "thm8_conductance_cover",
+    "cor9_expander_cover",
+    "thm15_regular_hitting",
+    "thm20_general_hitting",
+    "thm20_general_cover",
+    "rw_worst_case_cover",
+    "rw_regular_cover",
+    "rw_lollipop_cover",
+    "push_gossip_cover",
+    "star_cobra_lower_bound",
+    "walt_epoch_count",
+]
+
+
+def harmonic_number(n: int) -> float:
+    """``H_n = Σ_{i=1..n} 1/i`` (exact for small n, asymptotic beyond)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if n < 1_000_000:
+        return float(np.sum(1.0 / np.arange(1, n + 1)))
+    return float(np.log(n) + 0.5772156649015329 + 1 / (2 * n))
+
+
+def matthews_cover_bound(hmax: float, n: int) -> float:
+    """Theorem 1 (Matthews-type, from Dutta et al.): cover time is at
+    most ``O(h_max · log n)``; we evaluate ``h_max · H_n``."""
+    return hmax * harmonic_number(n)
+
+
+def thm3_grid_cover(n: int, d: int = 2) -> float:
+    """Theorem 3: cover time of the 2-cobra walk on ``[0, n]^d`` is
+    ``O(n)`` (constants depending on ``d`` are suppressed)."""
+    if n < 1 or d < 1:
+        raise ValueError("need n >= 1 and d >= 1")
+    return float(n)
+
+
+def thm8_conductance_cover(n: int, d: int, conductance: float) -> float:
+    """Theorem 8: cover of a d-regular graph in
+    ``O(d⁴ Φ⁻² log² n)`` rounds whp."""
+    if conductance <= 0:
+        raise ValueError("conductance must be positive")
+    return d**4 * conductance**-2 * np.log(n) ** 2
+
+
+def cor9_expander_cover(n: int) -> float:
+    """Corollary 9: constant-degree expanders cover in ``O(log² n)``."""
+    return float(np.log(n) ** 2)
+
+
+def thm15_regular_hitting(n: int, delta: int) -> float:
+    """Theorem 15: cobra hitting time on a δ-regular graph is
+    ``O(n^{2−1/δ})``."""
+    if delta < 2:
+        raise ValueError("regular degree must be >= 2")
+    return float(n ** (2.0 - 1.0 / delta))
+
+
+def thm20_general_hitting(n: int) -> float:
+    """Theorem 20: cobra hitting time on any graph is ``O(n^{11/4})``."""
+    return float(n ** 2.75)
+
+
+def thm20_general_cover(n: int) -> float:
+    """Theorem 20: cobra cover time on any graph is ``O(n^{11/4} log n)``."""
+    return float(n**2.75 * np.log(n))
+
+
+def rw_worst_case_cover(n: int) -> float:
+    """Feige: worst-case simple random-walk cover time is
+    ``(4/27 + o(1)) n³`` (achieved by the lollipop)."""
+    return 4.0 / 27.0 * n**3
+
+
+def rw_regular_cover(n: int) -> float:
+    """Classical ``O(n²)`` cover bound for regular graphs."""
+    return float(n**2)
+
+
+def rw_lollipop_cover(n: int) -> float:
+    """Alias of :func:`rw_worst_case_cover` for the lollipop witness."""
+    return rw_worst_case_cover(n)
+
+
+def push_gossip_cover(n: int) -> float:
+    """Feige–Peleg–Raghavan–Upfal: push gossip informs every vertex of
+    any graph in ``O(n log n)`` rounds whp (conjectured for cobra)."""
+    return n * np.log(n)
+
+
+def star_cobra_lower_bound(n: int) -> float:
+    """Conclusion remark: on the star, cobra cover is ``Ω(n log n)``
+    (the hub's two draws run a coupon collector over ``n − 1`` leaves,
+    at most two fresh coupons every other round)."""
+    return n * np.log(n) / 4.0
+
+
+def walt_epoch_count(n: int) -> int:
+    """Theorem 8's proof boosts per-epoch constant coverage probability
+    through ``O(log n)`` epochs before the union bound."""
+    return int(np.ceil(np.log(max(n, 2))))

@@ -1,0 +1,172 @@
+"""Theorem 3's pessimistic single-pebble grid chain.
+
+The proof of Theorem 3 tracks a *single* pebble of the 2-cobra walk on
+``[0, n]^d`` and its per-dimension distances ``(z_1, …, z_d)`` to a
+target vertex, resolving the two generated pebbles by fixed rules:
+
+* both moves in the same dimension → keep the pebble that got closer
+  (if any did);
+* moves in dimensions ``i ≠ j``: if ``z_i = 0 ≠ z_j`` keep the ``j``
+  move; if both are zero or the moves are equally good/bad pick at
+  random; otherwise keep the move that got closer.
+
+Lemma 4 derives drift: a non-zero coordinate changes with probability
+at least ``1/(2d−1)``, and conditioned on changing it decreases with
+probability at least ``1/2 + 1/(8d−4)``; a zero coordinate becomes
+non-zero with probability at most ``2/(d+1)``.  The chain doubles as a
+``d``-queue discrete-time system (the paper's queueing remark).
+
+:class:`PessimisticGridWalk` simulates the true on-grid process
+(boundaries included); :func:`lemma4_drift_bounds` returns the closed
+forms for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.rng import SeedLike, resolve_rng
+
+__all__ = [
+    "PessimisticGridWalk",
+    "lemma4_drift_bounds",
+    "grid_chain_hitting_time",
+]
+
+
+def lemma4_drift_bounds(d: int) -> dict[str, float]:
+    """Lemma 4's closed-form drift bounds for dimension count *d*."""
+    if d < 1:
+        raise ValueError("dimension must be >= 1")
+    return {
+        "p_change_min": 1.0 / (2 * d - 1),
+        "p_decrease_given_change_min": 0.5 + 1.0 / (8 * d - 4),
+        "p_leave_zero_max": 2.0 / (d + 1),
+    }
+
+
+@dataclass
+class _Move:
+    dim: int
+    delta: int  # ±1 in grid coordinates
+
+
+class PessimisticGridWalk:
+    """The tracked-pebble chain of Theorem 3 on the true grid
+    ``[0, n]^d`` (boundary effects included).
+
+    State: the tracked pebble's coordinates and the target's.  Each
+    step the pebble's two cobra children draw independent uniform
+    neighbors; the selection rules above decide which child the
+    analysis follows.
+
+    Parameters
+    ----------
+    n, d:
+        Grid extent and dimension (vertices per axis: ``n + 1``).
+    start, target:
+        Coordinate arrays of length ``d``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        d: int,
+        start: np.ndarray,
+        target: np.ndarray,
+        *,
+        seed: SeedLike = None,
+    ) -> None:
+        if n < 1 or d < 1:
+            raise ValueError("need n >= 1 and d >= 1")
+        self.n = n
+        self.d = d
+        self.pos = np.asarray(start, dtype=np.int64).copy()
+        self.target = np.asarray(target, dtype=np.int64).copy()
+        for arr in (self.pos, self.target):
+            if arr.shape != (d,) or arr.min() < 0 or arr.max() > n:
+                raise ValueError("coordinates must be length-d and within [0, n]")
+        self.rng = resolve_rng(seed)
+        self.t = 0
+
+    # ------------------------------------------------------------------
+    def z(self) -> np.ndarray:
+        """Current per-dimension distances ``z_i = |pos_i − target_i|``."""
+        return np.abs(self.pos - self.target)
+
+    def at_target(self) -> bool:
+        return bool((self.pos == self.target).all())
+
+    def _draw_move(self) -> _Move:
+        """Uniform neighbor of the current position, as (dim, ±1)."""
+        # enumerate feasible (dim, delta) pairs; uniform over them
+        feas: list[_Move] = []
+        for i in range(self.d):
+            if self.pos[i] > 0:
+                feas.append(_Move(i, -1))
+            if self.pos[i] < self.n:
+                feas.append(_Move(i, +1))
+        return feas[int(self.rng.random() * len(feas))]
+
+    def _closer(self, mv: _Move) -> int:
+        """−1 if the move decreases |z| in its dimension, +1 if it
+        increases it (0 never happens since the move changes pos)."""
+        i = mv.dim
+        before = abs(self.pos[i] - self.target[i])
+        after = abs(self.pos[i] + mv.delta - self.target[i])
+        return -1 if after < before else +1
+
+    def step(self) -> None:
+        """One cobra step of the tracked pebble (paper's rules)."""
+        a = self._draw_move()
+        b = self._draw_move()
+        z = self.z()
+        if a.dim == b.dim:
+            # same dimension: prefer whichever move gets closer
+            pick = a if self._closer(a) <= self._closer(b) else b
+        else:
+            za, zb = z[a.dim], z[b.dim]
+            if za == 0 and zb != 0:
+                pick = b
+            elif zb == 0 and za != 0:
+                pick = a
+            elif za == 0 and zb == 0:
+                pick = a if self.rng.random() < 0.5 else b
+            else:
+                ca, cb = self._closer(a), self._closer(b)
+                if ca == cb:
+                    pick = a if self.rng.random() < 0.5 else b
+                else:
+                    pick = a if ca < cb else b
+        self.pos[pick.dim] += pick.delta
+        self.t += 1
+
+    def run_until_hit(self, max_steps: int) -> int | None:
+        """Steps until the tracked pebble sits on the target."""
+        while not self.at_target() and self.t < max_steps:
+            self.step()
+        return self.t if self.at_target() else None
+
+
+def grid_chain_hitting_time(
+    n: int,
+    d: int,
+    *,
+    seed: SeedLike = None,
+    start: np.ndarray | None = None,
+    target: np.ndarray | None = None,
+    max_steps: int | None = None,
+) -> int | None:
+    """Hit time of the pessimistic chain from corner to corner by
+    default — the paper's worst-case starting distance."""
+    rng = resolve_rng(seed)
+    if start is None:
+        start = np.zeros(d, dtype=np.int64)
+    if target is None:
+        target = np.full(d, n, dtype=np.int64)
+    if max_steps is None:
+        max_steps = 2000 * (n + 1) * d * d
+    walk = PessimisticGridWalk(n, d, start, target, seed=rng)
+    return walk.run_until_hit(max_steps)

@@ -1,0 +1,134 @@
+"""Monte-Carlo estimators for cover, hitting, and return times.
+
+Trial arrays come back raw so analysis code can fit distributions; the
+``*_stats`` wrappers in :mod:`repro.analysis.stats` summarise them.
+Per-trial RNG streams are spawned from a single seed, so results are
+reproducible regardless of execution order (and across the
+multiprocessing path in :mod:`repro.sim.montecarlo`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.base import Graph
+from ..sim.rng import SeedLike, spawn_seeds
+from .cobra import CobraWalk, cobra_cover_time, cobra_hitting_time
+
+__all__ = [
+    "cobra_cover_trials",
+    "cobra_hitting_trials",
+    "max_hitting_time_estimate",
+    "pair_hitting_matrix",
+]
+
+
+def cobra_cover_trials(
+    graph: Graph,
+    *,
+    k: int = 2,
+    start: int | np.ndarray = 0,
+    trials: int = 20,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Cover times of *trials* independent cobra runs (``float64``;
+    ``np.nan`` marks budget exhaustion, which the paper's bounds say
+    should essentially never happen at sane budgets)."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    out = np.empty(trials, dtype=np.float64)
+    for i, s in enumerate(spawn_seeds(seed, trials)):
+        res = cobra_cover_time(graph, k=k, start=start, seed=s, max_steps=max_steps)
+        out[i] = res.cover_time if res.covered else np.nan
+    return out
+
+
+def cobra_hitting_trials(
+    graph: Graph,
+    target: int,
+    *,
+    k: int = 2,
+    start: int | np.ndarray = 0,
+    trials: int = 20,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Hitting times of *target* over independent cobra runs."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    out = np.empty(trials, dtype=np.float64)
+    for i, s in enumerate(spawn_seeds(seed, trials)):
+        hit = cobra_hitting_time(
+            graph, target, k=k, start=start, seed=s, max_steps=max_steps
+        )
+        out[i] = np.nan if hit is None else hit
+    return out
+
+
+def max_hitting_time_estimate(
+    graph: Graph,
+    *,
+    k: int = 2,
+    trials: int = 5,
+    pairs: int | None = None,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> float:
+    """Estimate ``h_max = max_{u,v} H(u, v)`` for the cobra walk.
+
+    Evaluates mean hitting time over sampled ``(u, v)`` pairs (all
+    ordered pairs when ``pairs`` is ``None`` and ``n ≤ 40``) and
+    returns the maximum.  This is the quantity Matthews' bound
+    (Theorem 1) consumes.
+    """
+    n = graph.n
+    seeds = spawn_seeds(seed, 2)
+    rng = np.random.default_rng(seeds[0])
+    if pairs is None and n <= 40:
+        pair_list = [(u, v) for u in range(n) for v in range(n) if u != v]
+    else:
+        count = pairs if pairs is not None else 4 * n
+        us = rng.integers(0, n, size=count)
+        vs = rng.integers(0, n, size=count)
+        keep = us != vs
+        pair_list = list(zip(us[keep].tolist(), vs[keep].tolist()))
+        if not pair_list:
+            pair_list = [(0, n - 1)]
+    hmax = 0.0
+    trial_seeds = spawn_seeds(seeds[1], len(pair_list))
+    for (u, v), s in zip(pair_list, trial_seeds):
+        times = cobra_hitting_trials(
+            graph, v, k=k, start=u, trials=trials, seed=s, max_steps=max_steps
+        )
+        mean = float(np.nanmean(times))
+        if mean > hmax:
+            hmax = mean
+    return hmax
+
+
+def pair_hitting_matrix(
+    graph: Graph,
+    *,
+    k: int = 2,
+    trials: int = 5,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Full ``n × n`` matrix of estimated cobra hitting times (small
+    graphs only: quadratic × trials cost).  Diagonal is zero."""
+    n = graph.n
+    if n > 60:
+        raise ValueError(f"pair_hitting_matrix is quadratic; n={n} too large")
+    out = np.zeros((n, n))
+    seeds = spawn_seeds(seed, n * n)
+    for u in range(n):
+        for v in range(n):
+            if u == v:
+                continue
+            times = cobra_hitting_trials(
+                graph, v, k=k, start=u, trials=trials, seed=seeds[u * n + v],
+                max_steps=max_steps,
+            )
+            out[u, v] = float(np.nanmean(times))
+    return out

@@ -1,0 +1,5 @@
+"""Per-claim reproduction experiments (see DESIGN.md §4 for the index)."""
+
+from .registry import Experiment, ExperimentResult, all_experiments, get, register
+
+__all__ = ["Experiment", "ExperimentResult", "all_experiments", "get", "register"]

@@ -1,0 +1,57 @@
+"""Command-line runner: ``python -m repro.experiments`` /
+``cobra-experiments``.
+
+Usage::
+
+    cobra-experiments list
+    cobra-experiments run T3_grid [--scale quick|full] [--seed N]
+    cobra-experiments run all --scale full
+
+Each run prints the experiment's tables and findings; ``run all``
+iterates the whole registry (this is how EXPERIMENTS.md numbers were
+produced).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .registry import all_experiments, get
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cobra-experiments",
+        description="Reproduce the claims of Mitzenmacher, Rajaraman & Roche (SPAA 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered experiments")
+    runp = sub.add_parser("run", help="run one experiment (or 'all')")
+    runp.add_argument("id", help="experiment id, or 'all'")
+    runp.add_argument("--scale", choices=("quick", "full"), default="quick")
+    runp.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for exp in all_experiments():
+            print(f"{exp.id:18s} {exp.claim}")
+        return 0
+
+    ids = [e.id for e in all_experiments()] if args.id == "all" else [args.id]
+    for exp_id in ids:
+        exp = get(exp_id)
+        print(f"\n=== {exp.id}: {exp.claim} (scale={args.scale}) ===")
+        t0 = time.perf_counter()
+        result = exp.run(scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - t0
+        print(result.render())
+        print(f"[{exp.id} finished in {elapsed:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

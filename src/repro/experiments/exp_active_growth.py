@@ -1,0 +1,84 @@
+"""``ACTIVE_growth`` — §1.1 technique: the cobra walk's "initial phase
+instantiates a large number of essentially parallel random walks".
+
+We record the active-set size trajectory ``|S_t|`` on an expander, a
+torus, and a cycle, and report: the early growth rate (exponential on
+the expander — the frontier nearly doubles until collisions bite),
+the saturation level (the breathing equilibrium fraction of ``n``),
+and the time to reach half of the saturation size.  These are the
+structural facts Theorem 8's two-phase analysis leans on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import Table, fit_power_law
+from ..core import CobraWalk
+from ..graphs import cycle_graph, random_regular, torus
+from ..sim.rng import spawn_seeds
+from .registry import ExperimentResult, register
+
+_SIZE = {"quick": 1024, "full": 8192}
+_STEPS = {"quick": 400, "full": 1500}
+
+
+def _trajectory(graph, seed, steps: int) -> np.ndarray:
+    walk = CobraWalk(graph, seed=seed, record_history=True)
+    for _ in range(steps):
+        walk.step()
+    return walk.history.astype(np.float64)
+
+
+@register("ACTIVE_growth", "§1.1: early exponential frontier growth, then saturation")
+def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    n = _SIZE[scale]
+    steps = _STEPS[scale]
+    seeds = spawn_seeds(seed, 8)
+    side = int(np.sqrt(n)) - 1
+    graphs = {
+        "expander(8-reg)": random_regular(n, 8, seed=seeds[0]),
+        "torus2d": torus(side, 2),
+        "cycle": cycle_graph(n),
+    }
+    table = Table(
+        [
+            "graph",
+            "n",
+            "early growth/step",
+            "saturation |S|/n",
+            "t to half-saturation",
+        ],
+        title="ACTIVE active-set dynamics of the 2-cobra walk",
+    )
+    findings: dict[str, float] = {}
+    for (name, g), s in zip(graphs.items(), seeds[1:]):
+        traj = _trajectory(g, s, steps)
+        sat = float(np.mean(traj[-steps // 4 :])) / g.n
+        half = 0.5 * sat * g.n
+        reach = np.flatnonzero(traj >= half)
+        t_half = int(reach[0]) if reach.size else steps
+        # early growth rate: mean multiplicative factor over the first
+        # phase (while |S| < 10% of saturation)
+        limit = max(2.0, 0.1 * sat * g.n)
+        early = traj[traj <= limit]
+        early = early[: max(2, early.size)]
+        if early.size >= 2:
+            rate = float(np.exp(np.mean(np.diff(np.log(early[early > 0])))))
+        else:
+            rate = np.nan
+        table.add_row([name, g.n, rate, sat, t_half])
+        findings[f"growth_rate_{name}"] = rate
+        findings[f"saturation_{name}"] = sat
+        findings[f"t_half_{name}"] = float(t_half)
+    return ExperimentResult(
+        experiment_id="ACTIVE_growth",
+        tables=[table],
+        findings=findings,
+        notes=(
+            "Expanders show near-geometric early growth (rate close to the "
+            "branching limit) and high saturation; the cycle's frontier adds "
+            "only O(1) per step (rate ≈ 1), which is why low-conductance "
+            "graphs pay Φ^-2 in Theorem 8."
+        ),
+    )

@@ -1,0 +1,154 @@
+"""``GRIDCHAIN_drift`` — Lemmas 4–7 internals: the pessimistic grid chain.
+
+Two checks on the proof engine behind Theorem 3:
+
+1. **Lemma 4 drift**: in the generic configuration (all ``z_i > 0``,
+   far from boundaries) the empirical conditional probability that a
+   changing coordinate *decreases* must be at least
+   ``1/2 + 1/(8d−4)``, and a zero coordinate must leave zero with
+   frequency at most ``2/(d+1)``.
+2. **Lemma 5 shape**: the chain's corner-to-corner hitting time grows
+   linearly in ``n`` (the queue-emptying time of the paper's
+   queueing interpretation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import Table, fit_power_law
+from ..core import PessimisticGridWalk, grid_chain_hitting_time, lemma4_drift_bounds
+from ..sim.rng import spawn_seeds
+from .registry import ExperimentResult, register
+
+_DIMS = {"quick": [1, 2, 3], "full": [1, 2, 3, 4]}
+_NS = {"quick": [16, 32, 64], "full": [16, 32, 64, 128, 256]}
+_TRIALS = {"quick": 10, "full": 30}
+_DRIFT_STEPS = {"quick": 15_000, "full": 60_000}
+
+
+def _measure_drift(d: int, steps: int, seed) -> tuple[float, float]:
+    """Empirical Lemma 4 rates from one long trajectory.
+
+    Returns ``(P[decrease | change, generic config], P[a given zero
+    coordinate leaves zero in one step])``.  The generic configuration
+    is "all z_i > 0, far from the boundary"; the start is placed so the
+    walk stays interior for the whole sample.
+    """
+    n = 10 * steps
+    start = np.full(d, n // 2 - steps // (2 * d) - 10, dtype=np.int64)
+    target = np.full(d, n // 2, dtype=np.int64)
+    w = PessimisticGridWalk(n, d, start, target, seed=seed)
+    dec = chg = 0
+    zero_exposures = zero_departures = 0
+    z_prev = w.z().copy()
+    for _ in range(steps):
+        w.step()
+        z = w.z()
+        diff = z - z_prev
+        if (z_prev > 0).all():
+            moved = np.flatnonzero(diff)
+            if moved.size:
+                chg += 1
+                dec += diff[moved[0]] < 0
+        else:
+            zeros = np.flatnonzero(z_prev == 0)
+            zero_exposures += zeros.size
+            zero_departures += int((z[zeros] > 0).sum())
+        z_prev = z.copy()
+    p_dec = dec / chg if chg else np.nan
+    p_leave = zero_departures / zero_exposures if zero_exposures else np.nan
+    return p_dec, p_leave
+
+
+def _measure_leave_zero(d: int, steps: int, seed) -> float:
+    """P[a zero coordinate becomes non-zero in one step], sampled from a
+    walk hovering near its target (where zeros are common).  Undefined
+    for d = 1: the only zero state is the absorbing target itself."""
+    if d < 2:
+        return np.nan
+    n = 4 * steps
+    start = np.full(d, n // 2, dtype=np.int64)
+    start[0] += 20  # one busy dimension keeps the walk off the target
+    target = np.full(d, n // 2, dtype=np.int64)
+    w = PessimisticGridWalk(n, d, start, target, seed=seed)
+    exposures = departures = 0
+    z_prev = w.z().copy()
+    for _ in range(steps):
+        if w.at_target():
+            break
+        w.step()
+        z = w.z()
+        zeros = np.flatnonzero(z_prev == 0)
+        exposures += zeros.size
+        departures += int((z[zeros] > 0).sum())
+        z_prev = z.copy()
+    return departures / exposures if exposures else np.nan
+
+
+@register("GRIDCHAIN_drift", "Lemmas 4-7: pessimistic grid chain drift and linear emptying")
+def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    seeds = spawn_seeds(seed, 128)
+    si = iter(seeds)
+    drift_table = Table(
+        [
+            "d",
+            "P[dec|change] measured",
+            "Lemma 4 lower bnd",
+            "P[leave zero] measured",
+            "Lemma 4 upper bnd",
+            "holds",
+        ],
+        title="GRIDCHAIN Lemma 4 drift (generic configuration)",
+    )
+    findings: dict[str, float] = {}
+    all_hold = True
+    for d in _DIMS[scale]:
+        p_dec, _ = _measure_drift(d, _DRIFT_STEPS[scale], next(si))
+        p_leave = _measure_leave_zero(d, _DRIFT_STEPS[scale], next(si))
+        bounds = lemma4_drift_bounds(d)
+        ok = p_dec >= bounds["p_decrease_given_change_min"] - 0.03
+        if np.isfinite(p_leave):
+            ok = ok and p_leave <= bounds["p_leave_zero_max"] + 0.03
+        all_hold &= ok
+        drift_table.add_row(
+            [
+                d,
+                p_dec,
+                bounds["p_decrease_given_change_min"],
+                p_leave,
+                bounds["p_leave_zero_max"],
+                ok,
+            ]
+        )
+        findings[f"drift_d{d}"] = p_dec
+        findings[f"leave_zero_d{d}"] = p_leave
+    findings["all_drift_bounds_hold"] = float(all_hold)
+
+    time_table = Table(
+        ["d", "n", "mean hit (corner→corner)", "hit/n"],
+        title="GRIDCHAIN hitting time linearity (Lemma 5 shape)",
+    )
+    for d in _DIMS[scale][: 3]:
+        ns, means = [], []
+        for n in _NS[scale]:
+            times = [
+                grid_chain_hitting_time(n, d, seed=s)
+                for s in spawn_seeds(next(si), _TRIALS[scale])
+            ]
+            mean = float(np.mean([t for t in times if t is not None]))
+            ns.append(n)
+            means.append(mean)
+            time_table.add_row([d, n, mean, mean / n])
+        fit = fit_power_law(ns, means)
+        findings[f"hit_exponent_d{d}"] = fit.exponent
+        time_table.add_row([d, "fit", f"n^{fit.exponent:.3f}", ""])
+    return ExperimentResult(
+        experiment_id="GRIDCHAIN_drift",
+        tables=[drift_table, time_table],
+        findings=findings,
+        notes=(
+            "The tracked-pebble chain is the engine of Theorem 3: linear "
+            "hitting here (exponent ≈ 1) is what makes grid cover O(n)."
+        ),
+    )

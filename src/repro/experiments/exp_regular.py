@@ -1,0 +1,80 @@
+"""``T15_regular`` — Theorem 15: cobra hitting time on δ-regular graphs
+is ``O(n^{2−1/δ})``.
+
+For δ-regular families (cycle δ=2, circulant δ=4, random regular δ=3)
+we measure the antipodal/farthest-pair cobra hitting time over an
+``n``-ladder and fit the exponent: it must not exceed ``2 − 1/δ``.
+The simple-random-walk hitting exponent on the cycle is 2 — the
+separation Theorem 15 buys.  (The bound is far from tight on
+expander-like regular graphs, where hitting is polylogarithmic; the
+claim under test is the upper bound's validity, not tightness.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import Table, fit_power_law
+from ..core import cobra_hitting_trials, thm15_regular_hitting
+from ..graphs import Graph, bfs_distances, circulant, cycle_graph, random_regular
+from ..sim.rng import spawn_seeds
+from ..walks import rw_exact_hitting_times
+from .registry import ExperimentResult, register
+
+_NS = {
+    "quick": [32, 64, 128],
+    "full": [32, 64, 128, 256, 512],
+}
+_TRIALS = {"quick": 8, "full": 20}
+
+
+def _farthest(g: Graph, source: int = 0) -> int:
+    dist = bfs_distances(g, source)
+    return int(np.argmax(dist))
+
+
+@register("T15_regular", "Thm 15: δ-regular cobra hitting is O(n^{2-1/δ})")
+def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    trials = _TRIALS[scale]
+    seeds = spawn_seeds(seed, 64)
+    si = iter(seeds)
+    families = {
+        "cycle (δ=2)": (2, lambda n, s: cycle_graph(n)),
+        "circulant±{1,2} (δ=4)": (4, lambda n, s: circulant(n, [1, 2])),
+        "random 3-regular": (3, lambda n, s: random_regular(n, 3, seed=s)),
+    }
+    tables: list[Table] = []
+    findings: dict[str, float] = {}
+    for label, (delta, make) in families.items():
+        table = Table(
+            ["n", "cobra hit (far pair)", "bound n^{2-1/δ}", "hit/bound", "rw hit exact"],
+            title=f"T15 {label}",
+        )
+        ns, hits = [], []
+        for n in _NS[scale]:
+            g = make(n, next(si))
+            target = _farthest(g)
+            times = cobra_hitting_trials(g, target, trials=trials, seed=next(si))
+            mean = float(np.nanmean(times))
+            bound = thm15_regular_hitting(n, delta)
+            rw_hit = float(rw_exact_hitting_times(g, target)[0]) if n <= 512 else np.nan
+            ns.append(n)
+            hits.append(mean)
+            table.add_row([n, mean, bound, mean / bound, rw_hit])
+        fit = fit_power_law(ns, hits)
+        key = label.split()[0]
+        findings[f"exponent_{key}"] = fit.exponent
+        findings[f"bound_exponent_{key}"] = 2.0 - 1.0 / delta
+        table.add_row(["fit", f"n^{fit.exponent:.3f}", f"n^{2 - 1/delta:.3f}", "", ""])
+        tables.append(table)
+    return ExperimentResult(
+        experiment_id="T15_regular",
+        tables=tables,
+        findings=findings,
+        notes=(
+            "Upper-bound check: measured exponent <= 2 - 1/δ per family. "
+            "On the cycle the cobra frontier spreads ballistically, so the "
+            "measured exponent is ~1, well under the 1.5 bound; the simple "
+            "walk's exact hitting exponent is 2."
+        ),
+    )

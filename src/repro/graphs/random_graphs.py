@@ -1,0 +1,227 @@
+"""Random graph models.
+
+Theorem 8's discussion names power-law graphs and random geometric
+graphs as families with useful conductance; these generators supply
+them, along with Erdős–Rényi, Barabási–Albert and Watts–Strogatz
+controls.  All are seeded and implemented from scratch (skip-sampling
+for sparse G(n, p), Miller–Hagberg style weight sampling for Chung–Lu,
+cell lists for geometric graphs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Graph
+from .builders import from_edge_list
+from ..sim.rng import SeedLike, resolve_rng
+
+__all__ = [
+    "erdos_renyi",
+    "gnm_random",
+    "barabasi_albert",
+    "chung_lu_powerlaw",
+    "random_geometric",
+    "watts_strogatz",
+    "largest_component",
+]
+
+
+def erdos_renyi(n: int, p: float, seed: SeedLike = None) -> Graph:
+    """G(n, p) via geometric skip-sampling over the ``n·(n-1)/2`` pairs
+    (O(m) expected work, no dense mask)."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    rng = resolve_rng(seed)
+    if p == 0.0 or n < 2:
+        return from_edge_list(max(n, 0), [], name=f"gnp({n},{p})")
+    if p == 1.0:
+        from .classic import complete_graph
+
+        return complete_graph(n)
+    total = n * (n - 1) // 2
+    edges = []
+    pos = -1
+    log1mp = np.log1p(-p)
+    while True:
+        # skip ~ Geometric(p): number of misses before the next edge
+        skip = int(np.floor(np.log(1.0 - rng.random()) / log1mp))
+        pos += skip + 1
+        if pos >= total:
+            break
+        # decode linear pair index -> (u, v), u < v (row-major upper triangle)
+        u = int((2 * n - 1 - np.sqrt((2 * n - 1) ** 2 - 8 * pos)) // 2)
+        v = int(pos - u * (2 * n - u - 1) // 2 + u + 1)
+        edges.append((u, v))
+    return from_edge_list(n, edges, name=f"gnp({n},{p})")
+
+
+def gnm_random(n: int, m: int, seed: SeedLike = None) -> Graph:
+    """G(n, m): exactly ``m`` distinct uniform edges."""
+    total = n * (n - 1) // 2
+    if m > total:
+        raise ValueError(f"m={m} exceeds the {total} possible edges")
+    rng = resolve_rng(seed)
+    chosen: set[int] = set()
+    while len(chosen) < m:
+        need = m - len(chosen)
+        draw = rng.integers(0, total, size=2 * need + 8)
+        for t in draw:
+            chosen.add(int(t))
+            if len(chosen) == m:
+                break
+    edges = []
+    for pos in chosen:
+        u = int((2 * n - 1 - np.sqrt((2 * n - 1) ** 2 - 8 * pos)) // 2)
+        v = int(pos - u * (2 * n - u - 1) // 2 + u + 1)
+        edges.append((u, v))
+    return from_edge_list(n, edges, name=f"gnm({n},{m})")
+
+
+def barabasi_albert(n: int, m: int, seed: SeedLike = None) -> Graph:
+    """Preferential attachment: each arriving vertex attaches to ``m``
+    distinct existing vertices chosen ∝ degree (repeated-targets list)."""
+    if m < 1 or m >= n:
+        raise ValueError("need 1 <= m < n")
+    rng = resolve_rng(seed)
+    targets = list(range(m))  # start from an m-clique-ish seed star
+    repeated: list[int] = []
+    edges = []
+    for v in range(m, n):
+        chosen = set()
+        while len(chosen) < m:
+            if repeated and rng.random() > 1.0 / (len(repeated) + 1):
+                cand = repeated[int(rng.integers(0, len(repeated)))]
+            else:
+                cand = int(rng.integers(0, v))
+            chosen.add(cand)
+        for u in chosen:
+            edges.append((u, v))
+            repeated.extend([u, v])
+    return from_edge_list(n, edges, name=f"ba({n},{m})")
+
+
+def chung_lu_powerlaw(
+    n: int,
+    exponent: float = 2.5,
+    *,
+    avg_degree: float = 8.0,
+    seed: SeedLike = None,
+) -> Graph:
+    """Chung–Lu graph with power-law expected degrees ``w_i ∝ (i+i0)^{-1/(β-1)}``.
+
+    Edge ``(i, j)`` appears independently with probability
+    ``min(1, w_i w_j / W)``.  Implemented with the Miller–Hagberg
+    skip-sampling trick over weight-sorted vertices: O(n + m) expected
+    time.
+    """
+    if exponent <= 2.0:
+        raise ValueError("exponent must exceed 2 for bounded average degree")
+    rng = resolve_rng(seed)
+    i0 = 1.0
+    w = (np.arange(n, dtype=np.float64) + i0) ** (-1.0 / (exponent - 1.0))
+    w *= avg_degree * n / w.sum()
+    order = np.argsort(-w)  # decreasing
+    w = w[order]
+    total_w = w.sum()
+    edges = []
+    for i in range(n - 1):
+        # walk j > i with skip sampling at the envelope probability q = min(1, w_i w_j / W);
+        # since w is sorted decreasing, q is monotone in j and we re-anchor as we go.
+        j = i + 1
+        p_env = min(1.0, w[i] * w[j] / total_w)
+        while j < n and p_env > 0:
+            if p_env < 1.0:
+                skip = int(np.floor(np.log(1.0 - rng.random()) / np.log1p(-p_env)))
+                j += skip
+            if j >= n:
+                break
+            q = min(1.0, w[i] * w[j] / total_w)
+            if rng.random() < q / p_env:
+                edges.append((int(order[i]), int(order[j])))
+            p_env = q
+            j += 1
+    return from_edge_list(n, edges, name=f"chung_lu({n},β={exponent})")
+
+
+def random_geometric(n: int, radius: float, seed: SeedLike = None) -> Graph:
+    """Random geometric graph: ``n`` uniform points in the unit square,
+    edges between pairs within Euclidean *radius* (cell-list search)."""
+    if not 0 < radius <= np.sqrt(2):
+        raise ValueError("radius must be in (0, sqrt(2)]")
+    rng = resolve_rng(seed)
+    pts = rng.random((n, 2))
+    cells = max(1, int(1.0 / radius))
+    cx = np.minimum((pts[:, 0] * cells).astype(np.int64), cells - 1)
+    cy = np.minimum((pts[:, 1] * cells).astype(np.int64), cells - 1)
+    cell_id = cx * cells + cy
+    order = np.argsort(cell_id, kind="stable")
+    sorted_cells = cell_id[order]
+    starts = np.searchsorted(sorted_cells, np.arange(cells * cells))
+    ends = np.searchsorted(sorted_cells, np.arange(cells * cells), side="right")
+    r2 = radius * radius
+    edges = []
+    for gx in range(cells):
+        for gy in range(cells):
+            mine = order[starts[gx * cells + gy] : ends[gx * cells + gy]]
+            if mine.size == 0:
+                continue
+            for dx in (0, 1):
+                for dy in (-1, 0, 1):
+                    if dx == 0 and dy < 0:
+                        continue
+                    nx_, ny_ = gx + dx, gy + dy
+                    if not (0 <= nx_ < cells and 0 <= ny_ < cells):
+                        continue
+                    other = order[starts[nx_ * cells + ny_] : ends[nx_ * cells + ny_]]
+                    if other.size == 0:
+                        continue
+                    d2 = ((pts[mine, None, :] - pts[None, other, :]) ** 2).sum(-1)
+                    ii, jj = np.nonzero(d2 <= r2)
+                    for a, b in zip(mine[ii], other[jj]):
+                        if (dx == 0 and dy == 0 and a < b) or (dx, dy) != (0, 0):
+                            edges.append((int(a), int(b)))
+    return from_edge_list(n, edges, name=f"rgg({n},r={radius:.3f})", meta={"points": pts})
+
+
+def watts_strogatz(n: int, k: int, beta: float, seed: SeedLike = None) -> Graph:
+    """Watts–Strogatz small world: ring lattice with ``k`` nearest
+    neighbors per side, each edge rewired with probability *beta*."""
+    if k < 1 or 2 * k >= n:
+        raise ValueError("need 1 <= k and 2k < n")
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError("beta must be in [0, 1]")
+    rng = resolve_rng(seed)
+    present: set[tuple[int, int]] = set()
+    for u in range(n):
+        for s in range(1, k + 1):
+            v = (u + s) % n
+            present.add((min(u, v), max(u, v)))
+    edges = list(present)
+    for idx, (u, v) in enumerate(edges):
+        if rng.random() < beta:
+            for _ in range(32):
+                w = int(rng.integers(0, n))
+                cand = (min(u, w), max(u, w))
+                if w != u and cand not in present:
+                    present.discard((u, v))
+                    present.add(cand)
+                    edges[idx] = cand
+                    break
+    return from_edge_list(n, list(present), name=f"ws({n},{k},{beta})")
+
+
+def largest_component(graph: Graph) -> Graph:
+    """Restrict to the largest connected component (vertices relabelled
+    by ascending original id)."""
+    from .checks import connected_components
+
+    labels = connected_components(graph)
+    biggest = np.argmax(np.bincount(labels))
+    keep = np.flatnonzero(labels == biggest)
+    remap = -np.ones(graph.n, dtype=np.int64)
+    remap[keep] = np.arange(keep.size)
+    edges = graph.edges()
+    mask = (remap[edges[:, 0]] >= 0) & (remap[edges[:, 1]] >= 0)
+    sub = np.column_stack([remap[edges[mask, 0]], remap[edges[mask, 1]]])
+    return from_edge_list(keep.size, sub, name=f"{graph.name}|lcc")

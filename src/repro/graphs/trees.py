@@ -1,0 +1,121 @@
+"""Tree generators.
+
+The paper remarks (Section 3) that the two-step case analysis of
+Lemma 2 shows 2-cobra walks on ``k``-ary trees cover in time
+proportional to the diameter for ``k ∈ {2, 3}`` and conjectures the
+same for every constant ``k`` — the ``TREES_kary`` experiment probes
+this.  Random trees come from uniform Prüfer sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Graph
+from .builders import from_edge_list
+from ..sim.rng import SeedLike, resolve_rng
+
+__all__ = [
+    "kary_tree",
+    "balanced_binary_tree",
+    "spider",
+    "caterpillar",
+    "random_tree",
+    "kary_tree_depth",
+]
+
+
+def kary_tree(k: int, depth: int) -> Graph:
+    """Complete rooted ``k``-ary tree of the given *depth*.
+
+    Depth 0 is a single root.  Vertex 0 is the root; children of vertex
+    ``v`` are ``k·v + 1 .. k·v + k`` (heap order), giving
+    ``(k^{depth+1} - 1) / (k - 1)`` vertices.
+    """
+    if k < 2:
+        raise ValueError("arity k must be >= 2")
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    n = (k ** (depth + 1) - 1) // (k - 1)
+    if n > 5_000_000:
+        raise ValueError("tree too large")
+    child = np.arange(1, n, dtype=np.int64)
+    parent = (child - 1) // k
+    return from_edge_list(
+        n,
+        np.column_stack([parent, child]),
+        name=f"{k}-ary_tree(depth={depth})",
+        meta={"k": k, "depth": depth, "diameter": 2 * depth},
+    )
+
+
+def balanced_binary_tree(depth: int) -> Graph:
+    """Complete binary tree (``k = 2``) of the given depth."""
+    return kary_tree(2, depth)
+
+
+def kary_tree_depth(k: int, n_min: int) -> int:
+    """Smallest depth whose complete ``k``-ary tree has ≥ ``n_min`` vertices."""
+    depth, n = 0, 1
+    while n < n_min:
+        depth += 1
+        n = (k ** (depth + 1) - 1) // (k - 1)
+    return depth
+
+
+def spider(legs: int, leg_length: int) -> Graph:
+    """A hub with *legs* paths of *leg_length* vertices each."""
+    if legs < 1 or leg_length < 1:
+        raise ValueError("legs and leg_length must be >= 1")
+    n = 1 + legs * leg_length
+    edges = []
+    for leg in range(legs):
+        first = 1 + leg * leg_length
+        edges.append((0, first))
+        edges += [(first + i, first + i + 1) for i in range(leg_length - 1)]
+    return from_edge_list(n, edges, name=f"spider({legs},{leg_length})")
+
+
+def caterpillar(spine: int, legs_per_vertex: int) -> Graph:
+    """A path of *spine* vertices, each with *legs_per_vertex* pendant leaves."""
+    if spine < 2:
+        raise ValueError("spine must have >= 2 vertices")
+    if legs_per_vertex < 0:
+        raise ValueError("legs_per_vertex must be >= 0")
+    n = spine * (1 + legs_per_vertex)
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    nxt = spine
+    for s in range(spine):
+        for _ in range(legs_per_vertex):
+            edges.append((s, nxt))
+            nxt += 1
+    return from_edge_list(n, edges, name=f"caterpillar({spine},{legs_per_vertex})")
+
+
+def random_tree(n: int, seed: SeedLike = None) -> Graph:
+    """Uniformly random labelled tree on ``n`` vertices via Prüfer decode."""
+    if n < 1:
+        raise ValueError("tree needs at least 1 vertex")
+    if n == 1:
+        return from_edge_list(1, [], name="random_tree(1)")
+    if n == 2:
+        return from_edge_list(2, [(0, 1)], name="random_tree(2)")
+    rng = resolve_rng(seed)
+    prufer = rng.integers(0, n, size=n - 2)
+    degree = np.ones(n, dtype=np.int64)
+    np.add.at(degree, prufer, 1)
+    edges = []
+    # classic O(n log n) decode with a heap of current leaves
+    import heapq
+
+    leaves = [int(v) for v in np.flatnonzero(degree == 1)]
+    heapq.heapify(leaves)
+    for code in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, int(code)))
+        degree[code] -= 1
+        if degree[code] == 1:
+            heapq.heappush(leaves, int(code))
+    last = heapq.heappop(leaves), heapq.heappop(leaves)
+    edges.append((int(last[0]), int(last[1])))
+    return from_edge_list(n, edges, name=f"random_tree({n})")

@@ -1,0 +1,30 @@
+"""Simulation harness: RNG streams, stepping engine, Monte-Carlo trials."""
+
+from .engine import SteppingProcess, run_process
+from .montecarlo import TrialSummary, run_trials, summarize_trials
+from .record import CoverageCurve, coverage_curve, time_to_cover_fraction
+from .rng import (
+    SeedLike,
+    random_choice_weighted,
+    resolve_rng,
+    resolve_seed_sequence,
+    spawn_rngs,
+    spawn_seeds,
+)
+
+__all__ = [
+    "SteppingProcess",
+    "run_process",
+    "TrialSummary",
+    "run_trials",
+    "summarize_trials",
+    "CoverageCurve",
+    "coverage_curve",
+    "time_to_cover_fraction",
+    "SeedLike",
+    "random_choice_weighted",
+    "resolve_rng",
+    "resolve_seed_sequence",
+    "spawn_rngs",
+    "spawn_seeds",
+]

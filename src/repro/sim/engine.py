@@ -1,0 +1,52 @@
+"""A minimal stepping protocol shared by all processes.
+
+Every process class in :mod:`repro` (cobra, Walt, random walks,
+branching, coalescing) exposes ``step()`` and a monotone step counter
+``t``; most also expose coverage counters.  :func:`run_process` drives
+any of them with a stopping predicate and an optional per-step
+callback — the small amount of glue experiments need without forcing
+the processes into a class hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+__all__ = ["SteppingProcess", "run_process"]
+
+
+@runtime_checkable
+class SteppingProcess(Protocol):
+    """Structural interface of a steppable process."""
+
+    t: int
+
+    def step(self) -> object:  # pragma: no cover - protocol
+        ...
+
+
+def run_process(
+    process: SteppingProcess,
+    *,
+    max_steps: int,
+    until: Callable[[SteppingProcess], bool] | None = None,
+    on_step: Callable[[SteppingProcess], None] | None = None,
+) -> bool:
+    """Step *process* until *until* returns true or *max_steps* pass.
+
+    Returns whether the stopping predicate fired (always ``False`` when
+    no predicate is supplied — the budget is then the only stop).
+    ``on_step`` runs after every step, e.g. to record trajectories.
+    """
+    if max_steps < 0:
+        raise ValueError("max_steps must be non-negative")
+    if until is not None and until(process):
+        return True
+    start = process.t
+    while process.t - start < max_steps:
+        process.step()
+        if on_step is not None:
+            on_step(process)
+        if until is not None and until(process):
+            return True
+    return False

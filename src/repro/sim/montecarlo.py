@@ -1,0 +1,84 @@
+"""Monte-Carlo trial running, serial or multiprocess.
+
+The pattern follows the HPC guides' batch idiom: a trial function
+receives a :class:`numpy.random.SeedSequence` (cheap to pickle) plus
+static arguments, and returns a float.  Parent-side code never ships
+generators or graphs per trial — graphs go once via the function's
+closure-free arguments so fork/spawn costs stay flat.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .rng import SeedLike, spawn_seeds
+
+__all__ = ["TrialSummary", "run_trials", "summarize_trials"]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Summary statistics over trial outcomes (NaNs = failed trials)."""
+
+    values: np.ndarray
+    mean: float
+    std: float
+    median: float
+    ci95_half_width: float
+    failures: int
+
+    @property
+    def trials(self) -> int:
+        return int(self.values.size)
+
+
+def summarize_trials(values: np.ndarray) -> TrialSummary:
+    """Build a :class:`TrialSummary` from raw trial values."""
+    values = np.asarray(values, dtype=np.float64)
+    ok = values[~np.isnan(values)]
+    failures = int(values.size - ok.size)
+    if ok.size == 0:
+        return TrialSummary(values, np.nan, np.nan, np.nan, np.nan, failures)
+    mean = float(ok.mean())
+    std = float(ok.std(ddof=1)) if ok.size > 1 else 0.0
+    half = 1.96 * std / np.sqrt(ok.size) if ok.size > 1 else 0.0
+    return TrialSummary(values, mean, std, float(np.median(ok)), half, failures)
+
+
+def _worker(payload: tuple) -> float:
+    fn, seed, args, kwargs = payload
+    return float(fn(seed, *args, **kwargs))
+
+
+def run_trials(
+    fn: Callable[..., float],
+    trials: int,
+    *,
+    seed: SeedLike = None,
+    args: Sequence[Any] = (),
+    kwargs: dict | None = None,
+    processes: int | None = None,
+) -> TrialSummary:
+    """Run ``fn(seed_sequence, *args, **kwargs)`` *trials* times.
+
+    ``processes=None`` (or 1) runs serially; an integer > 1 fans out
+    over a :mod:`multiprocessing` pool.  Either way trial ``i`` always
+    receives the same spawned seed, so serial and parallel runs return
+    identical values.
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    kwargs = kwargs or {}
+    seeds = spawn_seeds(seed, trials)
+    payloads = [(fn, s, tuple(args), kwargs) for s in seeds]
+    if processes is None or processes <= 1:
+        values = np.array([_worker(p) for p in payloads])
+    else:
+        ctx = mp.get_context("fork" if hasattr(mp, "get_context") else None)
+        with ctx.Pool(processes=processes) as pool:
+            values = np.array(pool.map(_worker, payloads))
+    return summarize_trials(values)

@@ -1,0 +1,60 @@
+"""Coverage and trajectory records.
+
+The shapes the paper's arguments reason about — how fast the covered
+set grows, how the active-set size breathes — are extracted here from
+the raw per-vertex first-activation arrays the processes produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CoverageCurve", "coverage_curve", "time_to_cover_fraction"]
+
+
+@dataclass(frozen=True)
+class CoverageCurve:
+    """Covered-vertex count as a step function of time.
+
+    ``counts[t]`` is the number of vertices first activated at step
+    ``≤ t``; length is ``last_activation + 1`` (or 1 for an uncovered
+    run with no activity).
+    """
+
+    counts: np.ndarray
+    n: int
+
+    @property
+    def fractions(self) -> np.ndarray:
+        """``counts / n``."""
+        return self.counts / self.n
+
+    def time_to_fraction(self, fraction: float) -> int | None:
+        """First step with at least ``fraction·n`` vertices covered."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        need = int(np.ceil(fraction * self.n))
+        idx = np.flatnonzero(self.counts >= need)
+        return int(idx[0]) if idx.size else None
+
+
+def coverage_curve(first_activation: np.ndarray, n: int | None = None) -> CoverageCurve:
+    """Build the coverage step function from a first-activation array
+    (``-1`` entries mean never activated and are excluded)."""
+    fa = np.asarray(first_activation, dtype=np.int64)
+    if n is None:
+        n = fa.size
+    reached = fa[fa >= 0]
+    horizon = int(reached.max()) if reached.size else 0
+    counts = np.zeros(horizon + 1, dtype=np.int64)
+    if reached.size:
+        np.add.at(counts, reached, 1)
+        counts = np.cumsum(counts)
+    return CoverageCurve(counts=counts, n=n)
+
+
+def time_to_cover_fraction(first_activation: np.ndarray, fraction: float) -> int | None:
+    """Shortcut: step when ``fraction`` of all vertices was covered."""
+    return coverage_curve(first_activation).time_to_fraction(fraction)

@@ -1,0 +1,146 @@
+"""Conductance: the combinatorial quantity of Theorem 8.
+
+The paper defines ``φ(S) = |∂S| / vol(S)`` and
+``Φ_G = min_{vol(S) ≤ vol(V)/2} φ(S)``.  Exact minimisation is
+NP-hard, so three layers are provided:
+
+* :func:`conductance_exact` — brute force over subsets (``n ≤ 20``);
+* :func:`conductance_sweep` — Fiedler sweep cut, an *upper* bound;
+* :func:`cheeger_interval` — ``[ν₂/2, √(2ν₂)]`` from the spectral gap.
+
+:func:`conductance_estimate` combines them into a best-available
+bracket, preferring closed forms stored by generators in
+``graph.meta['conductance_exact']``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from ..graphs.base import Graph
+from .gap import fiedler_vector, lambda2_normalized_laplacian
+
+__all__ = [
+    "cut_size",
+    "set_conductance",
+    "conductance_exact",
+    "conductance_sweep",
+    "cheeger_interval",
+    "conductance_estimate",
+    "ConductanceEstimate",
+]
+
+
+def cut_size(graph: Graph, member: np.ndarray) -> int:
+    """Number of edges with exactly one endpoint in the indicator set."""
+    member = np.asarray(member, dtype=bool)
+    src = np.repeat(np.arange(graph.n), graph.degrees)
+    boundary = member[src] & ~member[graph.indices]
+    return int(boundary.sum())
+
+
+def set_conductance(graph: Graph, vertices) -> float:
+    """``φ(S) = |∂S| / vol(S)`` for the given vertex set (paper §2)."""
+    member = np.zeros(graph.n, dtype=bool)
+    member[np.asarray(list(vertices), dtype=np.int64)] = True
+    vol = int(graph.degrees[member].sum())
+    if vol == 0:
+        raise ValueError("set has zero volume")
+    return cut_size(graph, member) / vol
+
+
+def conductance_exact(graph: Graph, *, max_n: int = 20) -> float:
+    """Exact ``Φ_G`` by enumerating subsets with ``vol(S) ≤ vol(V)/2``.
+
+    Exponential in ``n`` — guarded by *max_n*.  Fix one vertex out of
+    ``S`` (complement symmetry of the cut) to halve the work.
+    """
+    if graph.n > max_n:
+        raise ValueError(f"exact conductance infeasible for n={graph.n} > {max_n}")
+    if graph.n < 2 or graph.m == 0:
+        raise ValueError("conductance needs a graph with at least one edge")
+    half_vol = graph.volume() / 2.0
+    deg = graph.degrees
+    best = np.inf
+    verts = list(range(1, graph.n))  # vertex 0 always in the complement
+    member = np.zeros(graph.n, dtype=bool)
+    for r in range(1, graph.n):
+        for subset in combinations(verts, r):
+            member[:] = False
+            member[list(subset)] = True
+            vol = int(deg[member].sum())
+            if vol == 0 or vol > half_vol:
+                continue
+            phi = cut_size(graph, member) / vol
+            if phi < best:
+                best = phi
+    return float(best)
+
+
+def conductance_sweep(graph: Graph) -> float:
+    """Fiedler sweep-cut upper bound on ``Φ_G``.
+
+    Sort vertices by the Fiedler vector and evaluate every prefix set
+    with volume at most half; return the best ``φ`` found.  By Cheeger's
+    constructive proof this is at most ``√(2 ν₂)``.
+    """
+    if graph.m == 0:
+        raise ValueError("conductance needs at least one edge")
+    order = np.argsort(fiedler_vector(graph))
+    deg = graph.degrees.astype(np.int64)
+    member = np.zeros(graph.n, dtype=bool)
+    half_vol = graph.volume() / 2.0
+    vol = 0
+    cut = 0
+    best = np.inf
+    for v in order[:-1]:
+        member[v] = True
+        vol += int(deg[v])
+        inside = member[graph.neighbors(v)].sum()
+        cut += int(deg[v]) - 2 * int(inside)
+        use_vol = min(vol, graph.volume() - vol)
+        if use_vol <= 0:
+            continue
+        if vol <= half_vol:
+            best = min(best, cut / vol)
+        else:
+            best = min(best, cut / (graph.volume() - vol))
+    return float(best)
+
+
+def cheeger_interval(graph: Graph) -> tuple[float, float]:
+    """``(ν₂/2, √(2 ν₂))`` — Cheeger bracket containing ``Φ_G``."""
+    nu2 = lambda2_normalized_laplacian(graph)
+    return nu2 / 2.0, float(np.sqrt(2.0 * nu2))
+
+
+@dataclass(frozen=True)
+class ConductanceEstimate:
+    """A bracket ``lower ≤ Φ_G ≤ upper`` with a point estimate.
+
+    ``method`` records the provenance: ``meta`` (generator closed
+    form), ``exact`` (subset enumeration), or ``spectral`` (Cheeger
+    lower bound with sweep-cut upper bound).
+    """
+
+    lower: float
+    upper: float
+    estimate: float
+    method: str
+
+
+def conductance_estimate(graph: Graph, *, exact_max_n: int = 16) -> ConductanceEstimate:
+    """Best-available conductance bracket for *graph*."""
+    known = graph.meta.get("conductance_exact")
+    if known is not None:
+        return ConductanceEstimate(float(known), float(known), float(known), "meta")
+    if graph.n <= exact_max_n:
+        phi = conductance_exact(graph, max_n=exact_max_n)
+        return ConductanceEstimate(phi, phi, phi, "exact")
+    lo, hi = cheeger_interval(graph)
+    sweep = conductance_sweep(graph)
+    upper = min(hi, sweep)
+    return ConductanceEstimate(lo, upper, sweep, "spectral")

@@ -1,0 +1,127 @@
+"""Chung's directed-graph Cheeger machinery (Lemma 11 of the paper).
+
+For a strongly connected chain ``P`` with stationary law ``π``:
+
+* the *circulation* is ``F_π(x, y) = π(x) P(x, y)``;
+* the directed Cheeger constant is
+  ``h = inf_S F_π(∂S) / min(F_π(S), F_π(S̄))``;
+* the directed-Laplacian eigenvalue satisfies ``2h ≥ λ₁ ≥ h²/2``
+  (Chung 2005, Thm 5.1);
+* after ``t ≥ (2/λ₁)(−log min_x π(x) + 2c)`` lazy steps the Ξ-square
+  distance is at most ``e^{−c}`` (Chung 2005, Thm 7.3 — quoted as
+  Theorem 12 in the paper).
+
+The paper applies these with the lower bound
+``h(D) ≥ Φ_G / (4 d²)`` for the pair chain on ``D(G×G)``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "circulation",
+    "circulation_balance_residual",
+    "directed_cheeger_exact",
+    "walt_pair_cheeger_lower_bound",
+    "chung_lambda_bounds",
+    "chung_convergence_steps",
+    "directed_laplacian_lambda1",
+]
+
+
+def circulation(p: sp.spmatrix, pi: np.ndarray) -> sp.csr_matrix:
+    """``F_π(x, y) = π(x) P(x, y)`` as a sparse matrix."""
+    d = sp.diags(np.asarray(pi, dtype=np.float64))
+    return (d @ p).tocsr()
+
+
+def circulation_balance_residual(f: sp.spmatrix) -> float:
+    """Max abs difference between in-flow and out-flow over states.
+
+    Zero (to numerical precision) iff ``F`` is a genuine circulation,
+    i.e. ``π`` is stationary for ``P``.
+    """
+    out_flow = np.asarray(f.sum(axis=1)).ravel()
+    in_flow = np.asarray(f.sum(axis=0)).ravel()
+    return float(np.abs(out_flow - in_flow).max())
+
+
+def directed_cheeger_exact(p: sp.spmatrix, pi: np.ndarray, *, max_states: int = 18) -> float:
+    """Exact directed Cheeger constant by subset enumeration.
+
+    Exponential — intended for validating the closed-form lower bounds
+    on small chains.
+    """
+    n = p.shape[0]
+    if n > max_states:
+        raise ValueError(f"exact directed Cheeger infeasible for {n} > {max_states} states")
+    f = circulation(p, pi).toarray()
+    np.fill_diagonal(f, 0.0)  # self-loops never cross a cut
+    total = f.sum()
+    best = np.inf
+    states = list(range(n))
+    for r in range(1, n):
+        for subset in combinations(states[1:], r):
+            s = np.zeros(n, dtype=bool)
+            s[list(subset)] = True
+            fs = f[s, :].sum()
+            fsbar = f[~s, :].sum()
+            denom = min(fs, fsbar)
+            if denom <= 0:
+                continue
+            boundary = f[np.ix_(s, ~s)].sum()
+            best = min(best, boundary / denom)
+    # also consider sets containing state 0 (complements already cover these
+    # for the symmetric min(), but keep the loop simple and correct)
+    return float(best)
+
+
+def walt_pair_cheeger_lower_bound(conductance: float, d: int) -> float:
+    """The paper's bound ``h(D(G×G)) ≥ Φ_G / (4 d²)`` for a d-regular
+    base graph (using ``Φ_{G×G} = Φ_G`` and the lazy ``P_max = 1/2``)."""
+    if conductance <= 0 or d < 1:
+        raise ValueError("need positive conductance and degree")
+    return conductance / (4.0 * d * d)
+
+
+def chung_lambda_bounds(h: float) -> tuple[float, float]:
+    """``(h²/2, 2h)`` — Chung's two-sided bound on the directed
+    Laplacian's ``λ₁`` in terms of the Cheeger constant."""
+    if h < 0:
+        raise ValueError("Cheeger constant must be non-negative")
+    return h * h / 2.0, 2.0 * h
+
+
+def chung_convergence_steps(lambda1: float, pi_min: float, accuracy: float) -> int:
+    """Steps ``t ≥ (2/λ₁)(−log π_min + 2c)`` guaranteeing Ξ-square
+    distance ``≤ e^{−c}`` where ``c = accuracy`` (paper Theorem 12)."""
+    if lambda1 <= 0:
+        raise ValueError("lambda1 must be positive")
+    if not 0 < pi_min <= 1:
+        raise ValueError("pi_min must be a probability")
+    if accuracy < 0:
+        raise ValueError("accuracy must be non-negative")
+    return int(np.ceil(2.0 / lambda1 * (-np.log(pi_min) + 2.0 * accuracy)))
+
+
+def directed_laplacian_lambda1(p: sp.spmatrix, pi: np.ndarray) -> float:
+    """``λ₁`` of Chung's directed Laplacian
+    ``L = I − (Π^{1/2} P Π^{-1/2} + Π^{-1/2} Pᵀ Π^{1/2}) / 2``.
+
+    Dense computation — use on small chains (the Lemma 11 validation
+    uses base graphs with a few dozen vertices).
+    """
+    pi = np.asarray(pi, dtype=np.float64)
+    if np.any(pi <= 0):
+        raise ValueError("stationary distribution must be strictly positive")
+    n = p.shape[0]
+    sq = np.sqrt(pi)
+    pd = p.toarray() if sp.issparse(p) else np.asarray(p)
+    sym = (sq[:, None] * pd / sq[None, :] + (sq[:, None] * pd / sq[None, :]).T) / 2.0
+    lap = np.eye(n) - sym
+    vals = np.linalg.eigvalsh(lap)
+    return float(max(np.sort(vals)[1], 0.0))

@@ -1,0 +1,64 @@
+"""Sparse matrix views of a :class:`~repro.graphs.base.Graph`.
+
+All return :mod:`scipy.sparse` CSR matrices built directly from the
+graph's CSR arrays (zero-copy for the adjacency pattern).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs.base import Graph
+
+__all__ = [
+    "adjacency_matrix",
+    "transition_matrix",
+    "normalized_adjacency",
+    "normalized_laplacian",
+    "combinatorial_laplacian",
+]
+
+
+def adjacency_matrix(graph: Graph) -> sp.csr_matrix:
+    """0/1 adjacency matrix ``A`` (symmetric)."""
+    data = np.ones(graph.indices.size, dtype=np.float64)
+    return sp.csr_matrix((data, graph.indices, graph.indptr), shape=(graph.n, graph.n))
+
+
+def transition_matrix(graph: Graph, *, lazy: bool = False) -> sp.csr_matrix:
+    """Row-stochastic simple-random-walk matrix ``P = D⁻¹A``.
+
+    With ``lazy=True`` returns ``(I + P)/2`` — the standard device for
+    killing periodicity (used by the paper whenever parity matters).
+    Vertices must all have positive degree.
+    """
+    if graph.n and graph.degrees.min() == 0:
+        raise ValueError("transition matrix undefined with isolated vertices")
+    inv_deg = 1.0 / graph.degrees.astype(np.float64)
+    data = np.repeat(inv_deg, graph.degrees)
+    p = sp.csr_matrix((data, graph.indices, graph.indptr), shape=(graph.n, graph.n))
+    if lazy:
+        p = 0.5 * sp.eye(graph.n, format="csr") + 0.5 * p
+    return p.tocsr()
+
+
+def normalized_adjacency(graph: Graph) -> sp.csr_matrix:
+    """``D^{-1/2} A D^{-1/2}`` — symmetric, same spectrum as ``P``."""
+    if graph.n and graph.degrees.min() == 0:
+        raise ValueError("normalized adjacency undefined with isolated vertices")
+    d_inv_sqrt = 1.0 / np.sqrt(graph.degrees.astype(np.float64))
+    src = np.repeat(np.arange(graph.n), graph.degrees)
+    data = d_inv_sqrt[src] * d_inv_sqrt[graph.indices]
+    return sp.csr_matrix((data, graph.indices, graph.indptr), shape=(graph.n, graph.n))
+
+
+def normalized_laplacian(graph: Graph) -> sp.csr_matrix:
+    """``L = I - D^{-1/2} A D^{-1/2}``; eigenvalues in ``[0, 2]``."""
+    return (sp.eye(graph.n, format="csr") - normalized_adjacency(graph)).tocsr()
+
+
+def combinatorial_laplacian(graph: Graph) -> sp.csr_matrix:
+    """``L = D - A``."""
+    d = sp.diags(graph.degrees.astype(np.float64), format="csr")
+    return (d - adjacency_matrix(graph)).tocsr()

@@ -1,0 +1,76 @@
+"""Mixing-time estimation and the paper's convergence bounds.
+
+Theorem 8's epoch length comes from
+``|p_t(v) − π(v)| ≤ e^{−t Φ²/2}`` (citing Spielman's notes), i.e.
+``t ≥ 2 log(2n)/Φ²`` suffices for every entry to be within ``1/2n`` of
+``1/n`` on a regular graph.  These helpers compute both the empirical
+mixing time and that closed-form epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.base import Graph
+from .matrices import transition_matrix
+from .stationary import stationary_distribution, total_variation
+
+__all__ = [
+    "mixing_time_tv",
+    "pointwise_mixing_bound_steps",
+    "theorem8_epoch_length",
+]
+
+
+def mixing_time_tv(
+    graph: Graph,
+    *,
+    eps: float = 0.25,
+    lazy: bool = True,
+    max_steps: int = 100_000,
+    dense_limit: int = 2000,
+) -> int:
+    """Empirical TV mixing time: smallest ``t`` with
+    ``max_v ||P^t(v,·) − π||_TV ≤ eps``.
+
+    Exact worst-start computation via dense matrix powers — guarded by
+    *dense_limit* (quadratic memory).
+    """
+    if graph.n > dense_limit:
+        raise ValueError(f"mixing_time_tv: n={graph.n} exceeds dense_limit={dense_limit}")
+    p = transition_matrix(graph, lazy=lazy).toarray()
+    pi = stationary_distribution(graph)
+    cur = np.eye(graph.n)
+    for t in range(1, max_steps + 1):
+        cur = cur @ p
+        worst = 0.5 * np.abs(cur - pi[None, :]).sum(axis=1).max()
+        if worst <= eps:
+            return t
+    raise RuntimeError(f"chain did not mix to eps={eps} within {max_steps} steps")
+
+
+def pointwise_mixing_bound_steps(n: int, conductance: float) -> int:
+    """``t = ⌈2 log(2n) / Φ²⌉`` — after this many (lazy) steps every
+    transition probability is within ``1/2n`` of stationarity on a
+    regular graph (the bound invoked in the proof of Theorem 8)."""
+    if conductance <= 0:
+        raise ValueError("conductance must be positive")
+    if n < 2:
+        raise ValueError("need n >= 2")
+    return int(np.ceil(2.0 * np.log(2.0 * n) / conductance**2))
+
+
+def theorem8_epoch_length(n: int, d: int, conductance: float) -> int:
+    """The paper's epoch length
+    ``s = (32 d⁴ / Φ²) (log(n² + n) + 4 log n²)`` from Lemma 11 —
+    enough lazy pair-walk steps to bring the Ξ-square distance below
+    ``n⁻⁴``."""
+    if conductance <= 0:
+        raise ValueError("conductance must be positive")
+    if n < 2 or d < 1:
+        raise ValueError("need n >= 2 and d >= 1")
+    return int(
+        np.ceil(
+            32.0 * d**4 / conductance**2 * (np.log(n * n + n) + 4.0 * np.log(n * n))
+        )
+    )

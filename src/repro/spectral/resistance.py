@@ -1,0 +1,52 @@
+"""Effective resistance and commute times.
+
+Independent cross-validation for the random-walk baselines: viewing
+the graph as a unit-resistor network, the commute time satisfies
+``H(u,v) + H(v,u) = 2m · R_eff(u,v)`` (Chandra et al.) — an exact
+identity our linear-solve hitting times must reproduce.  Also gives
+closed-form sanity anchors (path: ``R = dist``; complete graph:
+``R = 2/n``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.base import Graph
+from .matrices import combinatorial_laplacian
+
+__all__ = [
+    "effective_resistance",
+    "resistance_matrix",
+    "commute_time",
+]
+
+
+def _laplacian_pinv(graph: Graph) -> np.ndarray:
+    if graph.n > 2000:
+        raise ValueError("dense pseudo-inverse limited to n <= 2000")
+    lap = combinatorial_laplacian(graph).toarray()
+    # Moore-Penrose via the rank-one trick: (L + J/n)^{-1} - J/n
+    n = graph.n
+    j = np.full((n, n), 1.0 / n)
+    return np.linalg.inv(lap + j) - j
+
+
+def effective_resistance(graph: Graph, u: int, v: int) -> float:
+    """``R_eff(u, v)`` of the unit-resistance network on *graph*."""
+    if u == v:
+        return 0.0
+    li = _laplacian_pinv(graph)
+    return float(li[u, u] + li[v, v] - 2 * li[u, v])
+
+
+def resistance_matrix(graph: Graph) -> np.ndarray:
+    """All-pairs effective resistances (dense, small graphs)."""
+    li = _laplacian_pinv(graph)
+    d = np.diag(li)
+    return d[:, None] + d[None, :] - 2 * li
+
+
+def commute_time(graph: Graph, u: int, v: int) -> float:
+    """``H(u,v) + H(v,u) = 2m · R_eff(u,v)`` for the simple walk."""
+    return 2.0 * graph.m * effective_resistance(graph, u, v)

@@ -1,0 +1,72 @@
+"""Stationary distributions and distances between distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs.base import Graph
+
+__all__ = [
+    "stationary_distribution",
+    "stationary_of_chain",
+    "total_variation",
+    "chi_square_distance",
+    "evolve",
+]
+
+
+def stationary_distribution(graph: Graph) -> np.ndarray:
+    """``π(v) = d(v) / 2m`` — stationary law of the simple walk."""
+    if graph.m == 0:
+        raise ValueError("stationary distribution needs at least one edge")
+    return graph.degrees.astype(np.float64) / (2.0 * graph.m)
+
+
+def stationary_of_chain(
+    p: sp.spmatrix,
+    *,
+    tol: float = 1e-12,
+    max_iters: int = 200_000,
+) -> np.ndarray:
+    """Stationary law of an irreducible row-stochastic matrix by power
+    iteration (works for directed chains such as the Lemma 11 walk).
+
+    Raises :class:`RuntimeError` if the iteration fails to reach *tol*
+    within *max_iters* steps — e.g. for periodic chains; use a lazy
+    version of the chain in that case.
+    """
+    n = p.shape[0]
+    pi = np.full(n, 1.0 / n)
+    for _ in range(max_iters):
+        nxt = pi @ p
+        if np.abs(nxt - pi).sum() < tol:
+            return np.asarray(nxt).ravel() / nxt.sum()
+        pi = nxt
+    raise RuntimeError("power iteration did not converge; is the chain aperiodic?")
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """``½ Σ |p − q|``."""
+    return 0.5 * float(np.abs(np.asarray(p) - np.asarray(q)).sum())
+
+
+def chi_square_distance(p: np.ndarray, pi: np.ndarray) -> float:
+    """``sqrt( Σ_x (p(x) − π(x))² / π(x) )`` — the Ξ-square distance the
+    paper's equation (3) maximises over starting states.  Always an
+    upper bound on twice the total-variation distance."""
+    p = np.asarray(p, dtype=np.float64)
+    pi = np.asarray(pi, dtype=np.float64)
+    if np.any(pi <= 0):
+        raise ValueError("reference distribution must be strictly positive")
+    return float(np.sqrt(((p - pi) ** 2 / pi).sum()))
+
+
+def evolve(p: sp.spmatrix, dist: np.ndarray, steps: int) -> np.ndarray:
+    """Push a row distribution *steps* times through chain *p*."""
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    out = np.asarray(dist, dtype=np.float64).copy()
+    for _ in range(steps):
+        out = np.asarray(out @ p).ravel()
+    return out

@@ -1,0 +1,33 @@
+"""Baseline stochastic processes the paper compares against."""
+
+from .branching import BranchingRunResult, BranchingWalk, branching_cover_time
+from .coalescing import CoalescingWalks, coalescence_time
+from .gossip import pull_spread_time, push_pull_spread_time, push_spread_time
+from .parallel import parallel_cover_time, parallel_hitting_time
+from .simple import (
+    RandomWalk,
+    rw_cover_time,
+    rw_cover_trials,
+    rw_exact_hitting_times,
+    rw_hitting_time,
+    rw_hitting_trials,
+)
+
+__all__ = [
+    "BranchingRunResult",
+    "BranchingWalk",
+    "branching_cover_time",
+    "CoalescingWalks",
+    "coalescence_time",
+    "pull_spread_time",
+    "push_pull_spread_time",
+    "push_spread_time",
+    "parallel_cover_time",
+    "parallel_hitting_time",
+    "RandomWalk",
+    "rw_cover_time",
+    "rw_cover_trials",
+    "rw_exact_hitting_times",
+    "rw_hitting_time",
+    "rw_hitting_trials",
+]

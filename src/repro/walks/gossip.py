@@ -1,0 +1,97 @@
+"""Randomized rumor spreading (gossip) baselines.
+
+The paper positions cobra walks against push gossip: in the *push*
+model every informed vertex tells one uniform neighbor per round (the
+informed set only grows — the key structural difference from cobra
+walks, whose active set can shrink).  Feige et al. prove push
+completes on any graph in ``O(n log n)`` rounds whp, a bound
+conjectured to carry over to cobra walks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.base import Graph, sample_uniform_neighbors
+from ..sim.rng import SeedLike, resolve_rng
+
+__all__ = ["push_spread_time", "pull_spread_time", "push_pull_spread_time"]
+
+
+def _spread(
+    graph: Graph,
+    start: int,
+    rng: np.random.Generator,
+    max_rounds: int,
+    *,
+    push: bool,
+    pull: bool,
+) -> int | None:
+    informed = np.zeros(graph.n, dtype=bool)
+    informed[start] = True
+    count = 1
+    all_vertices = np.arange(graph.n, dtype=np.int64)
+    for t in range(1, max_rounds + 1):
+        fresh_mask = np.zeros(graph.n, dtype=bool)
+        if push:
+            senders = all_vertices[informed]
+            targets = sample_uniform_neighbors(graph, senders, rng)
+            fresh_mask[targets] = True
+        if pull:
+            askers = all_vertices[~informed]
+            if askers.size:
+                sources = sample_uniform_neighbors(graph, askers, rng)
+                fresh_mask[askers[informed[sources]]] = True
+        fresh_mask &= ~informed
+        if fresh_mask.any():
+            informed |= fresh_mask
+            count = int(informed.sum())
+            if count == graph.n:
+                return t
+    return None
+
+
+def push_spread_time(
+    graph: Graph,
+    *,
+    start: int = 0,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+) -> int | None:
+    """Rounds for push gossip to inform every vertex (``None`` = budget)."""
+    rng = resolve_rng(seed)
+    if max_rounds is None:
+        max_rounds = _budget(graph.n)
+    return _spread(graph, start, rng, max_rounds, push=True, pull=False)
+
+
+def pull_spread_time(
+    graph: Graph,
+    *,
+    start: int = 0,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+) -> int | None:
+    """Rounds for pull gossip (uninformed vertices poll a neighbor)."""
+    rng = resolve_rng(seed)
+    if max_rounds is None:
+        max_rounds = _budget(graph.n)
+    return _spread(graph, start, rng, max_rounds, push=False, pull=True)
+
+
+def push_pull_spread_time(
+    graph: Graph,
+    *,
+    start: int = 0,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+) -> int | None:
+    """Rounds for combined push–pull gossip."""
+    rng = resolve_rng(seed)
+    if max_rounds is None:
+        max_rounds = _budget(graph.n)
+    return _spread(graph, start, rng, max_rounds, push=True, pull=True)
+
+
+def _budget(n: int) -> int:
+    return max(10_000, 100 * n * max(1, int(np.ceil(np.log(max(n, 2))))))

@@ -1,0 +1,84 @@
+"""Parallel random walks (Alon et al.; Elsässer–Sauerwald).
+
+``k`` independent walkers move simultaneously; the cover time is the
+first step at which their union has visited every vertex.  The paper
+contrasts cobra walks with this model: parallel walks keep a fixed
+walker budget while the cobra frontier breathes with the topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.base import Graph, sample_uniform_neighbors
+from ..sim.rng import SeedLike, resolve_rng
+
+__all__ = ["parallel_cover_time", "parallel_hitting_time"]
+
+
+def parallel_cover_time(
+    graph: Graph,
+    *,
+    walkers: int = 2,
+    start: int | np.ndarray = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> int | None:
+    """Cover time of *walkers* independent simple walks.
+
+    ``start`` may be one vertex (all walkers there — the setting of
+    Alon et al.'s worst-case results) or an array of length *walkers*.
+    """
+    if walkers < 1:
+        raise ValueError("need at least one walker")
+    if max_steps is None:
+        max_steps = max(200_000, graph.n**3 // max(walkers, 1))
+    rng = resolve_rng(seed)
+    pos = np.atleast_1d(np.asarray(start, dtype=np.int64))
+    if pos.size == 1:
+        pos = np.full(walkers, pos[0], dtype=np.int64)
+    if pos.size != walkers:
+        raise ValueError("start must be scalar or length == walkers")
+    if pos.min() < 0 or pos.max() >= graph.n:
+        raise ValueError("start out of range")
+    pos = pos.copy()
+    visited = np.zeros(graph.n, dtype=bool)
+    visited[pos] = True
+    count = int(visited.sum())
+    for t in range(1, max_steps + 1):
+        pos = sample_uniform_neighbors(graph, pos, rng)
+        fresh = pos[~visited[pos]]
+        if fresh.size:
+            visited[fresh] = True
+            count = int(visited.sum())
+            if count == graph.n:
+                return t
+    return None
+
+
+def parallel_hitting_time(
+    graph: Graph,
+    target: int,
+    *,
+    walkers: int = 2,
+    start: int | np.ndarray = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> int | None:
+    """First step any of the *walkers* stands on *target*."""
+    if not (0 <= target < graph.n):
+        raise ValueError("target out of range")
+    if max_steps is None:
+        max_steps = max(200_000, graph.n**3 // max(walkers, 1))
+    rng = resolve_rng(seed)
+    pos = np.atleast_1d(np.asarray(start, dtype=np.int64))
+    if pos.size == 1:
+        pos = np.full(walkers, pos[0], dtype=np.int64)
+    if (pos == target).any():
+        return 0
+    pos = pos.copy()
+    for t in range(1, max_steps + 1):
+        pos = sample_uniform_neighbors(graph, pos, rng)
+        if (pos == target).any():
+            return t
+    return None

@@ -1,0 +1,201 @@
+"""Simple (and lazy) random-walk baselines.
+
+Feige's classical bounds frame the paper's results: cover time of any
+graph lies between ``Ω(n log n)`` and ``O(n³)``, with the lollipop
+achieving ``Θ(n³)``.  The cobra experiments all compare against these
+walks.
+
+The batched variant runs many independent trials as one vectorized
+process (one row of state per trial), which is how cover-time sweeps
+stay fast in pure numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.base import Graph, sample_uniform_neighbors
+from ..sim.rng import SeedLike, resolve_rng, spawn_seeds
+
+__all__ = [
+    "RandomWalk",
+    "rw_cover_time",
+    "rw_hitting_time",
+    "rw_cover_trials",
+    "rw_hitting_trials",
+    "rw_exact_hitting_times",
+]
+
+
+class RandomWalk:
+    """A single simple random walk with coverage tracking."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        start: int = 0,
+        lazy: bool = False,
+        seed: SeedLike = None,
+    ) -> None:
+        if not (0 <= start < graph.n):
+            raise ValueError("start out of range")
+        self.graph = graph
+        self.position = int(start)
+        self.lazy = bool(lazy)
+        self.rng = resolve_rng(seed)
+        self.t = 0
+        self.first_visit = np.full(graph.n, -1, dtype=np.int64)
+        self.first_visit[start] = 0
+        self._num_covered = 1
+
+    @property
+    def num_covered(self) -> int:
+        return self._num_covered
+
+    @property
+    def all_covered(self) -> bool:
+        return self._num_covered == self.graph.n
+
+    def step(self) -> int:
+        self.t += 1
+        if self.lazy and self.rng.random() < 0.5:
+            return self.position
+        nbrs = self.graph.neighbors(self.position)
+        self.position = int(nbrs[int(self.rng.random() * nbrs.size)])
+        if self.first_visit[self.position] < 0:
+            self.first_visit[self.position] = self.t
+            self._num_covered += 1
+        return self.position
+
+    def run_until_cover(self, max_steps: int) -> int | None:
+        while not self.all_covered and self.t < max_steps:
+            self.step()
+        return int(self.first_visit.max()) if self.all_covered else None
+
+    def run_until_hit(self, target: int, max_steps: int) -> int | None:
+        if not (0 <= target < self.graph.n):
+            raise ValueError("target out of range")
+        while self.first_visit[target] < 0 and self.t < max_steps:
+            self.step()
+        hit = self.first_visit[target]
+        return int(hit) if hit >= 0 else None
+
+
+def rw_cover_time(
+    graph: Graph,
+    *,
+    start: int = 0,
+    lazy: bool = False,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> int | None:
+    """Cover time of one simple-random-walk run (``None`` = budget)."""
+    if max_steps is None:
+        max_steps = _cover_budget(graph.n)
+    return RandomWalk(graph, start=start, lazy=lazy, seed=seed).run_until_cover(max_steps)
+
+
+def rw_hitting_time(
+    graph: Graph,
+    target: int,
+    *,
+    start: int = 0,
+    lazy: bool = False,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> int | None:
+    """Hitting time of one run."""
+    if max_steps is None:
+        max_steps = _cover_budget(graph.n)
+    return RandomWalk(graph, start=start, lazy=lazy, seed=seed).run_until_hit(
+        target, max_steps
+    )
+
+
+def rw_cover_trials(
+    graph: Graph,
+    *,
+    start: int = 0,
+    trials: int = 10,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Vectorized independent cover trials: all walkers advance in one
+    batched neighbor draw per step; finished walkers keep stepping (the
+    cost of masking exceeds the saving at these trial counts)."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    if max_steps is None:
+        max_steps = _cover_budget(graph.n)
+    rng = resolve_rng(seed)
+    pos = np.full(trials, start, dtype=np.int64)
+    covered = np.zeros((trials, graph.n), dtype=bool)
+    covered[:, start] = True
+    count = np.ones(trials, dtype=np.int64)
+    out = np.full(trials, np.nan)
+    done = np.zeros(trials, dtype=bool)
+    for t in range(1, max_steps + 1):
+        pos = sample_uniform_neighbors(graph, pos, rng)
+        fresh = ~covered[np.arange(trials), pos]
+        covered[np.arange(trials), pos] = True
+        count += fresh
+        newly_done = ~done & (count == graph.n)
+        if newly_done.any():
+            out[newly_done] = t
+            done |= newly_done
+            if done.all():
+                break
+    return out
+
+
+def rw_hitting_trials(
+    graph: Graph,
+    target: int,
+    *,
+    start: int = 0,
+    trials: int = 10,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Vectorized independent hitting-time trials."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    if max_steps is None:
+        max_steps = _cover_budget(graph.n)
+    rng = resolve_rng(seed)
+    pos = np.full(trials, start, dtype=np.int64)
+    out = np.full(trials, np.nan)
+    if start == target:
+        return np.zeros(trials)
+    alive = np.ones(trials, dtype=bool)
+    for t in range(1, max_steps + 1):
+        pos = sample_uniform_neighbors(graph, pos, rng)
+        hit = alive & (pos == target)
+        if hit.any():
+            out[hit] = t
+            alive &= ~hit
+            if not alive.any():
+                break
+    return out
+
+
+def rw_exact_hitting_times(graph: Graph, target: int) -> np.ndarray:
+    """Exact expected hitting times to *target* by linear solve."""
+    from ..spectral.matrices import transition_matrix
+
+    n = graph.n
+    p = transition_matrix(graph).toarray()
+    idx = np.array([i for i in range(n) if i != target])
+    q = p[np.ix_(idx, idx)]
+    h = np.linalg.solve(np.eye(n - 1) - q, np.ones(n - 1))
+    out = np.zeros(n)
+    out[idx] = h
+    return out
+
+
+def _cover_budget(n: int) -> int:
+    # Feige: worst case ~ (4/27) n^3; give slack without exploding runtimes
+    return max(200_000, n**3)

@@ -1,0 +1,55 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_loglog, ascii_plot
+
+
+class TestAsciiPlot:
+    def test_markers_and_legend(self):
+        out = ascii_plot(
+            {"a": ([1, 2, 3], [1, 2, 3]), "b": ([1, 2, 3], [3, 2, 1])},
+            width=30,
+            height=8,
+        )
+        assert "o=a" in out and "x=b" in out
+        assert "o" in out and "x" in out
+
+    def test_title_and_axis_labels(self):
+        out = ascii_plot({"s": ([1, 10], [5, 50])}, title="demo", width=20, height=6)
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "1" in out and "10" in out
+
+    def test_loglog_drops_nonpositive(self):
+        out = ascii_loglog({"s": ([1, 10, 0, -3], [1, 100, 5, 5])}, width=20, height=6)
+        assert "o" in out
+
+    def test_corner_points_present(self):
+        out = ascii_plot({"s": ([0, 1], [0, 1])}, width=20, height=6)
+        lines = [l for l in out.splitlines() if "|" in l]
+        # bottom-left and top-right markers
+        assert lines[0].rstrip().endswith("o")
+        assert "o" in lines[-1].split("|")[1][:2]
+
+    def test_constant_series_ok(self):
+        out = ascii_plot({"s": ([1, 2, 3], [5, 5, 5])}, width=20, height=6)
+        plot_area = "".join(l.split("|", 1)[1] for l in out.splitlines() if "|" in l)
+        assert plot_area.count("o") == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"s": ([1], [1])}, width=4, height=2)
+        with pytest.raises(ValueError):
+            ascii_loglog({"s": ([-1, -2], [1, 2])})
+
+    def test_many_points_bounded_size(self):
+        rng = np.random.default_rng(0)
+        xs = rng.random(500) * 100 + 1
+        ys = xs**2
+        out = ascii_loglog({"big": (xs, ys)}, width=40, height=10)
+        lines = out.splitlines()
+        assert all(len(l) <= 60 for l in lines)

@@ -1,0 +1,84 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    grid,
+    hypercube,
+    kary_tree,
+    lollipop,
+    path_graph,
+    random_regular,
+    star_graph,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_cycle():
+    return cycle_graph(12)
+
+
+@pytest.fixture
+def small_grid():
+    return grid(6, 2)
+
+
+@pytest.fixture
+def small_hypercube():
+    return hypercube(5)
+
+
+@pytest.fixture
+def small_complete():
+    return complete_graph(10)
+
+
+@pytest.fixture
+def small_path():
+    return path_graph(10)
+
+
+@pytest.fixture
+def small_star():
+    return star_graph(20)
+
+
+@pytest.fixture
+def small_lollipop():
+    return lollipop(24)
+
+
+@pytest.fixture
+def small_tree():
+    return kary_tree(2, 4)
+
+
+@pytest.fixture
+def small_regular():
+    return random_regular(60, 4, seed=777)
+
+
+@pytest.fixture(
+    params=["cycle", "grid", "hypercube", "complete", "star", "lollipop", "tree"]
+)
+def any_graph(request):
+    """A parametrized tour of structurally diverse graphs."""
+    return {
+        "cycle": cycle_graph(12),
+        "grid": grid(4, 2),
+        "hypercube": hypercube(4),
+        "complete": complete_graph(8),
+        "star": star_graph(12),
+        "lollipop": lollipop(15),
+        "tree": kary_tree(2, 3),
+    }[request.param]

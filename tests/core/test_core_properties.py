@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) on the core processes."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CobraWalk, cobra_step
+from repro.core.walt import walt_step_positions
+from repro.graphs import cycle_graph, from_edge_list, grid, random_regular
+
+
+@st.composite
+def connected_graphs(draw):
+    """Small connected graphs of varied shape."""
+    kind = draw(st.sampled_from(["cycle", "grid", "regular", "dense"]))
+    if kind == "cycle":
+        return cycle_graph(draw(st.integers(min_value=3, max_value=40)))
+    if kind == "grid":
+        return grid(draw(st.integers(min_value=2, max_value=6)), 2)
+    if kind == "regular":
+        n = draw(st.sampled_from([8, 12, 20, 30]))
+        return random_regular(n, 3, seed=draw(st.integers(0, 100)))
+    # dense: random connected graph via a tree plus extra edges
+    n = draw(st.integers(min_value=3, max_value=20))
+    edges = [(i, draw(st.integers(min_value=0, max_value=i - 1))) for i in range(1, n)]
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ).filter(lambda e: e[0] != e[1]),
+            max_size=2 * n,
+        )
+    )
+    return from_edge_list(n, edges + extra)
+
+
+@given(connected_graphs(), st.integers(min_value=1, max_value=4), st.integers(0, 10**6))
+@settings(max_examples=50, deadline=None)
+def test_cobra_step_invariants(g, k, seed):
+    rng = np.random.default_rng(seed)
+    active = np.unique(rng.integers(0, g.n, size=max(1, g.n // 3)))
+    nxt = cobra_step(g, active, k, rng)
+    # frontier bounds
+    assert 1 <= nxt.size <= min(g.n, k * active.size)
+    # sorted unique output
+    assert np.array_equal(nxt, np.unique(nxt))
+    # every next vertex adjacent to some active vertex
+    neighborhood = np.unique(
+        np.concatenate([g.neighbors(int(v)) for v in active])
+    )
+    assert np.isin(nxt, neighborhood).all()
+
+
+@given(connected_graphs(), st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_cobra_coverage_monotone_and_consistent(g, seed):
+    walk = CobraWalk(g, seed=seed)
+    seen = {int(walk.active[0])}
+    for _ in range(30):
+        active = walk.step()
+        seen.update(int(v) for v in active)
+        # num_covered matches the union of everything ever active
+        assert walk.num_covered == len(seen)
+        fa = walk.first_activation
+        assert ((fa >= 0).sum()) == len(seen)
+        # activation times never exceed current step
+        assert fa.max() <= walk.t
+        if walk.all_covered:
+            break
+
+
+@given(connected_graphs(), st.integers(1, 30), st.integers(0, 10**6))
+@settings(max_examples=50, deadline=None)
+def test_walt_invariants(g, pebbles, seed):
+    rng = np.random.default_rng(seed)
+    pos = rng.integers(0, g.n, size=pebbles).astype(np.int64)
+    nxt = walt_step_positions(g, pos, rng)
+    # pebble conservation
+    assert nxt.size == pebbles
+    # every pebble moved along an edge
+    for a, b in zip(pos, nxt):
+        assert g.has_edge(int(a), int(b))
+    # rule 2: vertices holding >= 3 pebbles scatter to at most 2 targets
+    vals, counts = np.unique(pos, return_counts=True)
+    for v, c in zip(vals, counts):
+        if c >= 3:
+            dests = np.unique(nxt[pos == v])
+            assert dests.size <= 2
+
+
+@given(
+    st.integers(min_value=2, max_value=60),
+    st.integers(min_value=1, max_value=3),
+    st.integers(0, 10**6),
+)
+@settings(max_examples=40, deadline=None)
+def test_grid_chain_state_stays_valid(n, d, seed):
+    from repro.core import PessimisticGridWalk
+
+    rng = np.random.default_rng(seed)
+    start = rng.integers(0, n + 1, size=d)
+    target = rng.integers(0, n + 1, size=d)
+    w = PessimisticGridWalk(n, d, start, target, seed=seed)
+    for _ in range(50):
+        if w.at_target():
+            break
+        z_before = int(w.z().sum())
+        w.step()
+        z_after = int(w.z().sum())
+        # one coordinate moved by exactly 1
+        assert abs(z_after - z_before) == 1
+        assert w.pos.min() >= 0 and w.pos.max() <= n

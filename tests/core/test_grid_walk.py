@@ -1,0 +1,87 @@
+"""Tests for the Theorem 3 pessimistic grid chain."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PessimisticGridWalk,
+    grid_chain_hitting_time,
+    lemma4_drift_bounds,
+)
+
+
+class TestLemma4Bounds:
+    def test_d2_values(self):
+        b = lemma4_drift_bounds(2)
+        assert b["p_change_min"] == pytest.approx(1 / 3)
+        assert b["p_decrease_given_change_min"] == pytest.approx(0.5 + 1 / 12)
+        assert b["p_leave_zero_max"] == pytest.approx(2 / 3)
+
+    def test_bias_shrinks_with_d(self):
+        biases = [lemma4_drift_bounds(d)["p_decrease_given_change_min"] for d in (1, 2, 4, 8)]
+        assert all(b > 0.5 for b in biases)
+        assert biases == sorted(biases, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lemma4_drift_bounds(0)
+
+
+class TestPessimisticGridWalk:
+    def test_steps_change_one_coordinate_by_one(self):
+        w = PessimisticGridWalk(10, 3, np.zeros(3), np.full(3, 10), seed=0)
+        for _ in range(100):
+            before = w.pos.copy()
+            w.step()
+            assert np.abs(w.pos - before).sum() == 1
+
+    def test_stays_in_box(self):
+        w = PessimisticGridWalk(5, 2, np.zeros(2), np.full(2, 5), seed=1)
+        for _ in range(500):
+            w.step()
+            assert w.pos.min() >= 0 and w.pos.max() <= 5
+
+    def test_reaches_target(self):
+        t = grid_chain_hitting_time(15, 2, seed=2)
+        assert t is not None
+        assert t >= 30  # Manhattan distance lower bound
+
+    def test_empirical_drift_matches_lemma4(self):
+        # measure the conditional decrease probability in the generic
+        # configuration (all z_i > 0, interior): Lemma 4's 1/2 + 1/(8d-4)
+        # is a lower bound; the actual interior drift is higher.
+        d = 2
+        n = 20_000
+        w = PessimisticGridWalk(n, d, np.full(d, n // 2 - 4000), np.full(d, n // 2), seed=3)
+        dec, chg = 0, 0
+        z_prev = w.z().copy()
+        for _ in range(20_000):
+            w.step()
+            z = w.z()
+            if (z_prev > 0).all():
+                diff = z - z_prev
+                moved = np.flatnonzero(diff)
+                if moved.size:
+                    chg += 1
+                    dec += diff[moved[0]] < 0
+            z_prev = z.copy()
+            if w.at_target():
+                break
+        assert chg > 1000
+        p_dec = dec / chg
+        bound = lemma4_drift_bounds(d)["p_decrease_given_change_min"]
+        assert p_dec >= bound - 0.02  # sampling slack
+
+    def test_hitting_time_scales_linearly(self):
+        # Theorem 3's engine: expected time ~ O(n) per dimension pair
+        times_small = [grid_chain_hitting_time(20, 2, seed=s) for s in range(20)]
+        times_big = [grid_chain_hitting_time(80, 2, seed=s) for s in range(20)]
+        ratio = np.mean(times_big) / np.mean(times_small)
+        # linear scaling predicts 4; quadratic would be 16
+        assert 2.0 < ratio < 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PessimisticGridWalk(0, 2, np.zeros(2), np.zeros(2))
+        with pytest.raises(ValueError):
+            PessimisticGridWalk(5, 2, np.array([0, 9]), np.zeros(2))

@@ -1,0 +1,78 @@
+"""Tests for the experiment registry and CLI plumbing."""
+
+import pytest
+
+from repro.analysis import Table
+from repro.experiments import ExperimentResult, all_experiments, get
+from repro.experiments.cli import main
+
+
+EXPECTED_IDS = {
+    "ACTIVE_growth",
+    "BASE_compare",
+    "C9_expander",
+    "GRIDCHAIN_drift",
+    "KCOBRA_k",
+    "L10_walt",
+    "L11_tensor",
+    "STAR_lb",
+    "T13_biased",
+    "T15_regular",
+    "T1_matthews",
+    "T20_general",
+    "T3_grid",
+    "T8_conductance",
+    "T8_epochs",
+    "TREES_kary",
+}
+
+
+class TestRegistry:
+    def test_all_claims_registered(self):
+        ids = {e.id for e in all_experiments()}
+        assert ids == EXPECTED_IDS
+
+    def test_get_known(self):
+        exp = get("T3_grid")
+        assert exp.id == "T3_grid"
+        assert "O(n)" in exp.claim
+
+    def test_get_unknown_lists_options(self):
+        with pytest.raises(KeyError, match="T3_grid"):
+            get("nope")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            get("L10_walt").run(scale="huge")
+
+    def test_every_experiment_has_claim(self):
+        for exp in all_experiments():
+            assert exp.claim
+
+
+class TestResultRendering:
+    def test_render_contains_tables_and_findings(self):
+        t = Table(["a"], title="demo")
+        t.add_row([1])
+        res = ExperimentResult(
+            experiment_id="X", tables=[t], findings={"y": 1.5}, notes="hello"
+        )
+        out = res.render()
+        assert "### X" in out
+        assert "demo" in out
+        assert "y = 1.5" in out
+        assert "hello" in out
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPECTED_IDS:
+            assert exp_id in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "L10_walt", "--scale", "quick", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "L10_walt" in out
+        assert "finished in" in out

@@ -1,0 +1,155 @@
+"""Tests for the CSR Graph core."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, cycle_graph, from_edge_list, sample_uniform_neighbors
+
+
+class TestGraphConstruction:
+    def test_triangle(self):
+        g = from_edge_list(3, [(0, 1), (1, 2), (0, 2)])
+        assert g.n == 3
+        assert g.m == 3
+        assert g.degree(0) == 2
+        assert sorted(g.neighbors(1).tolist()) == [0, 2]
+
+    def test_empty_graph(self):
+        g = from_edge_list(4, [])
+        assert g.n == 4
+        assert g.m == 0
+        assert g.min_degree == 0
+
+    def test_single_vertex(self):
+        g = from_edge_list(1, [])
+        assert g.n == 1 and g.m == 0
+
+    def test_parallel_edges_merged(self):
+        g = from_edge_list(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+        assert g.degree(0) == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            from_edge_list(3, [(0, 0), (0, 1)])
+
+    def test_self_loop_dropped_on_request(self):
+        g = from_edge_list(3, [(0, 0), (0, 1)], allow_self_loops=True)
+        assert g.m == 1
+
+    def test_out_of_range_endpoint(self):
+        with pytest.raises(ValueError, match="out of range"):
+            from_edge_list(3, [(0, 5)])
+
+    def test_validation_catches_asymmetry(self):
+        indptr = np.array([0, 1, 1], dtype=np.int64)
+        indices = np.array([1], dtype=np.int64)
+        with pytest.raises(ValueError):
+            Graph(indptr, indices)
+
+    def test_validation_catches_unsorted_rows(self):
+        indptr = np.array([0, 2, 3, 4], dtype=np.int64)
+        indices = np.array([2, 1, 0, 0], dtype=np.int64)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Graph(indptr, indices)
+
+    def test_validation_catches_bad_indptr(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([1, 2], dtype=np.int64), np.array([0], dtype=np.int64))
+
+
+class TestGraphAccessors:
+    def test_immutability(self, small_cycle):
+        with pytest.raises(ValueError):
+            small_cycle.indices[0] = 99
+        with pytest.raises(ValueError):
+            small_cycle.degrees[0] = 99
+
+    def test_edges_roundtrip(self, any_graph):
+        g = any_graph
+        rebuilt = from_edge_list(g.n, g.edges())
+        assert rebuilt == g
+
+    def test_edges_canonical_orientation(self, any_graph):
+        e = any_graph.edges()
+        assert (e[:, 0] < e[:, 1]).all()
+        assert e.shape[0] == any_graph.m
+
+    def test_has_edge(self, small_cycle):
+        assert small_cycle.has_edge(0, 1)
+        assert small_cycle.has_edge(11, 0)
+        assert not small_cycle.has_edge(0, 5)
+
+    def test_degree_sum_is_twice_edges(self, any_graph):
+        assert any_graph.degrees.sum() == 2 * any_graph.m
+
+    def test_volume(self, small_cycle):
+        assert small_cycle.volume() == 24
+        assert small_cycle.volume([0, 1]) == 4
+        assert small_cycle.volume([]) == 0
+
+    def test_equality_and_hash(self):
+        a = cycle_graph(6)
+        b = cycle_graph(6)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != cycle_graph(7)
+
+    def test_len(self, small_cycle):
+        assert len(small_cycle) == 12
+
+    def test_networkx_roundtrip(self, any_graph):
+        import networkx as nx
+
+        from repro.graphs import from_networkx
+
+        nxg = any_graph.to_networkx()
+        assert nxg.number_of_nodes() == any_graph.n
+        assert nxg.number_of_edges() == any_graph.m
+        back = from_networkx(nxg)
+        assert back == any_graph
+
+    def test_adjacency_lists(self, small_cycle):
+        lists = small_cycle.adjacency_lists()
+        assert lists[0] == [1, 11]
+
+
+class TestSampleUniformNeighbors:
+    def test_samples_are_neighbors(self, any_graph, rng):
+        g = any_graph
+        starts = np.arange(g.n, dtype=np.int64)
+        picks = sample_uniform_neighbors(g, starts, rng)
+        for v, p in zip(starts, picks):
+            assert g.has_edge(int(v), int(p))
+
+    def test_repeated_vertices_ok(self, small_cycle, rng):
+        vs = np.zeros(1000, dtype=np.int64)
+        picks = sample_uniform_neighbors(small_cycle, vs, rng)
+        assert set(np.unique(picks)) <= {1, 11}
+        # both neighbors should appear in 1000 draws
+        assert len(set(np.unique(picks))) == 2
+
+    def test_uniformity(self, small_complete, rng):
+        vs = np.zeros(20000, dtype=np.int64)
+        picks = sample_uniform_neighbors(small_complete, vs, rng)
+        counts = np.bincount(picks, minlength=10)[1:]
+        # each of the 9 neighbors expects ~2222; loose 5-sigma band
+        assert counts.min() > 1800 and counts.max() < 2700
+
+    def test_isolated_vertex_raises(self, rng):
+        g = from_edge_list(3, [(0, 1)])
+        with pytest.raises(ValueError, match="isolated"):
+            sample_uniform_neighbors(g, np.array([2]), rng)
+
+    def test_empty_input(self, small_cycle, rng):
+        out = sample_uniform_neighbors(small_cycle, np.empty(0, dtype=np.int64), rng)
+        assert out.size == 0
+
+    def test_deterministic_given_seed(self, small_grid):
+        a = sample_uniform_neighbors(
+            small_grid, np.arange(small_grid.n), np.random.default_rng(5)
+        )
+        b = sample_uniform_neighbors(
+            small_grid, np.arange(small_grid.n), np.random.default_rng(5)
+        )
+        assert np.array_equal(a, b)

@@ -1,0 +1,138 @@
+"""Tests for BFS-based structural checks."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    bfs_distances,
+    connected_components,
+    cycle_graph,
+    diameter,
+    eccentricity,
+    from_edge_list,
+    grid,
+    is_bipartite,
+    is_connected,
+    kary_tree,
+    path_graph,
+    shortest_path,
+    weighted_inverse_degree_distance,
+)
+
+
+class TestBFS:
+    def test_path_distances(self):
+        d = bfs_distances(path_graph(6), 0)
+        assert d.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_cycle_distances(self):
+        d = bfs_distances(cycle_graph(8), 0)
+        assert d.tolist() == [0, 1, 2, 3, 4, 3, 2, 1]
+
+    def test_unreachable_marked(self):
+        g = from_edge_list(4, [(0, 1), (2, 3)])
+        d = bfs_distances(g, 0)
+        assert d[1] == 1 and d[2] == -1 and d[3] == -1
+
+    def test_source_out_of_range(self):
+        with pytest.raises(ValueError):
+            bfs_distances(path_graph(3), 5)
+
+    def test_grid_distance_equals_manhattan(self):
+        from repro.graphs import grid_manhattan
+
+        g = grid(4, 2)
+        d = bfs_distances(g, 0)
+        for v in range(g.n):
+            assert d[v] == grid_manhattan(0, v, 4, 2)
+
+
+class TestConnectivity:
+    def test_connected(self, any_graph):
+        assert is_connected(any_graph)
+
+    def test_disconnected(self):
+        g = from_edge_list(5, [(0, 1), (2, 3)])
+        assert not is_connected(g)
+
+    def test_components(self):
+        g = from_edge_list(6, [(0, 1), (2, 3), (3, 4)])
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3] == labels[4]
+        assert labels[0] != labels[2]
+        assert labels[5] not in (labels[0], labels[2])
+
+    def test_trivial_graphs_connected(self):
+        assert is_connected(from_edge_list(1, []))
+
+
+class TestDiameterEccentricity:
+    def test_path_eccentricity(self):
+        g = path_graph(7)
+        assert eccentricity(g, 0) == 6
+        assert eccentricity(g, 3) == 3
+
+    def test_diameter_values(self):
+        assert diameter(path_graph(9)) == 8
+        assert diameter(cycle_graph(9)) == 4
+        assert diameter(kary_tree(2, 3)) == 6
+
+    def test_diameter_refuses_large(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            diameter(cycle_graph(10), exact_limit=5)
+
+    def test_eccentricity_disconnected_raises(self):
+        g = from_edge_list(4, [(0, 1)])
+        with pytest.raises(ValueError):
+            eccentricity(g, 0)
+
+
+class TestBipartite:
+    def test_even_cycle_bipartite(self):
+        assert is_bipartite(cycle_graph(8))
+
+    def test_odd_cycle_not_bipartite(self):
+        assert not is_bipartite(cycle_graph(9))
+
+    def test_tree_bipartite(self):
+        assert is_bipartite(kary_tree(3, 3))
+
+    def test_disconnected_bipartite(self):
+        g = from_edge_list(6, [(0, 1), (2, 3), (3, 4), (4, 2)])
+        assert not is_bipartite(g)  # triangle component
+
+
+class TestShortestPath:
+    def test_endpoints_and_length(self):
+        g = cycle_graph(10)
+        p = shortest_path(g, 0, 5)
+        assert p[0] == 0 and p[-1] == 5
+        assert len(p) == 6
+
+    def test_consecutive_vertices_adjacent(self, any_graph):
+        g = any_graph
+        p = shortest_path(g, 0, g.n - 1)
+        for a, b in zip(p, p[1:]):
+            assert g.has_edge(a, b)
+
+    def test_unreachable_raises(self):
+        g = from_edge_list(4, [(0, 1)])
+        with pytest.raises(ValueError):
+            shortest_path(g, 0, 3)
+
+    def test_source_equals_target(self):
+        assert shortest_path(cycle_graph(5), 2, 2) == [2]
+
+
+class TestInverseDegreeDistance:
+    def test_path_weights(self):
+        # path(4) degrees: 1,2,2,1 -> weights 1,.5,.5,1
+        d = weighted_inverse_degree_distance(path_graph(4), 0)
+        assert np.allclose(d, [1.0, 1.5, 2.0, 3.0])
+
+    def test_monotone_under_bfs_layers(self):
+        g = grid(3, 2)
+        d = weighted_inverse_degree_distance(g, 0)
+        assert d[0] == pytest.approx(1.0 / g.degree(0))
+        assert (d > 0).all() and np.isfinite(d).all()

@@ -1,0 +1,122 @@
+"""Tests for named graph families."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    de_bruijn_undirected,
+    diameter,
+    is_bipartite,
+    is_connected,
+    kneser_graph,
+    petersen,
+    ring_of_cliques,
+)
+from repro.spectral import conductance_exact
+
+
+class TestPetersen:
+    def test_structure(self):
+        g = petersen()
+        assert g.n == 10 and g.m == 15
+        assert g.is_regular() and g.degree(0) == 3
+        assert not is_bipartite(g)
+        assert diameter(g) == 2
+
+    def test_girth_five_no_triangles_or_squares(self):
+        g = petersen()
+        a = np.zeros((10, 10))
+        for u, v in g.iter_edges():
+            a[u, v] = a[v, u] = 1
+        assert np.trace(a @ a @ a) == 0  # no triangles
+        # closed 4-walks that are genuine squares: tr(A^4) - expected
+        # degenerate walks = 2m + sum d(d-1)*2 for 3-regular: any 4-cycle
+        # adds 8; check none.
+        tr4 = np.trace(np.linalg.matrix_power(a, 4))
+        degenerate = 2 * g.m + sum(
+            g.degree(v) * (g.degree(v) - 1) for v in range(10)
+        ) * 2 // 2 * 2
+        # simpler exact count for 3-regular: tr(A^4) = 2m + 2*sum d(d-1) + 8*#C4
+        expect_no_c4 = 2 * g.m + 2 * sum(
+            g.degree(v) * (g.degree(v) - 1) for v in range(10)
+        )
+        assert tr4 == expect_no_c4
+
+    def test_conductance_meta(self):
+        g = petersen()
+        assert g.meta["conductance_exact"] == pytest.approx(1 / 3)
+        assert conductance_exact(g, max_n=10) == pytest.approx(1 / 3)
+
+
+class TestKneser:
+    def test_petersen_is_k52(self):
+        assert kneser_graph(5, 2).m == 15
+
+    def test_regular_degree(self):
+        # K(n,k) is (n-k choose k)-regular
+        g = kneser_graph(6, 2)
+        assert g.is_regular() and g.degree(0) == 6  # C(4,2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kneser_graph(3, 2)
+
+
+class TestDeBruijn:
+    def test_size_and_connectivity(self):
+        g = de_bruijn_undirected(2, 5)
+        assert g.n == 32
+        assert is_connected(g)
+
+    def test_logarithmic_diameter(self):
+        # diameter of B(2, L) is L (shift in L steps)
+        for L in (3, 4, 5):
+            assert diameter(de_bruijn_undirected(2, L)) == L
+
+    def test_shift_adjacency(self):
+        g = de_bruijn_undirected(2, 3)
+        # 011 (=6 with our digit order) ~ right shifts of it
+        # vertex v ~ (v mod 4)*2 and (v mod 4)*2 + 1
+        for v in range(8):
+            for s in (0, 1):
+                t = (v % 4) * 2 + s
+                if t != v:
+                    assert g.has_edge(v, t)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            de_bruijn_undirected(1, 3)
+
+
+class TestRingOfCliques:
+    def test_structure(self):
+        g = ring_of_cliques(6, 5)
+        assert g.n == 30
+        assert is_connected(g)
+        # bridge endpoints have degree clique_size, interior clique_size-1
+        assert g.max_degree == 5
+        assert g.min_degree == 4
+
+    def test_edge_count(self):
+        q, c = 6, 5
+        g = ring_of_cliques(q, c)
+        assert g.m == q * (c * (c - 1) // 2) + q
+
+    def test_low_conductance(self):
+        # the canonical bottleneck cut (half the ring of cliques) has
+        # conductance falling with the number of cliques
+        from repro.spectral import set_conductance
+
+        def half_ring_phi(q, c):
+            g = ring_of_cliques(q, c)
+            half = list(range((q // 2) * c))
+            return set_conductance(g, half)
+
+        assert half_ring_phi(8, 3) < half_ring_phi(4, 3)
+        # and the exact conductance of the small instance is below the
+        # clique-internal value 1/(c-1)
+        assert conductance_exact(ring_of_cliques(4, 3), max_n=12) < 1 / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring_of_cliques(2, 4)

@@ -1,0 +1,122 @@
+"""Tests for graph products and the Lemma 11 pair chain."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    cartesian_product,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    tensor_product,
+    walt_pair_chain,
+)
+
+
+class TestTensorProduct:
+    def test_edge_count(self):
+        g, h = cycle_graph(5), cycle_graph(7)
+        t = tensor_product(g, h)
+        assert t.n == 35
+        assert t.m == 2 * g.m * h.m
+
+    def test_degrees_multiply(self):
+        g, h = cycle_graph(4), path_graph(3)
+        t = tensor_product(g, h)
+        for a in range(g.n):
+            for c in range(h.n):
+                assert t.degree(a * h.n + c) == g.degree(a) * h.degree(c)
+
+    def test_adjacency_rule(self):
+        g, h = path_graph(3), path_graph(3)
+        t = tensor_product(g, h)
+        # (0,0) ~ (1,1) but not (0,1)
+        assert t.has_edge(0, 1 * 3 + 1)
+        assert not t.has_edge(0, 1)
+
+
+class TestCartesianProduct:
+    def test_edge_count(self):
+        g, h = cycle_graph(5), path_graph(4)
+        c = cartesian_product(g, h)
+        assert c.m == g.m * h.n + h.m * g.n
+
+    def test_degrees_add(self):
+        g, h = cycle_graph(4), path_graph(3)
+        c = cartesian_product(g, h)
+        for a in range(g.n):
+            for b in range(h.n):
+                assert c.degree(a * h.n + b) == g.degree(a) + h.degree(b)
+
+    def test_torus_from_cycles(self):
+        c = cartesian_product(cycle_graph(4), cycle_graph(4))
+        assert c.is_regular() and c.degree(0) == 4
+
+
+class TestWaltPairChain:
+    @pytest.mark.parametrize("graph", [cycle_graph(5), complete_graph(5), cycle_graph(9)])
+    def test_rows_stochastic(self, graph):
+        chain = walt_pair_chain(graph)
+        rows = np.asarray(chain.transition.sum(axis=1)).ravel()
+        assert np.allclose(rows, 1.0)
+
+    def test_stationary_is_fixed_point(self):
+        chain = walt_pair_chain(cycle_graph(7))
+        pi = chain.stationary
+        assert np.allclose(pi @ chain.transition, pi, atol=1e-12)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_stationary_values_match_lemma11(self):
+        n = 7
+        chain = walt_pair_chain(cycle_graph(n))
+        diag = chain.diagonal_states()
+        assert np.allclose(chain.stationary[diag], 2.0 / (n * n + n))
+        off = np.setdiff1d(np.arange(n * n), diag)
+        assert np.allclose(chain.stationary[off], 1.0 / (n * n + n))
+
+    def test_bipartite_base_rejected(self):
+        with pytest.raises(ValueError, match="bipartite"):
+            walt_pair_chain(cycle_graph(6))
+
+    def test_bipartite_base_allowed_explicitly(self):
+        chain = walt_pair_chain(cycle_graph(6), allow_reducible=True)
+        rows = np.asarray(chain.transition.sum(axis=1)).ravel()
+        assert np.allclose(rows, 1.0)
+
+    def test_diagonal_transition_weights(self):
+        # From (u,u): to each (x,x), x~u: (d+1)/2d^2; to (x,y) x!=y: 1/2d^2
+        g = cycle_graph(7)
+        d = 2
+        chain = walt_pair_chain(g, lazy=False)
+        p = chain.transition.toarray()
+        s = chain.state_id(0, 0)
+        assert p[s, chain.state_id(1, 1)] == pytest.approx((d + 1) / (2 * d * d))
+        assert p[s, chain.state_id(1, 6)] == pytest.approx(1 / (2 * d * d))
+        assert p[s, chain.state_id(2, 2)] == 0.0
+
+    def test_offdiagonal_transition_weights(self):
+        g = cycle_graph(7)
+        chain = walt_pair_chain(g, lazy=False)
+        p = chain.transition.toarray()
+        s = chain.state_id(0, 3)
+        assert p[s, chain.state_id(1, 2)] == pytest.approx(0.25)
+        assert p[s, chain.state_id(1, 4)] == pytest.approx(0.25)
+
+    def test_lazy_adds_half_self_loop(self):
+        chain = walt_pair_chain(cycle_graph(5), lazy=True)
+        p = chain.transition
+        for s in range(p.shape[0]):
+            assert p[s, s] >= 0.5 - 1e-12
+
+    def test_irregular_rejected(self):
+        with pytest.raises(ValueError, match="regular"):
+            walt_pair_chain(star_graph(5))
+
+    def test_convergence_to_stationary(self):
+        chain = walt_pair_chain(complete_graph(6))
+        dist = np.zeros(36)
+        dist[chain.state_id(1, 4)] = 1.0
+        for _ in range(200):
+            dist = dist @ chain.transition
+        assert np.allclose(dist, chain.stationary, atol=1e-8)

@@ -1,0 +1,139 @@
+"""Tests for random graph models."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    barabasi_albert,
+    chung_lu_powerlaw,
+    erdos_renyi,
+    gnm_random,
+    is_connected,
+    largest_component,
+    random_geometric,
+    watts_strogatz,
+)
+
+
+class TestErdosRenyi:
+    def test_edge_count_concentration(self):
+        n, p = 400, 0.02
+        g = erdos_renyi(n, p, seed=11)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.m - expected) < 5 * np.sqrt(expected)
+
+    def test_extremes(self):
+        assert erdos_renyi(50, 0.0, seed=1).m == 0
+        g = erdos_renyi(20, 1.0, seed=1)
+        assert g.m == 190
+
+    def test_determinism(self):
+        assert erdos_renyi(100, 0.05, seed=3) == erdos_renyi(100, 0.05, seed=3)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+    def test_edge_probability_unbiased(self):
+        # each specific pair should appear with frequency ~ p across seeds
+        hits = 0
+        trials = 200
+        for s in range(trials):
+            g = erdos_renyi(12, 0.3, seed=s)
+            hits += g.has_edge(3, 7)
+        assert 0.3 * trials - 4 * np.sqrt(trials * 0.21) < hits < 0.3 * trials + 4 * np.sqrt(trials * 0.21)
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = gnm_random(50, 123, seed=5)
+        assert g.m == 123
+
+    def test_too_many_edges(self):
+        with pytest.raises(ValueError):
+            gnm_random(5, 11)
+
+    def test_all_edges(self):
+        g = gnm_random(6, 15, seed=2)
+        assert g.m == 15 and g.is_regular()
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        n, m = 100, 3
+        g = barabasi_albert(n, m, seed=7)
+        assert g.m == (n - m) * m
+        assert is_connected(g)
+
+    def test_hub_formation(self):
+        g = barabasi_albert(500, 2, seed=8)
+        # preferential attachment should create a hub far above the median
+        assert g.max_degree > 5 * np.median(g.degrees)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 5)
+
+
+class TestChungLu:
+    def test_powerlaw_tail(self):
+        g = chung_lu_powerlaw(2000, 2.5, avg_degree=6.0, seed=9)
+        assert abs(g.degrees.mean() - 6.0) < 2.0
+        assert g.max_degree > 8 * g.degrees.mean()
+
+    def test_exponent_validation(self):
+        with pytest.raises(ValueError):
+            chung_lu_powerlaw(100, 1.5)
+
+    def test_determinism(self):
+        a = chung_lu_powerlaw(300, 2.5, seed=10)
+        b = chung_lu_powerlaw(300, 2.5, seed=10)
+        assert a == b
+
+
+class TestRandomGeometric:
+    def test_radius_respected(self):
+        g = random_geometric(150, 0.2, seed=12)
+        pts = g.meta["points"]
+        for u, v in g.iter_edges():
+            assert np.linalg.norm(pts[u] - pts[v]) <= 0.2 + 1e-12
+
+    def test_no_missed_edges(self):
+        g = random_geometric(100, 0.25, seed=13)
+        pts = g.meta["points"]
+        d2 = ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(-1)
+        expect = (d2 <= 0.25**2).sum() - 100  # off-diagonal directed pairs
+        assert 2 * g.m == expect
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            random_geometric(10, 0.0)
+
+
+class TestWattsStrogatz:
+    def test_zero_beta_is_lattice(self):
+        g = watts_strogatz(30, 2, 0.0, seed=14)
+        assert g.is_regular() and g.degree(0) == 4
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+
+    def test_edge_count_preserved(self):
+        g = watts_strogatz(60, 3, 0.5, seed=15)
+        assert g.m == 60 * 3
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 5, 0.1)
+
+
+class TestLargestComponent:
+    def test_extracts_lcc(self):
+        g = erdos_renyi(300, 0.008, seed=16)  # near threshold; likely fragmented
+        lcc = largest_component(g)
+        assert is_connected(lcc)
+        assert lcc.n <= g.n
+
+    def test_connected_graph_unchanged_size(self):
+        from repro.graphs import cycle_graph
+
+        g = cycle_graph(20)
+        assert largest_component(g).n == 20

@@ -1,0 +1,160 @@
+"""Tests for the simulation harness (rng, engine, montecarlo, record)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CobraWalk
+from repro.graphs import cycle_graph, grid
+from repro.sim import (
+    coverage_curve,
+    random_choice_weighted,
+    resolve_rng,
+    resolve_seed_sequence,
+    run_process,
+    run_trials,
+    spawn_rngs,
+    spawn_seeds,
+    summarize_trials,
+    time_to_cover_fraction,
+)
+
+
+class TestRng:
+    def test_resolve_int(self):
+        a = resolve_rng(7).random(3)
+        b = resolve_rng(7).random(3)
+        assert np.array_equal(a, b)
+
+    def test_resolve_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert resolve_rng(g) is g
+
+    def test_resolve_seed_sequence(self):
+        ss = np.random.SeedSequence(5)
+        assert resolve_seed_sequence(ss) is ss
+        assert resolve_seed_sequence(5).entropy == 5
+
+    def test_generator_rejected_as_seed_sequence(self):
+        with pytest.raises(TypeError):
+            resolve_seed_sequence(np.random.default_rng(0))
+
+    def test_spawn_independence(self):
+        a, b = spawn_rngs(3, 2)
+        x, y = a.random(1000), b.random(1000)
+        assert abs(np.corrcoef(x, y)[0, 1]) < 0.1
+
+    def test_spawn_deterministic(self):
+        s1 = [np.random.default_rng(s).random() for s in spawn_seeds(9, 4)]
+        s2 = [np.random.default_rng(s).random() for s in spawn_seeds(9, 4)]
+        assert s1 == s2
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_weighted_choice_distribution(self):
+        rng = resolve_rng(1)
+        picks = random_choice_weighted(rng, np.array([1.0, 3.0]), size=8000)
+        assert abs((picks == 1).mean() - 0.75) < 0.03
+
+    def test_weighted_choice_scalar(self):
+        rng = resolve_rng(2)
+        assert random_choice_weighted(rng, np.array([0.0, 1.0])) == 1
+
+    def test_weighted_choice_validation(self):
+        rng = resolve_rng(3)
+        with pytest.raises(ValueError):
+            random_choice_weighted(rng, np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            random_choice_weighted(rng, np.array([-1.0, 2.0]))
+
+
+class TestEngine:
+    def test_runs_until_predicate(self):
+        g = grid(6, 2)
+        w = CobraWalk(g, seed=4)
+        fired = run_process(w, max_steps=100_000, until=lambda p: p.num_covered >= 20)
+        assert fired and w.num_covered >= 20
+
+    def test_budget_stops(self):
+        w = CobraWalk(cycle_graph(200), seed=5)
+        fired = run_process(w, max_steps=10, until=lambda p: p.all_covered)
+        assert not fired and w.t == 10
+
+    def test_on_step_callback(self):
+        w = CobraWalk(cycle_graph(20), seed=6)
+        sizes = []
+        run_process(w, max_steps=15, on_step=lambda p: sizes.append(p.active.size))
+        assert len(sizes) == 15
+
+    def test_immediate_predicate(self):
+        w = CobraWalk(cycle_graph(20), seed=7)
+        assert run_process(w, max_steps=100, until=lambda p: True)
+        assert w.t == 0
+
+    def test_negative_budget(self):
+        w = CobraWalk(cycle_graph(20), seed=8)
+        with pytest.raises(ValueError):
+            run_process(w, max_steps=-1)
+
+
+def _trial_mean_of_uniform(seed, scale):
+    rng = np.random.default_rng(seed)
+    return scale * rng.random()
+
+
+class TestMonteCarlo:
+    def test_serial_deterministic(self):
+        a = run_trials(_trial_mean_of_uniform, 10, seed=1, args=(2.0,))
+        b = run_trials(_trial_mean_of_uniform, 10, seed=1, args=(2.0,))
+        assert np.array_equal(a.values, b.values)
+
+    def test_parallel_matches_serial(self):
+        ser = run_trials(_trial_mean_of_uniform, 12, seed=2, args=(1.0,))
+        par = run_trials(_trial_mean_of_uniform, 12, seed=2, args=(1.0,), processes=3)
+        assert np.allclose(ser.values, par.values)
+
+    def test_summary_fields(self):
+        s = summarize_trials(np.array([1.0, 2.0, 3.0, np.nan]))
+        assert s.mean == pytest.approx(2.0)
+        assert s.failures == 1
+        assert s.trials == 4
+        assert s.median == pytest.approx(2.0)
+
+    def test_all_nan_summary(self):
+        s = summarize_trials(np.array([np.nan, np.nan]))
+        assert np.isnan(s.mean) and s.failures == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_trials(_trial_mean_of_uniform, 0, args=(1.0,))
+
+
+class TestCoverageRecord:
+    def test_curve_from_first_activation(self):
+        fa = np.array([0, 2, 1, 2, -1])
+        curve = coverage_curve(fa)
+        assert curve.counts.tolist() == [1, 2, 4]
+        assert curve.n == 5
+        assert curve.fractions[-1] == pytest.approx(0.8)
+
+    def test_time_to_fraction(self):
+        fa = np.array([0, 1, 2, 3])
+        assert time_to_cover_fraction(fa, 0.5) == 1
+        assert time_to_cover_fraction(fa, 1.0) == 3
+
+    def test_unreachable_fraction(self):
+        fa = np.array([0, -1, -1, -1])
+        assert time_to_cover_fraction(fa, 0.9) is None
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            time_to_cover_fraction(np.array([0, 1]), 0.0)
+
+    def test_real_run_consistency(self):
+        g = grid(5, 2)
+        w = CobraWalk(g, seed=9)
+        res = w.run_until_cover(100_000)
+        curve = coverage_curve(res.first_activation)
+        assert curve.counts[-1] == g.n
+        assert curve.time_to_fraction(1.0) == res.cover_time

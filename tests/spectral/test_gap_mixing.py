@@ -1,0 +1,145 @@
+"""Tests for spectral gaps, stationary laws, and mixing estimates."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    from_edge_list,
+    hypercube,
+    path_graph,
+    star_graph,
+)
+from repro.spectral import (
+    chi_square_distance,
+    evolve,
+    lambda2_normalized_laplacian,
+    mixing_time_tv,
+    pointwise_mixing_bound_steps,
+    relaxation_time,
+    spectral_gap,
+    stationary_distribution,
+    stationary_of_chain,
+    theorem8_epoch_length,
+    total_variation,
+    transition_matrix,
+)
+
+
+class TestSpectralGap:
+    def test_complete_graph_gap(self):
+        # K_n walk eigenvalues: 1 and -1/(n-1) -> gap = n/(n-1)
+        n = 9
+        assert spectral_gap(complete_graph(n)) == pytest.approx(n / (n - 1))
+
+    def test_cycle_gap_formula(self):
+        # lambda_2 = cos(2*pi/n)
+        n = 12
+        assert spectral_gap(cycle_graph(n)) == pytest.approx(1 - np.cos(2 * np.pi / n))
+
+    def test_hypercube_nu2(self):
+        # normalized Laplacian eigenvalues are 2k/d -> nu2 = 2/d
+        d = 5
+        assert lambda2_normalized_laplacian(hypercube(d)) == pytest.approx(2 / d)
+
+    def test_disconnected_gap_zero(self):
+        g = from_edge_list(4, [(0, 1), (2, 3)])
+        assert lambda2_normalized_laplacian(g) == pytest.approx(0.0, abs=1e-9)
+
+    def test_lazy_halves_gap(self):
+        g = cycle_graph(10)
+        assert spectral_gap(g, lazy=True) == pytest.approx(spectral_gap(g) / 2)
+
+    def test_relaxation_time_positive(self, any_graph):
+        assert relaxation_time(any_graph) > 0
+
+
+class TestStationary:
+    def test_degree_proportional(self, any_graph):
+        pi = stationary_distribution(any_graph)
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.allclose(pi, any_graph.degrees / (2 * any_graph.m))
+
+    def test_stationary_fixed_point(self, any_graph):
+        p = transition_matrix(any_graph)
+        pi = stationary_distribution(any_graph)
+        assert np.allclose(pi @ p, pi)
+
+    def test_power_iteration_agrees(self):
+        g = star_graph(8)
+        p = transition_matrix(g, lazy=True)
+        pi = stationary_of_chain(p)
+        assert np.allclose(pi, stationary_distribution(g), atol=1e-8)
+
+    def test_power_iteration_periodic_fails(self):
+        # non-lazy star walk: hub/leaf mass alternates 1/n <-> (n-1)/n
+        # forever because the uniform start has the wrong class masses
+        p = transition_matrix(star_graph(5))
+        with pytest.raises(RuntimeError):
+            stationary_of_chain(p, max_iters=500)
+
+
+class TestDistances:
+    def test_total_variation_range(self):
+        assert total_variation([1, 0], [0, 1]) == 1.0
+        assert total_variation([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_chi_square_dominates_tv(self):
+        rng = np.random.default_rng(3)
+        pi = rng.random(10)
+        pi /= pi.sum()
+        p = rng.random(10)
+        p /= p.sum()
+        assert chi_square_distance(p, pi) >= total_variation(p, pi)
+
+    def test_chi_square_zero_at_stationary(self):
+        pi = np.full(5, 0.2)
+        assert chi_square_distance(pi, pi) == 0.0
+
+    def test_evolve_preserves_mass(self):
+        g = cycle_graph(9)
+        p = transition_matrix(g, lazy=True)
+        d0 = np.zeros(9)
+        d0[0] = 1.0
+        d5 = evolve(p, d0, 5)
+        assert d5.sum() == pytest.approx(1.0)
+
+    def test_evolve_zero_steps_identity(self):
+        g = cycle_graph(5)
+        p = transition_matrix(g)
+        d = np.full(5, 0.2)
+        assert np.array_equal(evolve(p, d, 0), d)
+
+
+class TestMixing:
+    def test_complete_graph_mixes_instantly(self):
+        assert mixing_time_tv(complete_graph(20), lazy=False) <= 2
+
+    def test_cycle_mixing_grows(self):
+        t8 = mixing_time_tv(cycle_graph(8))
+        t16 = mixing_time_tv(cycle_graph(16))
+        assert t16 > t8
+
+    def test_mixing_guard(self):
+        with pytest.raises(ValueError):
+            mixing_time_tv(cycle_graph(100), dense_limit=50)
+
+    def test_pointwise_bound_is_sufficient(self):
+        # after the bound's step count, every entry is within 1/2n of pi
+        g = hypercube(4)
+        phi = 1 / 4
+        steps = pointwise_mixing_bound_steps(g.n, phi)
+        p = transition_matrix(g, lazy=True).toarray()
+        cur = np.linalg.matrix_power(p, steps)
+        pi = stationary_distribution(g)
+        assert np.abs(cur - pi[None, :]).max() <= 1 / (2 * g.n) + 1e-12
+
+    def test_epoch_length_monotone_in_phi(self):
+        assert theorem8_epoch_length(100, 3, 0.1) > theorem8_epoch_length(100, 3, 0.5)
+
+    def test_epoch_length_validation(self):
+        with pytest.raises(ValueError):
+            theorem8_epoch_length(100, 3, 0.0)
+        with pytest.raises(ValueError):
+            pointwise_mixing_bound_steps(1, 0.5)

@@ -1,0 +1,81 @@
+"""Tests for sparse matrix views."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import cycle_graph, from_edge_list, path_graph, star_graph
+from repro.spectral import (
+    adjacency_matrix,
+    combinatorial_laplacian,
+    normalized_adjacency,
+    normalized_laplacian,
+    transition_matrix,
+)
+
+
+class TestAdjacency:
+    def test_symmetric(self, any_graph):
+        a = adjacency_matrix(any_graph)
+        assert (a != a.T).nnz == 0
+
+    def test_row_sums_are_degrees(self, any_graph):
+        a = adjacency_matrix(any_graph)
+        rows = np.asarray(a.sum(axis=1)).ravel()
+        assert np.array_equal(rows, any_graph.degrees)
+
+    def test_entries(self):
+        a = adjacency_matrix(path_graph(3)).toarray()
+        assert np.array_equal(a, [[0, 1, 0], [1, 0, 1], [0, 1, 0]])
+
+
+class TestTransition:
+    def test_row_stochastic(self, any_graph):
+        p = transition_matrix(any_graph)
+        rows = np.asarray(p.sum(axis=1)).ravel()
+        assert np.allclose(rows, 1.0)
+
+    def test_lazy_halves(self):
+        g = cycle_graph(5)
+        p = transition_matrix(g, lazy=True).toarray()
+        assert np.allclose(np.diag(p), 0.5)
+        assert p[0, 1] == pytest.approx(0.25)
+
+    def test_star_rows(self):
+        p = transition_matrix(star_graph(5)).toarray()
+        assert np.allclose(p[0, 1:], 0.25)
+        assert p[1, 0] == 1.0
+
+    def test_isolated_vertex_raises(self):
+        g = from_edge_list(3, [(0, 1)])
+        with pytest.raises(ValueError, match="isolated"):
+            transition_matrix(g)
+
+    def test_detailed_balance(self, any_graph):
+        # pi(u) P(u,v) = pi(v) P(v,u) for the simple walk
+        from repro.spectral import stationary_distribution
+
+        p = transition_matrix(any_graph).toarray()
+        pi = stationary_distribution(any_graph)
+        flux = pi[:, None] * p
+        assert np.allclose(flux, flux.T)
+
+
+class TestLaplacians:
+    def test_normalized_laplacian_psd(self, any_graph):
+        lap = normalized_laplacian(any_graph).toarray()
+        vals = np.linalg.eigvalsh(lap)
+        assert vals.min() > -1e-10
+        assert vals.max() < 2 + 1e-10
+        assert abs(vals[0]) < 1e-10  # constant-in-D^{1/2} kernel
+
+    def test_combinatorial_laplacian_rowsum_zero(self, any_graph):
+        lap = combinatorial_laplacian(any_graph)
+        assert np.allclose(np.asarray(lap.sum(axis=1)).ravel(), 0.0)
+
+    def test_normalized_adjacency_spectrum_matches_walk(self):
+        g = cycle_graph(7)
+        na = normalized_adjacency(g).toarray()
+        p = transition_matrix(g).toarray()
+        va = np.sort(np.linalg.eigvalsh(na))
+        vp = np.sort(np.linalg.eigvals(p).real)
+        assert np.allclose(va, vp, atol=1e-8)

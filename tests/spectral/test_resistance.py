@@ -1,0 +1,72 @@
+"""Tests for effective resistance and the commute-time identity."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import complete_graph, cycle_graph, grid, kary_tree, path_graph
+from repro.spectral import commute_time, effective_resistance, resistance_matrix
+from repro.walks import rw_exact_hitting_times
+
+
+class TestClosedForms:
+    def test_path_series_resistance(self):
+        g = path_graph(7)
+        for u in range(7):
+            for v in range(7):
+                assert effective_resistance(g, u, v) == pytest.approx(abs(u - v))
+
+    def test_cycle_parallel_resistance(self):
+        # two arcs in parallel: R = k(n-k)/n
+        n = 9
+        g = cycle_graph(n)
+        for k in range(1, n):
+            assert effective_resistance(g, 0, k) == pytest.approx(k * (n - k) / n)
+
+    def test_complete_graph(self):
+        n = 8
+        g = complete_graph(n)
+        assert effective_resistance(g, 2, 5) == pytest.approx(2 / n)
+
+    def test_tree_resistance_is_distance(self):
+        from repro.graphs import bfs_distances
+
+        g = kary_tree(2, 3)
+        dist = bfs_distances(g, 0)
+        for v in range(g.n):
+            assert effective_resistance(g, 0, v) == pytest.approx(float(dist[v]))
+
+    def test_self_resistance_zero(self):
+        assert effective_resistance(cycle_graph(5), 3, 3) == 0.0
+
+
+class TestCommuteTimeIdentity:
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(11), grid(3, 2), kary_tree(2, 3), complete_graph(7)],
+    )
+    def test_hitting_plus_reverse_equals_2m_reff(self, graph):
+        # Chandra et al.: H(u,v) + H(v,u) = 2m R_eff(u,v) — cross-checks
+        # the linear-solve hitting times against pure linear algebra
+        u, v = 0, graph.n - 1
+        huv = rw_exact_hitting_times(graph, v)[u]
+        hvu = rw_exact_hitting_times(graph, u)[v]
+        assert huv + hvu == pytest.approx(commute_time(graph, u, v), rel=1e-9)
+
+
+class TestResistanceMatrix:
+    def test_symmetric_nonnegative_metric(self):
+        g = grid(3, 2)
+        r = resistance_matrix(g)
+        assert np.allclose(r, r.T)
+        assert np.allclose(np.diag(r), 0.0)
+        assert (r >= -1e-12).all()
+        # triangle inequality (resistance is a metric)
+        n = g.n
+        for a in range(0, n, 3):
+            for b in range(1, n, 4):
+                for c in range(2, n, 5):
+                    assert r[a, c] <= r[a, b] + r[b, c] + 1e-9
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            effective_resistance(cycle_graph(2500), 0, 1)

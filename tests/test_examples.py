@@ -1,0 +1,44 @@
+"""Smoke tests for the example scripts.
+
+Each example is importable (no side effects at import) and exposes a
+``main()``; the cheapest one runs end-to-end under a subprocess so the
+documented entry point stays alive.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = [
+    "quickstart.py",
+    "epidemic_sis.py",
+    "rumor_spreading.py",
+    "grid_coverage.py",
+    "worst_case_graphs.py",
+]
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_importable_with_main(script):
+    path = EXAMPLES / script
+    assert path.exists()
+    spec = importlib.util.spec_from_file_location(script[:-3], path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)  # type: ignore[union-attr]
+    assert callable(getattr(mod, "main", None))
+
+
+def test_quickstart_runs():
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert out.returncode == 0, out.stderr
+    assert "2-cobra walk covered all vertices" in out.stdout
+    assert "slower" in out.stdout
