@@ -4,27 +4,28 @@ Usage::
 
     python examples/quickstart.py
 
-Builds a 2-D grid, runs a 2-cobra walk (the paper's headline process)
-to full coverage, and compares against a simple random walk and push
-gossip from the same start vertex.
+Builds a 2-D grid and drives everything through the unified process
+API: ``simulate()`` runs any registered process (cobra, simple walk,
+push gossip, …) to one ``RunResult`` schema, and ``run_batch()``
+aggregates Monte-Carlo trials — vectorized where the process has a
+batched engine.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core import cobra_cover_time
+from repro import run_batch, simulate
 from repro.graphs import grid
-from repro.walks import push_spread_time, rw_cover_time
+from repro.sim import process_names
 
 
 def main() -> None:
     n = 40  # grid extent: vertices are [0, 40]^2
     g = grid(n, 2)
     print(f"graph: {g.name} with {g.n} vertices, {g.m} edges")
+    print(f"registered processes: {', '.join(process_names())}")
 
     # --- the paper's process: a 2-cobra walk -------------------------
-    result = cobra_cover_time(g, k=2, start=0, seed=1)
+    result = simulate(g, process="cobra", k=2, start=0, seed=1)
     print(f"\n2-cobra walk covered all vertices in {result.cover_time} steps")
     print(f"  (Theorem 3 predicts O(n) = O({n}); measured/{n} = "
           f"{result.cover_time / n:.2f})")
@@ -34,16 +35,22 @@ def main() -> None:
     print(f"  far corner first activated at step "
           f"{result.first_activation[far_corner]}")
 
-    # --- baselines ----------------------------------------------------
-    rw = rw_cover_time(g, start=0, seed=2)
-    push = push_spread_time(g, start=0, seed=3)
-    print(f"\nsimple random walk cover : {rw} steps "
-          f"({rw / result.cover_time:.0f}x slower)")
-    print(f"push gossip spread       : {push} rounds "
+    # --- baselines, same facade --------------------------------------
+    rw = simulate(g, process="simple", start=0, seed=2)
+    push = simulate(g, process="push", start=0, seed=3)
+    print(f"\nsimple random walk cover : {rw.cover_time} steps "
+          f"({rw.cover_time / result.cover_time:.0f}x slower)")
+    print(f"push gossip spread       : {push.cover_time} rounds "
           f"(same O(diameter) class as the cobra walk here)")
 
+    # --- Monte-Carlo sweeps: one call, vectorized --------------------
+    batch = run_batch(g, "cobra", trials=32, seed=4)
+    print(f"\n32 batched cobra trials  : cover {batch.mean:.1f} "
+          f"± {batch.ci95_half_width:.1f} steps "
+          f"(all trials advanced in one numpy frontier)")
+
     # --- reproducibility ----------------------------------------------
-    again = cobra_cover_time(g, k=2, start=0, seed=1)
+    again = simulate(g, process="cobra", k=2, start=0, seed=1)
     assert again.cover_time == result.cover_time
     print("\nseeded rerun reproduced the identical trajectory — "
           "all repro APIs take a seed.")

@@ -25,11 +25,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import run_batch
 from repro.analysis import Table, summarize
 from repro.core import CobraWalk
 from repro.graphs import random_regular
 from repro.sim import spawn_seeds
-from repro.walks import parallel_cover_time, push_spread_time, rw_cover_time
 
 
 def cobra_rounds_and_messages(graph, seed) -> tuple[int, int]:
@@ -77,8 +77,9 @@ def main() -> None:
         rows["push gossip"].append(r)
         msg["push gossip"].append(m)
 
-    par = [parallel_cover_time(g, walkers=2, seed=s) for s in spawn_seeds(3, 3)]
-    rw = [rw_cover_time(g, seed=s) for s in spawn_seeds(4, 2)]
+    # walk-based token-passing baselines through the unified facade
+    par = run_batch(g, "parallel", trials=3, seed=3, walkers=2)
+    rw = run_batch(g, "simple", trials=2, seed=4)
 
     table = Table(
         ["protocol", "rounds (mean)", "rounds (median)", "messages (mean)"],
@@ -87,8 +88,8 @@ def main() -> None:
     for name in rows:
         s = summarize(rows[name])
         table.add_row([name, s.mean, s.median, float(np.mean(msg[name]))])
-    table.add_row(["2 parallel walks", float(np.mean(par)), float(np.median(par)), float(np.mean(par)) * 2])
-    table.add_row(["single random walk", float(np.mean(rw)), float(np.median(rw)), float(np.mean(rw))])
+    table.add_row(["2 parallel walks", par.mean, par.median, par.mean * 2])
+    table.add_row(["single random walk", rw.mean, rw.median, rw.mean])
     print(table.render())
 
     print(

@@ -4,11 +4,24 @@ Reproduction of Mitzenmacher, Rajaraman & Roche, *Better Bounds for
 Coalescing-Branching Random Walks* (SPAA 2016).  See DESIGN.md for the
 system inventory and EXPERIMENTS.md for the paper-vs-measured record.
 
-The most used entry points are re-exported here::
+The unified process API is the front door: every process family
+(cobra, Walt, simple/lazy/parallel walks, branching, coalescing,
+gossip push/pull, biased walks) is a registered
+:class:`~repro.sim.processes.ProcessSpec`, driven by one pair of
+entry points returning one result schema::
 
-    from repro import grid, CobraWalk, cobra_cover_time
-    result = cobra_cover_time(grid(64, 2), seed=0)
-    print(result.cover_time)
+    from repro import grid, simulate, run_batch
+
+    res = simulate(grid(64, 2), process="cobra", k=2, seed=0)
+    print(res.cover_time)                      # RunResult
+
+    batch = run_batch(grid(64, 2), "cobra", trials=32, seed=0)
+    print(batch.mean, batch.ci95_half_width)   # TrialSummary
+
+``run_batch`` picks the vectorized batched engine where one exists
+(cobra, simple), so sweeps advance all trials in one ``(trials, n)``
+frontier instead of per-trial Python loops.  The historical
+per-process helpers (``cobra_cover_time`` & co.) remain as thin shims.
 
 Subpackages
 -----------
@@ -21,7 +34,8 @@ Subpackages
 ``repro.spectral``
     Conductance, spectral gaps, directed Cheeger machinery.
 ``repro.sim`` / ``repro.analysis``
-    Monte-Carlo harness and exponent-fit analysis.
+    Process registry, simulate/run_batch facade, Monte-Carlo harness,
+    and exponent-fit analysis.
 ``repro.experiments``
     One registered experiment per paper claim, with a CLI.
 """
@@ -36,9 +50,29 @@ from .core import (
     walt_cover_time,
 )
 from .graphs import Graph, grid, hypercube, lollipop, random_regular, torus
+from .sim import (
+    ProcessSpec,
+    RunResult,
+    TrialSummary,
+    all_processes,
+    get_process,
+    process_names,
+    register_process,
+    run_batch,
+    simulate,
+)
 
 __all__ = [
     "__version__",
+    "ProcessSpec",
+    "RunResult",
+    "TrialSummary",
+    "simulate",
+    "run_batch",
+    "register_process",
+    "get_process",
+    "all_processes",
+    "process_names",
     "CobraRunResult",
     "CobraWalk",
     "WaltProcess",

@@ -1,55 +1,29 @@
-"""Summary statistics and bootstrap confidence intervals."""
+"""Summary statistics and bootstrap confidence intervals.
+
+The summary type is :class:`repro.sim.montecarlo.TrialSummary` — one
+schema for Monte-Carlo harness output, facade batches, and analysis
+tables.  ``SummaryStats`` remains as an alias of it; :func:`summarize`
+delegates to :func:`repro.sim.montecarlo.summarize_trials`.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from ..sim.montecarlo import TrialSummary, summarize_trials
 from ..sim.rng import SeedLike, resolve_rng
 
 __all__ = ["SummaryStats", "summarize", "bootstrap_ci"]
 
-
-@dataclass(frozen=True)
-class SummaryStats:
-    """Location/scale summary of a sample (NaNs dropped, counted)."""
-
-    n: int
-    mean: float
-    std: float
-    median: float
-    q25: float
-    q75: float
-    minimum: float
-    maximum: float
-    ci95_half_width: float
-    nan_count: int
+#: historical name for the unified trial-summary type
+SummaryStats = TrialSummary
 
 
-def summarize(values) -> SummaryStats:
-    """Summarise a 1-D sample."""
-    arr = np.asarray(values, dtype=np.float64).ravel()
-    ok = arr[~np.isnan(arr)]
-    nan_count = int(arr.size - ok.size)
-    if ok.size == 0:
-        nan = float("nan")
-        return SummaryStats(0, nan, nan, nan, nan, nan, nan, nan, nan, nan_count)
-    std = float(ok.std(ddof=1)) if ok.size > 1 else 0.0
-    half = 1.96 * std / np.sqrt(ok.size) if ok.size > 1 else 0.0
-    return SummaryStats(
-        n=int(ok.size),
-        mean=float(ok.mean()),
-        std=std,
-        median=float(np.median(ok)),
-        q25=float(np.quantile(ok, 0.25)),
-        q75=float(np.quantile(ok, 0.75)),
-        minimum=float(ok.min()),
-        maximum=float(ok.max()),
-        ci95_half_width=float(half),
-        nan_count=nan_count,
-    )
+def summarize(values) -> TrialSummary:
+    """Summarise a 1-D sample (NaNs dropped, counted as failures)."""
+    return summarize_trials(values)
 
 
 def bootstrap_ci(

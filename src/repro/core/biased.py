@@ -31,6 +31,7 @@ from ..graphs.checks import bfs_distances
 from ..sim.rng import SeedLike, resolve_rng
 
 __all__ = [
+    "BiasedWalk",
     "toward_target_controller",
     "epsilon_biased_transition",
     "inverse_degree_biased_transition",
@@ -102,6 +103,71 @@ def inverse_degree_biased_transition(
     return p
 
 
+class BiasedWalk:
+    """Stepping ε-/inverse-degree-biased walk steering toward *target*.
+
+    ``eps=None`` selects the inverse-degree bias ``1/d(v)``; a float
+    selects the constant ε-bias.  The default controller is the
+    toward-target BFS table.  Registered as ``"biased"`` in
+    :mod:`repro.sim.processes`; :func:`simulate_biased_hit` keeps the
+    historical signature and drives it.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        target: int,
+        *,
+        start: int = 0,
+        eps: float | None = None,
+        controller: np.ndarray | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if not (0 <= target < graph.n):
+            raise ValueError("target out of range")
+        if not (0 <= start < graph.n):
+            raise ValueError("start out of range")
+        if eps is not None and not 0.0 <= eps <= 1.0:
+            raise ValueError("eps must be in [0, 1]")
+        self.graph = graph
+        self.target = int(target)
+        self.eps = eps
+        self.rng = resolve_rng(seed)
+        if controller is None:
+            controller = toward_target_controller(graph, target)
+        self.controller = controller
+        self.position = int(start)
+        self.t = 0
+        self.first_visit = np.full(graph.n, -1, dtype=np.int64)
+        self.first_visit[start] = 0
+        self._num_covered = 1
+
+    @property
+    def num_covered(self) -> int:
+        return self._num_covered
+
+    @property
+    def all_covered(self) -> bool:
+        return self._num_covered == self.graph.n
+
+    def step(self) -> int:
+        """One biased move; returns the new position."""
+        self.t += 1
+        v = self.position
+        d = self.graph.degree(v)
+        bias = (1.0 / d) if self.eps is None else self.eps
+        if self.rng.random() < bias:
+            v = int(self.controller[v])
+        else:
+            nbrs = self.graph.neighbors(v)
+            v = int(nbrs[int(self.rng.random() * d)])
+        self.position = v
+        if self.first_visit[v] < 0:
+            self.first_visit[v] = self.t
+            self._num_covered += 1
+        return v
+
+
 def simulate_biased_hit(
     graph: Graph,
     target: int,
@@ -114,24 +180,15 @@ def simulate_biased_hit(
 ) -> int | None:
     """Simulate one biased walk until it hits *target*.
 
-    ``eps=None`` selects the inverse-degree bias ``1/d(v)``; a float
-    selects the constant ε-bias.  Returns the hitting step or ``None``.
+    Returns the hitting step or ``None`` on budget exhaustion.
     """
-    rng = resolve_rng(seed)
-    if controller is None:
-        controller = toward_target_controller(graph, target)
-    v = start
-    for t in range(max_steps + 1):
-        if v == target:
-            return t
-        d = graph.degree(v)
-        bias = (1.0 / d) if eps is None else eps
-        if rng.random() < bias:
-            v = int(controller[v])
-        else:
-            nbrs = graph.neighbors(v)
-            v = int(nbrs[int(rng.random() * d)])
-    return None
+    walk = BiasedWalk(
+        graph, target, start=start, eps=eps, controller=controller, seed=seed
+    )
+    while walk.first_visit[target] < 0 and walk.t < max_steps:
+        walk.step()
+    hit = walk.first_visit[target]
+    return int(hit) if hit >= 0 else None
 
 
 def exact_hitting_times(p: np.ndarray, target: int) -> np.ndarray:

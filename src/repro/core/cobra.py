@@ -229,11 +229,24 @@ def cobra_cover_time(
     max_steps: int | None = None,
 ) -> CobraRunResult:
     """Run one cobra walk to full coverage (budget default ``500·n·log n``-ish,
-    far above every bound the paper proves)."""
-    if max_steps is None:
-        max_steps = _default_budget(graph.n)
-    walk = CobraWalk(graph, k=k, start=start, seed=seed)
-    return walk.run_until_cover(max_steps)
+    far above every bound the paper proves).
+
+    .. deprecated::
+        Thin shim over :func:`repro.sim.facade.simulate` (process
+        ``"cobra"``, metric ``"cover"``); prefer the facade, which
+        reproduces this helper seed-for-seed.
+    """
+    from ..sim.facade import simulate
+
+    r = simulate(
+        graph, "cobra", metric="cover", start=start, seed=seed, max_steps=max_steps, k=k
+    )
+    return CobraRunResult(
+        covered=r.covered,
+        steps=r.steps,
+        cover_time=r.cover_time,
+        first_activation=r.first_activation,
+    )
 
 
 def cobra_hitting_time(
@@ -245,11 +258,25 @@ def cobra_hitting_time(
     seed: SeedLike = None,
     max_steps: int | None = None,
 ) -> int | None:
-    """Hitting time of *target* for one cobra run (``None`` = budget hit)."""
-    if max_steps is None:
-        max_steps = _default_budget(graph.n)
-    walk = CobraWalk(graph, k=k, start=start, seed=seed)
-    return walk.run_until_hit(target, max_steps)
+    """Hitting time of *target* for one cobra run (``None`` = budget hit).
+
+    .. deprecated::
+        Thin shim over :func:`repro.sim.facade.simulate` (process
+        ``"cobra"``, metric ``"hit"``); prefer the facade.
+    """
+    from ..sim.facade import simulate
+
+    r = simulate(
+        graph,
+        "cobra",
+        metric="hit",
+        start=start,
+        target=target,
+        seed=seed,
+        max_steps=max_steps,
+        k=k,
+    )
+    return r.extras["hit_time"]
 
 
 def _default_budget(n: int) -> int:

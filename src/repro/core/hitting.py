@@ -5,6 +5,11 @@ Trial arrays come back raw so analysis code can fit distributions; the
 Per-trial RNG streams are spawned from a single seed, so results are
 reproducible regardless of execution order (and across the
 multiprocessing path in :mod:`repro.sim.montecarlo`).
+
+The ``cobra_*_trials`` helpers are thin deprecation shims over
+:func:`repro.sim.facade.run_batch` (serial strategy — bit-exact with
+their historical output); new code should call the facade, which also
+offers the vectorized batched engine.
 """
 
 from __future__ import annotations
@@ -13,7 +18,6 @@ import numpy as np
 
 from ..graphs.base import Graph
 from ..sim.rng import SeedLike, spawn_seeds
-from .cobra import CobraWalk, cobra_cover_time, cobra_hitting_time
 
 __all__ = [
     "cobra_cover_trials",
@@ -34,14 +38,26 @@ def cobra_cover_trials(
 ) -> np.ndarray:
     """Cover times of *trials* independent cobra runs (``float64``;
     ``np.nan`` marks budget exhaustion, which the paper's bounds say
-    should essentially never happen at sane budgets)."""
-    if trials < 1:
-        raise ValueError("need at least one trial")
-    out = np.empty(trials, dtype=np.float64)
-    for i, s in enumerate(spawn_seeds(seed, trials)):
-        res = cobra_cover_time(graph, k=k, start=start, seed=s, max_steps=max_steps)
-        out[i] = res.cover_time if res.covered else np.nan
-    return out
+    should essentially never happen at sane budgets).
+
+    .. deprecated::
+        Shim over :func:`repro.sim.facade.run_batch`; the facade's
+        serial strategy reproduces this helper seed-for-seed, and its
+        default (vectorized) strategy is several times faster.
+    """
+    from ..sim.facade import run_batch
+
+    return run_batch(
+        graph,
+        "cobra",
+        metric="cover",
+        trials=trials,
+        start=start,
+        seed=seed,
+        max_steps=max_steps,
+        strategy="serial",
+        k=k,
+    ).values
 
 
 def cobra_hitting_trials(
@@ -54,16 +70,26 @@ def cobra_hitting_trials(
     seed: SeedLike = None,
     max_steps: int | None = None,
 ) -> np.ndarray:
-    """Hitting times of *target* over independent cobra runs."""
-    if trials < 1:
-        raise ValueError("need at least one trial")
-    out = np.empty(trials, dtype=np.float64)
-    for i, s in enumerate(spawn_seeds(seed, trials)):
-        hit = cobra_hitting_time(
-            graph, target, k=k, start=start, seed=s, max_steps=max_steps
-        )
-        out[i] = np.nan if hit is None else hit
-    return out
+    """Hitting times of *target* over independent cobra runs.
+
+    .. deprecated::
+        Shim over :func:`repro.sim.facade.run_batch` (serial strategy,
+        seed-for-seed identical).
+    """
+    from ..sim.facade import run_batch
+
+    return run_batch(
+        graph,
+        "cobra",
+        metric="hit",
+        trials=trials,
+        start=start,
+        target=target,
+        seed=seed,
+        max_steps=max_steps,
+        strategy="serial",
+        k=k,
+    ).values
 
 
 def max_hitting_time_estimate(

@@ -26,7 +26,13 @@ import numpy as np
 from ..graphs.base import Graph, sample_uniform_neighbors
 from ..sim.rng import SeedLike, resolve_rng
 
-__all__ = ["WaltProcess", "WaltRunResult", "walt_cover_time", "walt_step_positions"]
+__all__ = [
+    "WaltProcess",
+    "WaltRunResult",
+    "walt_cover_time",
+    "walt_start_positions",
+    "walt_step_positions",
+]
 
 
 def walt_step_positions(
@@ -155,6 +161,27 @@ class WaltProcess:
         )
 
 
+def walt_start_positions(
+    graph: Graph,
+    delta: float,
+    start: int | np.ndarray | None,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Initial placement of ``max(1, ⌊δn⌋)`` pebbles.
+
+    With integer/array *start* all pebbles begin there (the paper's
+    Theorem 8 configuration, cycling through an array); with
+    ``start=None`` they spread uniformly at random.
+    """
+    if not 0 < delta <= 1:
+        raise ValueError("delta must be in (0, 1]")
+    num = max(1, int(delta * graph.n))
+    if start is None:
+        return rng.integers(0, graph.n, size=num)
+    start_arr = np.atleast_1d(np.asarray(start, dtype=np.int64))
+    return np.resize(start_arr, num)
+
+
 def walt_cover_time(
     graph: Graph,
     *,
@@ -164,21 +191,10 @@ def walt_cover_time(
     seed: SeedLike = None,
     max_steps: int | None = None,
 ) -> WaltRunResult:
-    """Run Walt to coverage with ``max(1, ⌊δn⌋)`` pebbles.
-
-    With integer/array *start* all pebbles begin there (the paper's
-    Theorem 8 configuration); with ``start=None`` they spread uniformly
-    at random (requires a seeded RNG for reproducibility).
-    """
-    if not 0 < delta <= 1:
-        raise ValueError("delta must be in (0, 1]")
-    num = max(1, int(delta * graph.n))
+    """Run Walt to coverage (pebble placement per
+    :func:`walt_start_positions`)."""
     rng = resolve_rng(seed)
-    if start is None:
-        positions = rng.integers(0, graph.n, size=num)
-    else:
-        start_arr = np.atleast_1d(np.asarray(start, dtype=np.int64))
-        positions = np.resize(start_arr, num)
+    positions = walt_start_positions(graph, delta, start, rng)
     if max_steps is None:
         max_steps = max(20_000, 1000 * graph.n)
     proc = WaltProcess(graph, positions, lazy=lazy, seed=rng)

@@ -4,17 +4,22 @@
 Usage::
 
     cobra-experiments list
+    cobra-experiments processes
     cobra-experiments run T3_grid [--scale quick|full] [--seed N]
-    cobra-experiments run all --scale full
+    cobra-experiments run all --scale full --processes 4
+    cobra-experiments run T3_grid --json > t3.json
 
 Each run prints the experiment's tables and findings; ``run all``
 iterates the whole registry (this is how EXPERIMENTS.md numbers were
-produced).
+produced).  ``--json`` emits a machine-readable findings dump instead
+of tables; ``--processes N`` fans Monte-Carlo trials out over a
+process pool via the :func:`repro.sim.facade.run_batch` default.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -30,10 +35,24 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list registered experiments")
+    sub.add_parser("processes", help="list registered simulation processes")
     runp = sub.add_parser("run", help="run one experiment (or 'all')")
     runp.add_argument("id", help="experiment id, or 'all'")
     runp.add_argument("--scale", choices=("quick", "full"), default="quick")
     runp.add_argument("--seed", type=int, default=0)
+    runp.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document of findings/notes instead of tables",
+    )
+    runp.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan Monte-Carlo trials out over N worker processes "
+        "(default: serial/vectorized)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -41,15 +60,42 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{exp.id:18s} {exp.claim}")
         return 0
 
+    if args.command == "processes":
+        from ..sim import all_processes
+
+        for spec in all_processes():
+            caps = ",".join(sorted(spec.capabilities))
+            print(f"{spec.name:12s} [{caps}] {spec.description}")
+        return 0
+
+    if args.processes is not None:
+        from ..sim import set_default_processes
+
+        set_default_processes(args.processes)
+
     ids = [e.id for e in all_experiments()] if args.id == "all" else [args.id]
+    dump: dict[str, dict] = {}
     for exp_id in ids:
         exp = get(exp_id)
-        print(f"\n=== {exp.id}: {exp.claim} (scale={args.scale}) ===")
         t0 = time.perf_counter()
         result = exp.run(scale=args.scale, seed=args.seed)
         elapsed = time.perf_counter() - t0
-        print(result.render())
-        print(f"[{exp.id} finished in {elapsed:.1f}s]")
+        if args.json:
+            dump[exp.id] = {
+                "claim": exp.claim,
+                "scale": args.scale,
+                "seed": args.seed,
+                "elapsed_seconds": round(elapsed, 3),
+                "findings": result.findings,
+                "notes": result.notes,
+            }
+        else:
+            print(f"\n=== {exp.id}: {exp.claim} (scale={args.scale}) ===")
+            print(result.render())
+            print(f"[{exp.id} finished in {elapsed:.1f}s]")
+    if args.json:
+        json.dump(dump, sys.stdout, indent=2, sort_keys=True)
+        print()
     return 0
 
 

@@ -16,10 +16,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import Table
-from ..core import cobra_cover_trials, walt_cover_time
 from ..graphs import grid, lollipop, random_regular, star_graph
+from ..sim import run_batch
 from ..sim.rng import spawn_seeds
-from ..walks import parallel_cover_time, push_spread_time, rw_cover_trials
 from .registry import ExperimentResult, register
 
 _TRIALS = {"quick": 5, "full": 15}
@@ -43,35 +42,19 @@ def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
     )
     findings: dict[str, float] = {}
     for g in graphs:
-        cobra = float(np.nanmean(cobra_cover_trials(g, trials=trials, seed=next(si))))
-        walt = float(
-            np.nanmean(
-                [
-                    walt_cover_time(g, seed=s).cover_time or np.nan
-                    for s in spawn_seeds(next(si), max(3, trials // 2))
-                ]
-            )
-        )
-        push = float(
-            np.mean(
-                [push_spread_time(g, seed=s) for s in spawn_seeds(next(si), trials)]
-            )
-        )
-        par = float(
-            np.mean(
-                [
-                    parallel_cover_time(g, walkers=2, seed=s) or np.nan
-                    for s in spawn_seeds(next(si), max(3, trials // 2))
-                ]
-            )
-        )
+        cobra = run_batch(g, "cobra", trials=trials, seed=next(si)).mean
+        walt = run_batch(
+            g, "walt", trials=max(3, trials // 2), seed=next(si)
+        ).mean
+        push = run_batch(g, "push", trials=trials, seed=next(si)).mean
+        par = run_batch(
+            g, "parallel", trials=max(3, trials // 2), seed=next(si), walkers=2
+        ).mean
         # full RW cover on the lollipop is cubic: cap the budget hard
         rw_budget = min(40 * g.n**2, 4_000_000)
-        rw = float(
-            np.nanmean(
-                rw_cover_trials(g, trials=3, seed=next(si), max_steps=rw_budget)
-            )
-        )
+        rw = run_batch(
+            g, "simple", trials=3, seed=next(si), max_steps=rw_budget
+        ).mean
         table.add_row([g.name, g.n, cobra, walt, push, par, rw])
         findings[f"cobra_{g.name}"] = cobra
         findings[f"push_{g.name}"] = push

@@ -11,11 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..analysis import Table, ascii_loglog, fit_power_law, summarize
-from ..core import cobra_cover_trials
+from ..analysis import Table, ascii_loglog, fit_power_law
 from ..graphs import grid
+from ..sim import run_batch
 from ..sim.rng import spawn_seeds
-from ..walks import rw_cover_trials
 from .registry import ExperimentResult, register
 
 _SWEEPS = {
@@ -50,12 +49,13 @@ def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
         covers = []
         for n in ns:
             g = grid(n, d)
-            times = cobra_cover_trials(g, trials=trials, seed=next(seed_iter))
-            s = summarize(times)
+            s = run_batch(g, "cobra", trials=trials, seed=next(seed_iter))
             rw_mean = np.nan
             if g.n <= _RW_LIMIT[scale]:
-                rw = rw_cover_trials(g, trials=max(3, trials // 2), seed=next(seed_iter))
-                rw_mean = float(np.nanmean(rw))
+                rw = run_batch(
+                    g, "simple", trials=max(3, trials // 2), seed=next(seed_iter)
+                )
+                rw_mean = rw.mean
             covers.append(s.mean)
             table.add_row(
                 [

@@ -14,8 +14,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import Table
-from ..core import cobra_cover_trials
 from ..graphs import grid, random_regular
+from ..sim import run_batch
 from ..sim.rng import spawn_seeds
 from .registry import ExperimentResult, register
 
@@ -40,9 +40,9 @@ def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
         )
         means = {}
         for k in _KS:
-            times = cobra_cover_trials(g, k=k, trials=trials, seed=next(si))
-            mean = float(np.nanmean(times))
-            ci = 1.96 * float(np.nanstd(times)) / np.sqrt(trials)
+            s = run_batch(g, "cobra", k=k, trials=trials, seed=next(si))
+            mean = s.mean
+            ci = s.ci95_half_width
             means[k] = mean
             table.add_row([k, mean, ci, ""])
         for k in _KS:

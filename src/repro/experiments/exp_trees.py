@@ -12,8 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import Table, fit_power_law
-from ..core import cobra_cover_trials
 from ..graphs import kary_tree
+from ..sim import run_batch
 from ..sim.rng import spawn_seeds
 from .registry import ExperimentResult, register
 
@@ -39,9 +39,9 @@ def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
         diam, covers = [], []
         for depth in depths:
             g = kary_tree(k, depth)
-            times = cobra_cover_trials(g, trials=trials, seed=next(si))
-            mean = float(np.nanmean(times))
-            ci = 1.96 * float(np.nanstd(times)) / np.sqrt(trials)
+            s = run_batch(g, "cobra", trials=trials, seed=next(si))
+            mean = s.mean
+            ci = s.ci95_half_width
             d = 2 * depth
             diam.append(d)
             covers.append(mean)

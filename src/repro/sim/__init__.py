@@ -1,7 +1,24 @@
-"""Simulation harness: RNG streams, stepping engine, Monte-Carlo trials."""
+"""Simulation harness: RNG streams, stepping engine, the process
+registry, the ``simulate``/``run_batch`` facade, and Monte-Carlo
+trials."""
 
+from .batch import batched_cobra_cover_trials
 from .engine import SteppingProcess, run_process
+from .facade import (
+    RunResult,
+    get_default_processes,
+    run_batch,
+    set_default_processes,
+    simulate,
+)
 from .montecarlo import TrialSummary, run_trials, summarize_trials
+from .processes import (
+    ProcessSpec,
+    all_processes,
+    get_process,
+    process_names,
+    register_process,
+)
 from .record import CoverageCurve, coverage_curve, time_to_cover_fraction
 from .rng import (
     SeedLike,
@@ -15,6 +32,17 @@ from .rng import (
 __all__ = [
     "SteppingProcess",
     "run_process",
+    "ProcessSpec",
+    "register_process",
+    "get_process",
+    "all_processes",
+    "process_names",
+    "RunResult",
+    "simulate",
+    "run_batch",
+    "set_default_processes",
+    "get_default_processes",
+    "batched_cobra_cover_trials",
     "TrialSummary",
     "run_trials",
     "summarize_trials",

@@ -1,0 +1,354 @@
+"""One front door for every registered process: ``simulate`` and
+``run_batch``.
+
+Before this facade each process family exposed a bespoke helper
+(``cobra_cover_time``, ``walt_cover_time``, ``push_spread_time``, …)
+with its own result dataclass, and every experiment hand-rolled its
+own sweep loop.  Now::
+
+    from repro import simulate, run_batch
+
+    res = simulate(grid(32, 2), process="cobra", k=2, seed=0)
+    print(res.cover_time)
+
+    summary = run_batch(grid(32, 2), "cobra", trials=32, seed=0)
+    print(summary.mean, summary.ci95_half_width)
+
+``simulate`` drives any :class:`~repro.sim.processes.ProcessSpec` to a
+single :class:`RunResult`; seed-for-seed it reproduces the legacy
+per-process helper for the same ``(process, metric, seed)``.
+``run_batch`` replaces the per-process ``*_trials`` helpers: it fans
+out over the vectorized batched engine when the process has one
+(cobra, simple), a multiprocessing pool when ``processes > 1``, or a
+serial seed-spawned loop otherwise, always returning one
+:class:`~repro.sim.montecarlo.TrialSummary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..graphs.base import Graph
+from .montecarlo import TrialSummary, run_trials, summarize_trials
+from .processes import ProcessSpec, get_process
+from .rng import SeedLike
+
+__all__ = [
+    "RunResult",
+    "simulate",
+    "run_batch",
+    "set_default_processes",
+    "get_default_processes",
+]
+
+#: process-pool fan-out applied when ``run_batch(processes=None)``;
+#: set from the CLI's ``--processes`` flag.
+_DEFAULT_PROCESSES: int | None = None
+
+
+def set_default_processes(processes: int | None) -> None:
+    """Set the default Monte-Carlo fan-out for :func:`run_batch`
+    (``None`` or 1 = serial/vectorized; > 1 = pool of that size)."""
+    global _DEFAULT_PROCESSES
+    if processes is not None and processes < 1:
+        raise ValueError("processes must be >= 1 (or None)")
+    _DEFAULT_PROCESSES = processes
+
+
+def get_default_processes() -> int | None:
+    """Current default fan-out (see :func:`set_default_processes`)."""
+    return _DEFAULT_PROCESSES
+
+
+@dataclass
+class RunResult:
+    """The one result schema every process run maps onto.
+
+    Attributes
+    ----------
+    process / metric:
+        Registry name and the metric that was driven.
+    covered:
+        Whether full coverage was reached within the budget (always
+        ``False`` for metrics that don't track coverage).
+    steps:
+        Steps/rounds executed.
+    cover_time:
+        Step at which the last vertex was first activated, or ``None``.
+    first_activation:
+        ``int64[n]`` first-activation step per vertex (``-1`` = never),
+        or ``None`` for processes that don't track visitation.
+    extras:
+        Process/metric-specific scalars (``hit_time``,
+        ``coalescence_time``, ``population``, ``hit_cap``,
+        ``walkers_left``, …).
+    """
+
+    process: str
+    metric: str
+    covered: bool
+    steps: int
+    cover_time: int | None
+    first_activation: np.ndarray | None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def value(self) -> float:
+        """The metric's scalar outcome (``nan`` = budget exhausted);
+        this is what :func:`run_batch` aggregates."""
+        if self.metric in ("cover", "spread"):
+            return float(self.cover_time) if self.cover_time is not None else float("nan")
+        if self.metric == "hit":
+            hit = self.extras.get("hit_time")
+            return float(hit) if hit is not None else float("nan")
+        if self.metric == "coalesce":
+            ct = self.extras.get("coalescence_time")
+            return float(ct) if ct is not None else float("nan")
+        raise ValueError(f"metric {self.metric!r} has no scalar value")
+
+
+# ----------------------------------------------------------------------
+# uniform views over the heterogeneous process classes
+# ----------------------------------------------------------------------
+def _first_activation(proc) -> np.ndarray | None:
+    """First-activation array under either historical attribute name."""
+    for attr in ("first_activation", "first_visit"):
+        arr = getattr(proc, attr, None)
+        if arr is not None:
+            return arr
+    return None
+
+
+def _all_covered(proc) -> bool:
+    flag = getattr(proc, "all_covered", None)
+    if flag is None:
+        raise TypeError(f"{type(proc).__name__} does not track coverage")
+    return bool(flag)
+
+
+def _collect_extras(proc) -> dict[str, Any]:
+    extras: dict[str, Any] = {}
+    for attr, cast in (
+        ("population", int),
+        ("hit_cap", bool),
+        ("num_walkers", int),
+        ("num_pebbles", int),
+    ):
+        value = getattr(proc, attr, None)
+        if value is not None:
+            extras[attr] = cast(value)
+    return extras
+
+
+def _resolve_metric(spec: ProcessSpec, metric: str | None) -> str:
+    metric = metric or spec.default_metric
+    # spread is the gossip flavor of cover; accept either where declared
+    if not spec.supports(metric) and not (
+        metric == "cover" and spec.supports("spread")
+    ):
+        known = sorted(spec.capabilities - {"multi_source"})
+        raise ValueError(
+            f"process {spec.name!r} does not support metric {metric!r}; "
+            f"declared: {known}"
+        )
+    return metric
+
+
+# ----------------------------------------------------------------------
+# the facade proper
+# ----------------------------------------------------------------------
+def simulate(
+    graph: Graph,
+    process: str | ProcessSpec = "cobra",
+    *,
+    metric: str | None = None,
+    start: int | np.ndarray = 0,
+    target: int | None = None,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+    **params: Any,
+) -> RunResult:
+    """Run one trial of any registered process and normalise the
+    outcome to a :class:`RunResult`.
+
+    Parameters
+    ----------
+    process:
+        Registry name (see :func:`repro.sim.processes.process_names`)
+        or a :class:`ProcessSpec`.
+    metric:
+        ``"cover"``, ``"spread"``, ``"hit"``, or ``"coalesce"``;
+        defaults to the spec's preferred metric.
+    start / target / seed / max_steps:
+        Start vertex (array for multi-source processes), hit target,
+        RNG seed, and step budget (defaults to the process's legacy
+        budget so seeded runs reproduce the historical helpers).
+    **params:
+        Process-specific knobs (``k``, ``delta``, ``walkers``,
+        ``eps``, …) forwarded to the factory.
+    """
+    spec = process if isinstance(process, ProcessSpec) else get_process(process)
+    metric = _resolve_metric(spec, metric)
+    if metric == "hit":
+        if target is None:
+            raise ValueError("metric 'hit' needs a target vertex")
+        if not (0 <= target < graph.n):
+            raise ValueError("target out of range")
+    if max_steps is None:
+        max_steps = spec.default_budget(graph, params)
+    proc = spec.factory(graph, start=start, seed=seed, target=target, **params)
+
+    if metric in ("cover", "spread"):
+        while not _all_covered(proc) and proc.t < max_steps:
+            proc.step()
+        covered = _all_covered(proc)
+        fa = _first_activation(proc)
+        cover_time = None
+        if covered:
+            cover_time = int(fa.max()) if fa is not None else int(proc.t)
+        return RunResult(
+            process=spec.name,
+            metric=metric,
+            covered=covered,
+            steps=int(proc.t),
+            cover_time=cover_time,
+            first_activation=fa.copy() if fa is not None else None,
+            extras=_collect_extras(proc),
+        )
+
+    if metric == "hit":
+        while _first_activation(proc)[target] < 0 and proc.t < max_steps:
+            proc.step()
+        fa = _first_activation(proc)
+        hit = int(fa[target]) if fa[target] >= 0 else None
+        extras = _collect_extras(proc)
+        extras["hit_time"] = hit
+        covered = bool(getattr(proc, "all_covered", False))
+        return RunResult(
+            process=spec.name,
+            metric=metric,
+            covered=covered,
+            steps=int(proc.t),
+            cover_time=None,
+            first_activation=fa.copy(),
+            extras=extras,
+        )
+
+    if metric == "coalesce":
+        while proc.num_walkers > 1 and proc.t < max_steps:
+            proc.step()
+        coalesced = proc.num_walkers == 1
+        fa = _first_activation(proc)
+        extras = _collect_extras(proc)
+        extras["coalesced"] = coalesced
+        extras["walkers_left"] = int(proc.num_walkers)
+        extras["coalescence_time"] = int(proc.t) if coalesced else None
+        return RunResult(
+            process=spec.name,
+            metric=metric,
+            covered=bool(getattr(proc, "all_covered", False)),
+            steps=int(proc.t),
+            cover_time=None,
+            first_activation=fa.copy() if fa is not None else None,
+            extras=extras,
+        )
+
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def _batch_trial(
+    seed,
+    graph: Graph,
+    process: str | ProcessSpec,
+    metric: str,
+    start,
+    target,
+    max_steps,
+    params: dict | None = None,
+) -> float:
+    """Picklable per-trial worker for serial/pool fan-out."""
+    return simulate(
+        graph,
+        process,
+        metric=metric,
+        start=start,
+        target=target,
+        seed=seed,
+        max_steps=max_steps,
+        **(params or {}),
+    ).value
+
+
+def run_batch(
+    graph: Graph,
+    process: str | ProcessSpec = "cobra",
+    *,
+    trials: int = 32,
+    metric: str | None = None,
+    start: int | np.ndarray = 0,
+    target: int | None = None,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+    processes: int | None = None,
+    strategy: str = "auto",
+    **params: Any,
+) -> TrialSummary:
+    """Run *trials* independent trials and summarise the outcomes.
+
+    Strategy selection (``strategy="auto"``):
+
+    * the process's vectorized batched engine, when it has one and the
+      metric is coverage — all trials advance in one ``(trials, n)``
+      frontier, no per-trial Python loops;
+    * a :mod:`multiprocessing` pool when ``processes > 1`` (or a CLI
+      default was installed via :func:`set_default_processes`);
+    * otherwise a serial loop over spawned per-trial seeds, which is
+      seed-for-seed identical to the legacy ``*_trials`` helpers.
+
+    ``strategy="vectorized"`` / ``"serial"`` force a path (vectorized
+    raises for processes without a batched engine).
+    """
+    spec = process if isinstance(process, ProcessSpec) else get_process(process)
+    metric = _resolve_metric(spec, metric)
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    if strategy not in ("auto", "vectorized", "serial"):
+        raise ValueError(f"unknown strategy {strategy!r}; use auto|vectorized|serial")
+    if processes is None:
+        processes = _DEFAULT_PROCESSES
+    if max_steps is None:
+        max_steps = spec.default_budget(graph, params)
+
+    batchable = spec.batch_cover is not None and metric in ("cover", "spread")
+    if strategy == "vectorized" and not batchable:
+        raise ValueError(
+            f"process {spec.name!r} has no vectorized engine for metric {metric!r}"
+        )
+    use_vectorized = strategy == "vectorized" or (
+        strategy == "auto" and batchable and (processes is None or processes <= 1)
+    )
+    if use_vectorized:
+        values = spec.batch_cover(
+            graph, trials=trials, start=start, seed=seed, max_steps=max_steps, **params
+        )
+        return summarize_trials(np.asarray(values, dtype=np.float64))
+
+    # registered specs travel by name (cheap to pickle across a pool);
+    # an unregistered spec is passed as the object itself — fine
+    # serially, and the pool path then needs the spec to be picklable
+    from .processes import _REGISTRY
+
+    proc_ref: str | ProcessSpec = (
+        spec.name if _REGISTRY.get(spec.name) is spec else spec
+    )
+    return run_trials(
+        _batch_trial,
+        trials,
+        seed=seed,
+        args=(graph, proc_ref, metric, start, target, max_steps),
+        kwargs={"params": dict(params)},
+        processes=processes,
+    )

@@ -22,7 +22,14 @@ __all__ = ["TrialSummary", "run_trials", "summarize_trials"]
 
 @dataclass(frozen=True)
 class TrialSummary:
-    """Summary statistics over trial outcomes (NaNs = failed trials)."""
+    """Summary statistics over trial outcomes (NaNs = failed trials).
+
+    This is the single summary type for the whole repo:
+    :func:`repro.analysis.stats.summarize` returns it too (its
+    historical ``SummaryStats`` name is an alias), so facade batches,
+    Monte-Carlo harness output, and analysis tables all speak one
+    schema.
+    """
 
     values: np.ndarray
     mean: float
@@ -30,15 +37,30 @@ class TrialSummary:
     median: float
     ci95_half_width: float
     failures: int
+    q25: float = np.nan
+    q75: float = np.nan
+    minimum: float = np.nan
+    maximum: float = np.nan
 
     @property
     def trials(self) -> int:
+        """Total number of trials, failed ones included."""
         return int(self.values.size)
+
+    @property
+    def n(self) -> int:
+        """Number of successful (non-NaN) trials."""
+        return int(self.values.size) - self.failures
+
+    @property
+    def nan_count(self) -> int:
+        """Alias of :attr:`failures` (historical ``SummaryStats`` name)."""
+        return self.failures
 
 
 def summarize_trials(values: np.ndarray) -> TrialSummary:
     """Build a :class:`TrialSummary` from raw trial values."""
-    values = np.asarray(values, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64).ravel()
     ok = values[~np.isnan(values)]
     failures = int(values.size - ok.size)
     if ok.size == 0:
@@ -46,7 +68,18 @@ def summarize_trials(values: np.ndarray) -> TrialSummary:
     mean = float(ok.mean())
     std = float(ok.std(ddof=1)) if ok.size > 1 else 0.0
     half = 1.96 * std / np.sqrt(ok.size) if ok.size > 1 else 0.0
-    return TrialSummary(values, mean, std, float(np.median(ok)), half, failures)
+    return TrialSummary(
+        values,
+        mean,
+        std,
+        float(np.median(ok)),
+        half,
+        failures,
+        q25=float(np.quantile(ok, 0.25)),
+        q75=float(np.quantile(ok, 0.75)),
+        minimum=float(ok.min()),
+        maximum=float(ok.max()),
+    )
 
 
 def _worker(payload: tuple) -> float:
@@ -78,7 +111,14 @@ def run_trials(
     if processes is None or processes <= 1:
         values = np.array([_worker(p) for p in payloads])
     else:
-        ctx = mp.get_context("fork" if hasattr(mp, "get_context") else None)
-        with ctx.Pool(processes=processes) as pool:
+        with _pool_context().Pool(processes=processes) as pool:
             values = np.array(pool.map(_worker, payloads))
     return summarize_trials(values)
+
+
+def _pool_context() -> mp.context.BaseContext:
+    """Pool context: ``fork`` where the platform offers it (cheapest —
+    the graph ships by page sharing), else the platform default
+    (``spawn`` on macOS/Windows, where ``get_context("fork")`` raises)."""
+    method = "fork" if "fork" in mp.get_all_start_methods() else None
+    return mp.get_context(method)

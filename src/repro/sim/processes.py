@@ -1,0 +1,163 @@
+"""The process registry: one declarative entry per stochastic process.
+
+Mirrors :mod:`repro.experiments.registry` for the *processes* the paper
+compares — cobra walks, Walt, simple/lazy/parallel random walks,
+branching, coalescing, gossip push/pull, and biased walks.  Each
+:class:`ProcessSpec` bundles a factory returning a
+:class:`~repro.sim.engine.SteppingProcess` together with declared
+capabilities (which metrics make sense) and the process's default step
+budget, so the :mod:`repro.sim.facade` can drive any of them through
+one ``simulate()`` / ``run_batch()`` entry point.
+
+Adding a new process variant (the branching-walk literature keeps
+producing them) is one :func:`register_process` call — no new module of
+sweep glue.
+
+Capabilities
+------------
+``cover``
+    The process activates/visits vertices and can cover the graph;
+    ``simulate(..., metric="cover")`` is meaningful.
+``hit``
+    First-activation of a single target vertex is meaningful.
+``spread``
+    Rumor-spreading flavor of coverage (the informed set only grows);
+    drives the same stopping rule as ``cover``.
+``coalesce``
+    The process has a shrinking walker population and a coalescence
+    time (``metric="coalesce"``).
+``multi_source``
+    The factory accepts an array of start vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Callable, Mapping
+
+from ..graphs.base import Graph
+from .engine import SteppingProcess
+
+__all__ = [
+    "ProcessSpec",
+    "register_process",
+    "get_process",
+    "all_processes",
+    "process_names",
+]
+
+#: the metric vocabulary understood by the facade
+METRICS = ("cover", "hit", "spread", "coalesce")
+
+#: factory signature: ``factory(graph, *, start, seed, target, **params)``
+ProcessFactory = Callable[..., SteppingProcess]
+
+#: budget signature: ``default_budget(graph, params) -> int``
+BudgetFn = Callable[[Graph, Mapping[str, Any]], int]
+
+#: batched-cover signature:
+#: ``batch_cover(graph, *, trials, start, seed, max_steps, **params) -> float64[trials]``
+BatchCoverFn = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class ProcessSpec:
+    """A registered stochastic process.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"cobra"``, ``"walt"``, ``"push"``, …).
+    factory:
+        Builds a fresh stepping process on a graph.  Keyword-only
+        arguments ``start``, ``seed``, and ``target`` are always
+        accepted (and ignored where meaningless); ``**params`` are the
+        process's own knobs (``k``, ``delta``, ``walkers``, …).
+    capabilities:
+        Subset of :data:`METRICS` plus ``"multi_source"``.
+    default_metric:
+        The metric ``simulate()`` uses when none is given.
+    default_params:
+        The factory's tunable defaults, for documentation/CLI listing.
+    default_budget:
+        Step budget matching the process's legacy helper, so facade
+        runs reproduce the historical helpers seed-for-seed.
+    batch_cover:
+        Optional vectorized engine advancing all cover trials in one
+        ``(trials, n)`` frontier; ``run_batch`` uses it when available.
+    description:
+        One-line positioning of the process in the paper.
+    """
+
+    name: str
+    factory: ProcessFactory
+    capabilities: frozenset[str]
+    default_metric: str
+    default_budget: BudgetFn
+    default_params: Mapping[str, Any] = field(default_factory=dict)
+    batch_cover: BatchCoverFn | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "default_params", MappingProxyType(dict(self.default_params)))
+        unknown = self.capabilities - set(METRICS) - {"multi_source"}
+        if unknown:
+            raise ValueError(f"unknown capabilities for {self.name!r}: {sorted(unknown)}")
+        if self.default_metric not in self.capabilities:
+            raise ValueError(
+                f"default metric {self.default_metric!r} not in capabilities of {self.name!r}"
+            )
+
+    def supports(self, metric: str) -> bool:
+        """Whether *metric* is declared for this process."""
+        return metric in self.capabilities
+
+    def make(self, graph: Graph, **kwargs: Any) -> SteppingProcess:
+        """Instantiate the process (thin sugar over ``factory``)."""
+        return self.factory(graph, **kwargs)
+
+
+_REGISTRY: dict[str, ProcessSpec] = {}
+_LOADED = False
+
+
+def register_process(spec: ProcessSpec) -> ProcessSpec:
+    """Register *spec*, rejecting duplicate names."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"duplicate process name {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_process(name: str) -> ProcessSpec:
+    """Look up a process, raising with the known names on miss."""
+    _load_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown process {name!r}; known: {known}") from None
+
+
+def all_processes() -> list[ProcessSpec]:
+    """All registered specs, sorted by name."""
+    _load_builtins()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def process_names() -> list[str]:
+    """Sorted registry keys."""
+    _load_builtins()
+    return sorted(_REGISTRY)
+
+
+def _load_builtins() -> None:
+    """Import the built-in registrations exactly once (lazily, because
+    they import :mod:`repro.core` / :mod:`repro.walks`, which in turn
+    import :mod:`repro.sim` — the same deferred-import pattern as
+    :func:`repro.experiments.registry._load_all`)."""
+    global _LOADED
+    if not _LOADED:
+        _LOADED = True
+        from . import builtin_processes  # noqa: F401

@@ -1,9 +1,14 @@
 """Baseline stochastic processes the paper compares against."""
 
 from .branching import BranchingRunResult, BranchingWalk, branching_cover_time
-from .coalescing import CoalescingWalks, coalescence_time
-from .gossip import pull_spread_time, push_pull_spread_time, push_spread_time
-from .parallel import parallel_cover_time, parallel_hitting_time
+from .coalescing import CoalescingWalks, coalescence_time, coalescing_start_positions
+from .gossip import (
+    GossipSpread,
+    pull_spread_time,
+    push_pull_spread_time,
+    push_spread_time,
+)
+from .parallel import ParallelWalks, parallel_cover_time, parallel_hitting_time
 from .simple import (
     RandomWalk,
     rw_cover_time,
@@ -19,9 +24,12 @@ __all__ = [
     "branching_cover_time",
     "CoalescingWalks",
     "coalescence_time",
+    "coalescing_start_positions",
+    "GossipSpread",
     "pull_spread_time",
     "push_pull_spread_time",
     "push_spread_time",
+    "ParallelWalks",
     "parallel_cover_time",
     "parallel_hitting_time",
     "RandomWalk",

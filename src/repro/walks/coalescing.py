@@ -16,7 +16,7 @@ import numpy as np
 from ..graphs.base import Graph, sample_uniform_neighbors
 from ..sim.rng import SeedLike, resolve_rng
 
-__all__ = ["CoalescingWalks", "coalescence_time"]
+__all__ = ["CoalescingWalks", "coalescence_time", "coalescing_start_positions"]
 
 
 @dataclass
@@ -50,10 +50,20 @@ class CoalescingWalks:
         self.t = 0
         self.first_visit = np.full(graph.n, -1, dtype=np.int64)
         self.first_visit[positions] = 0
+        self._num_covered = int(positions.size)
 
     @property
     def num_walkers(self) -> int:
         return int(self.positions.size)
+
+    @property
+    def num_covered(self) -> int:
+        """Number of vertices some walker has visited."""
+        return self._num_covered
+
+    @property
+    def all_covered(self) -> bool:
+        return self._num_covered == self.graph.n
 
     def step(self) -> np.ndarray:
         """All walkers move; co-located walkers merge."""
@@ -63,6 +73,7 @@ class CoalescingWalks:
         fresh = self.positions[self.first_visit[self.positions] < 0]
         if fresh.size:
             self.first_visit[fresh] = self.t
+            self._num_covered += int(fresh.size)
         return self.positions
 
     def run_until_coalesced(self, max_steps: int) -> CoalescingRunResult:
@@ -76,6 +87,16 @@ class CoalescingWalks:
         )
 
 
+def coalescing_start_positions(
+    graph: Graph, walkers: int | None, rng: np.random.Generator
+) -> np.ndarray:
+    """Initial walker placement: distinct uniform vertices, one per
+    vertex when *walkers* is ``None`` (the classical setting)."""
+    if walkers is None or walkers >= graph.n:
+        return np.arange(graph.n, dtype=np.int64)
+    return rng.choice(graph.n, size=walkers, replace=False)
+
+
 def coalescence_time(
     graph: Graph,
     *,
@@ -83,13 +104,10 @@ def coalescence_time(
     seed: SeedLike = None,
     max_steps: int | None = None,
 ) -> int | None:
-    """Steps until all walkers merge (walkers start on distinct uniform
-    vertices; default: one per vertex, the classical setting)."""
+    """Steps until all walkers merge (see
+    :func:`coalescing_start_positions` for the default placement)."""
     rng = resolve_rng(seed)
-    if walkers is None or walkers >= graph.n:
-        positions = np.arange(graph.n, dtype=np.int64)
-    else:
-        positions = rng.choice(graph.n, size=walkers, replace=False)
+    positions = coalescing_start_positions(graph, walkers, rng)
     if max_steps is None:
         max_steps = max(100_000, 20 * graph.n**2)
     proc = CoalescingWalks(graph, positions, seed=rng)

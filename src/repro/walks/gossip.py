@@ -6,6 +6,11 @@ informed set only grows — the key structural difference from cobra
 walks, whose active set can shrink).  Feige et al. prove push
 completes on any graph in ``O(n log n)`` rounds whp, a bound
 conjectured to carry over to cobra walks.
+
+:class:`GossipSpread` is the stepping process (registered as
+``"push"``, ``"pull"``, and ``"push_pull"`` in
+:mod:`repro.sim.processes`); the ``*_spread_time`` helpers keep their
+historical signatures and drive it.
 """
 
 from __future__ import annotations
@@ -15,40 +20,93 @@ import numpy as np
 from ..graphs.base import Graph, sample_uniform_neighbors
 from ..sim.rng import SeedLike, resolve_rng
 
-__all__ = ["push_spread_time", "pull_spread_time", "push_pull_spread_time"]
+__all__ = [
+    "GossipSpread",
+    "push_spread_time",
+    "pull_spread_time",
+    "push_pull_spread_time",
+]
 
 
-def _spread(
+class GossipSpread:
+    """Push and/or pull rumor spreading as a stepping process.
+
+    Per round: every informed vertex pushes to one uniform neighbor
+    (``push=True``), and/or every uninformed vertex polls one uniform
+    neighbor and learns the rumor if that neighbor knows it
+    (``pull=True``).  The informed set only grows.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        start: int = 0,
+        push: bool = True,
+        pull: bool = False,
+        seed: SeedLike = None,
+    ) -> None:
+        if not (push or pull):
+            raise ValueError("enable at least one of push/pull")
+        if not (0 <= start < graph.n):
+            raise ValueError("start out of range")
+        self.graph = graph
+        self.push = bool(push)
+        self.pull = bool(pull)
+        self.rng = resolve_rng(seed)
+        self.t = 0
+        self.informed = np.zeros(graph.n, dtype=bool)
+        self.informed[start] = True
+        self.first_visit = np.full(graph.n, -1, dtype=np.int64)
+        self.first_visit[start] = 0
+        self._num_covered = 1
+        self._all_vertices = np.arange(graph.n, dtype=np.int64)
+
+    @property
+    def num_covered(self) -> int:
+        """Number of informed vertices."""
+        return self._num_covered
+
+    @property
+    def all_covered(self) -> bool:
+        return self._num_covered == self.graph.n
+
+    def step(self) -> np.ndarray:
+        """One gossip round; returns the informed mask."""
+        self.t += 1
+        fresh_mask = np.zeros(self.graph.n, dtype=bool)
+        if self.push:
+            senders = self._all_vertices[self.informed]
+            targets = sample_uniform_neighbors(self.graph, senders, self.rng)
+            fresh_mask[targets] = True
+        if self.pull:
+            askers = self._all_vertices[~self.informed]
+            if askers.size:
+                sources = sample_uniform_neighbors(self.graph, askers, self.rng)
+                fresh_mask[askers[self.informed[sources]]] = True
+        fresh_mask &= ~self.informed
+        if fresh_mask.any():
+            self.informed |= fresh_mask
+            self.first_visit[fresh_mask] = self.t
+            self._num_covered = int(self.informed.sum())
+        return self.informed
+
+
+def _spread_time(
     graph: Graph,
     start: int,
-    rng: np.random.Generator,
-    max_rounds: int,
+    seed: SeedLike,
+    max_rounds: int | None,
     *,
     push: bool,
     pull: bool,
 ) -> int | None:
-    informed = np.zeros(graph.n, dtype=bool)
-    informed[start] = True
-    count = 1
-    all_vertices = np.arange(graph.n, dtype=np.int64)
-    for t in range(1, max_rounds + 1):
-        fresh_mask = np.zeros(graph.n, dtype=bool)
-        if push:
-            senders = all_vertices[informed]
-            targets = sample_uniform_neighbors(graph, senders, rng)
-            fresh_mask[targets] = True
-        if pull:
-            askers = all_vertices[~informed]
-            if askers.size:
-                sources = sample_uniform_neighbors(graph, askers, rng)
-                fresh_mask[askers[informed[sources]]] = True
-        fresh_mask &= ~informed
-        if fresh_mask.any():
-            informed |= fresh_mask
-            count = int(informed.sum())
-            if count == graph.n:
-                return t
-    return None
+    if max_rounds is None:
+        max_rounds = _budget(graph.n)
+    proc = GossipSpread(graph, start=start, push=push, pull=pull, seed=seed)
+    while not proc.all_covered and proc.t < max_rounds:
+        proc.step()
+    return proc.t if proc.all_covered else None
 
 
 def push_spread_time(
@@ -59,10 +117,7 @@ def push_spread_time(
     max_rounds: int | None = None,
 ) -> int | None:
     """Rounds for push gossip to inform every vertex (``None`` = budget)."""
-    rng = resolve_rng(seed)
-    if max_rounds is None:
-        max_rounds = _budget(graph.n)
-    return _spread(graph, start, rng, max_rounds, push=True, pull=False)
+    return _spread_time(graph, start, seed, max_rounds, push=True, pull=False)
 
 
 def pull_spread_time(
@@ -73,10 +128,7 @@ def pull_spread_time(
     max_rounds: int | None = None,
 ) -> int | None:
     """Rounds for pull gossip (uninformed vertices poll a neighbor)."""
-    rng = resolve_rng(seed)
-    if max_rounds is None:
-        max_rounds = _budget(graph.n)
-    return _spread(graph, start, rng, max_rounds, push=False, pull=True)
+    return _spread_time(graph, start, seed, max_rounds, push=False, pull=True)
 
 
 def push_pull_spread_time(
@@ -87,10 +139,7 @@ def push_pull_spread_time(
     max_rounds: int | None = None,
 ) -> int | None:
     """Rounds for combined push–pull gossip."""
-    rng = resolve_rng(seed)
-    if max_rounds is None:
-        max_rounds = _budget(graph.n)
-    return _spread(graph, start, rng, max_rounds, push=True, pull=True)
+    return _spread_time(graph, start, seed, max_rounds, push=True, pull=True)
 
 
 def _budget(n: int) -> int:

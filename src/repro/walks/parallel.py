@@ -4,6 +4,10 @@
 first step at which their union has visited every vertex.  The paper
 contrasts cobra walks with this model: parallel walks keep a fixed
 walker budget while the cobra frontier breathes with the topology.
+
+:class:`ParallelWalks` is the stepping process (registered as
+``"parallel"`` in :mod:`repro.sim.processes`); the module-level
+helpers keep their historical signatures and drive it.
 """
 
 from __future__ import annotations
@@ -13,7 +17,69 @@ import numpy as np
 from ..graphs.base import Graph, sample_uniform_neighbors
 from ..sim.rng import SeedLike, resolve_rng
 
-__all__ = ["parallel_cover_time", "parallel_hitting_time"]
+__all__ = ["ParallelWalks", "parallel_cover_time", "parallel_hitting_time"]
+
+
+class ParallelWalks:
+    """``walkers`` independent simple walks advanced in lock-step.
+
+    ``start`` may be one vertex (all walkers there — the setting of
+    Alon et al.'s worst-case results) or an array of length *walkers*.
+    One batched neighbor draw moves every walker per step, so the RNG
+    stream matches the historical loop-based helpers exactly.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        walkers: int = 2,
+        start: int | np.ndarray = 0,
+        seed: SeedLike = None,
+    ) -> None:
+        if walkers < 1:
+            raise ValueError("need at least one walker")
+        rng = resolve_rng(seed)
+        pos = np.atleast_1d(np.asarray(start, dtype=np.int64))
+        if pos.size == 1:
+            pos = np.full(walkers, pos[0], dtype=np.int64)
+        if pos.size != walkers:
+            raise ValueError("start must be scalar or length == walkers")
+        if pos.min() < 0 or pos.max() >= graph.n:
+            raise ValueError("start out of range")
+        self.graph = graph
+        self.positions = pos.copy()
+        self.rng = rng
+        self.t = 0
+        self.first_visit = np.full(graph.n, -1, dtype=np.int64)
+        self.first_visit[np.unique(pos)] = 0
+        self._num_covered = int((self.first_visit >= 0).sum())
+
+    @property
+    def num_walkers(self) -> int:
+        return int(self.positions.size)
+
+    @property
+    def num_covered(self) -> int:
+        return self._num_covered
+
+    @property
+    def all_covered(self) -> bool:
+        return self._num_covered == self.graph.n
+
+    def step(self) -> np.ndarray:
+        """Move every walker to a uniform neighbor; returns positions."""
+        self.t += 1
+        self.positions = sample_uniform_neighbors(self.graph, self.positions, self.rng)
+        fresh = self.positions[self.first_visit[self.positions] < 0]
+        if fresh.size:
+            self.first_visit[fresh] = self.t
+            self._num_covered += int(np.unique(fresh).size)
+        return self.positions
+
+
+def _default_budget(n: int, walkers: int) -> int:
+    return max(200_000, n**3 // max(walkers, 1))
 
 
 def parallel_cover_time(
@@ -24,36 +90,14 @@ def parallel_cover_time(
     seed: SeedLike = None,
     max_steps: int | None = None,
 ) -> int | None:
-    """Cover time of *walkers* independent simple walks.
-
-    ``start`` may be one vertex (all walkers there — the setting of
-    Alon et al.'s worst-case results) or an array of length *walkers*.
-    """
-    if walkers < 1:
-        raise ValueError("need at least one walker")
+    """Cover time of *walkers* independent simple walks (``None`` =
+    budget exhausted)."""
     if max_steps is None:
-        max_steps = max(200_000, graph.n**3 // max(walkers, 1))
-    rng = resolve_rng(seed)
-    pos = np.atleast_1d(np.asarray(start, dtype=np.int64))
-    if pos.size == 1:
-        pos = np.full(walkers, pos[0], dtype=np.int64)
-    if pos.size != walkers:
-        raise ValueError("start must be scalar or length == walkers")
-    if pos.min() < 0 or pos.max() >= graph.n:
-        raise ValueError("start out of range")
-    pos = pos.copy()
-    visited = np.zeros(graph.n, dtype=bool)
-    visited[pos] = True
-    count = int(visited.sum())
-    for t in range(1, max_steps + 1):
-        pos = sample_uniform_neighbors(graph, pos, rng)
-        fresh = pos[~visited[pos]]
-        if fresh.size:
-            visited[fresh] = True
-            count = int(visited.sum())
-            if count == graph.n:
-                return t
-    return None
+        max_steps = _default_budget(graph.n, walkers)
+    proc = ParallelWalks(graph, walkers=walkers, start=start, seed=seed)
+    while not proc.all_covered and proc.t < max_steps:
+        proc.step()
+    return int(proc.first_visit.max()) if proc.all_covered else None
 
 
 def parallel_hitting_time(
@@ -69,16 +113,9 @@ def parallel_hitting_time(
     if not (0 <= target < graph.n):
         raise ValueError("target out of range")
     if max_steps is None:
-        max_steps = max(200_000, graph.n**3 // max(walkers, 1))
-    rng = resolve_rng(seed)
-    pos = np.atleast_1d(np.asarray(start, dtype=np.int64))
-    if pos.size == 1:
-        pos = np.full(walkers, pos[0], dtype=np.int64)
-    if (pos == target).any():
-        return 0
-    pos = pos.copy()
-    for t in range(1, max_steps + 1):
-        pos = sample_uniform_neighbors(graph, pos, rng)
-        if (pos == target).any():
-            return t
-    return None
+        max_steps = _default_budget(graph.n, walkers)
+    proc = ParallelWalks(graph, walkers=walkers, start=start, seed=seed)
+    while proc.first_visit[target] < 0 and proc.t < max_steps:
+        proc.step()
+    hit = proc.first_visit[target]
+    return int(hit) if hit >= 0 else None

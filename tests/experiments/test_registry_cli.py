@@ -76,3 +76,30 @@ class TestCli:
         out = capsys.readouterr().out
         assert "L10_walt" in out
         assert "finished in" in out
+
+    def test_run_json(self, capsys):
+        import json
+
+        assert main(["run", "TREES_kary", "--json", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert set(doc) == {"TREES_kary"}
+        entry = doc["TREES_kary"]
+        assert entry["scale"] == "quick" and entry["seed"] == 1
+        assert isinstance(entry["findings"], dict) and entry["findings"]
+
+    def test_run_processes_flag(self, capsys):
+        from repro.sim import get_default_processes, set_default_processes
+
+        try:
+            assert main(["run", "TREES_kary", "--processes", "2"]) == 0
+            assert get_default_processes() == 2
+        finally:
+            set_default_processes(None)
+        out = capsys.readouterr().out
+        assert "TREES_kary" in out
+
+    def test_processes_command(self, capsys):
+        assert main(["processes"]) == 0
+        out = capsys.readouterr().out
+        assert "cobra" in out and "walt" in out and "push_pull" in out

@@ -129,6 +129,49 @@ class TestMonteCarlo:
         with pytest.raises(ValueError):
             run_trials(_trial_mean_of_uniform, 0, args=(1.0,))
 
+    def test_pool_context_without_fork(self, monkeypatch):
+        # platforms without fork (Windows/macOS-spawn) must fall back to
+        # the default context instead of raising
+        import multiprocessing as mp
+
+        from repro.sim import montecarlo
+
+        monkeypatch.setattr(mp, "get_all_start_methods", lambda: ["spawn"])
+        # must not raise (the old code passed "fork" unconditionally);
+        # the platform default context is whatever mp considers default
+        ctx = montecarlo._pool_context()
+        assert hasattr(ctx, "Pool")
+
+    def test_pool_context_prefers_fork(self):
+        import multiprocessing as mp
+
+        from repro.sim import montecarlo
+
+        if "fork" in mp.get_all_start_methods():
+            assert montecarlo._pool_context().get_start_method() == "fork"
+
+
+class TestUnifiedSummary:
+    """One TrialSummary type across sim and analysis (satellite)."""
+
+    def test_analysis_summarize_is_trial_summary(self):
+        from repro.analysis import SummaryStats, summarize
+        from repro.sim import TrialSummary
+
+        assert SummaryStats is TrialSummary
+        s = summarize([1.0, 2.0, 3.0, np.nan])
+        assert isinstance(s, TrialSummary)
+        assert s.n == 3 and s.nan_count == 1 and s.failures == 1
+
+    def test_quantile_fields(self):
+        s = summarize_trials(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.q25 == pytest.approx(1.75) and s.q75 == pytest.approx(3.25)
+
+    def test_all_nan_quantiles(self):
+        s = summarize_trials(np.array([np.nan]))
+        assert np.isnan(s.q25) and np.isnan(s.minimum) and s.n == 0
+
 
 class TestCoverageRecord:
     def test_curve_from_first_activation(self):
