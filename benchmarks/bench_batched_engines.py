@@ -1,0 +1,115 @@
+"""Benchmark: the generalized batched engines vs serial per-trial runs.
+
+The acceptance bar for the batched-engine layer (mirroring
+``bench_facade_batch.py``, which owns the cobra cover engine): on
+``grid(32, 2)`` with 32 trials, each new vectorized engine —
+
+* gossip ``push`` / ``pull`` / ``push_pull`` spread,
+* ``parallel`` independent-walkers cover,
+* ``walt`` ordered-pebble cover,
+* cobra ``metric="hit"`` —
+
+must be at least 3x faster than the same 32 trials through
+``run_batch(strategy="serial")`` (the seed-spawned per-trial loop the
+legacy helpers used).
+
+Both sides are timed with ``time.process_time`` (CPU time — immune to
+scheduler noise on shared machines), interleaved, best-of-``ROUNDS``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_batched_engines.py
+
+``--quick`` shrinks the graph and round count for CI smoke runs (the
+speedup is printed but the exit code ignores the bar — shared runners
+are too noisy to gate on a timing ratio).
+
+or through pytest::
+
+    PYTHONPATH=src pytest benchmarks/bench_batched_engines.py -s
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import grid, run_batch
+
+SEED = 2016
+TRIALS = 32
+ROUNDS = 3
+BAR = 3.0
+
+#: (label, process, extra run_batch kwargs); target=-1 means "last vertex"
+CASES = [
+    ("push spread", "push", {}),
+    ("pull spread", "pull", {}),
+    ("push_pull spread", "push_pull", {}),
+    ("parallel cover (4 walkers)", "parallel", {"walkers": 4}),
+    ("walt cover", "walt", {}),
+    ("cobra hit", "cobra", {"metric": "hit", "target": -1}),
+]
+
+
+def measure(side: int = 32, rounds: int = ROUNDS) -> list[tuple[str, float, float, float]]:
+    """Return ``(label, serial_s, vectorized_s, speedup)`` per engine.
+
+    Rounds are interleaved (serial, vectorized, serial, ...) and each
+    side takes its best, so a machine-load shift mid-benchmark biases
+    both sides equally instead of whichever ran second.
+    """
+    g = grid(side, 2)
+    results = []
+    for label, process, extra in CASES:
+        kwargs = dict(extra)
+        if kwargs.get("target") == -1:
+            kwargs["target"] = g.n - 1
+
+        def serial():
+            run_batch(g, process, trials=TRIALS, seed=SEED, strategy="serial", **kwargs)
+
+        def vectorized():
+            run_batch(
+                g, process, trials=TRIALS, seed=SEED, strategy="vectorized", **kwargs
+            )
+
+        serial()  # warm-up: imports, allocator pools, ufunc dispatch caches
+        vectorized()
+        serial_t = vectorized_t = float("inf")
+        for _ in range(rounds):
+            t0 = time.process_time()
+            serial()
+            serial_t = min(serial_t, time.process_time() - t0)
+            t0 = time.process_time()
+            vectorized()
+            vectorized_t = min(vectorized_t, time.process_time() - t0)
+        results.append((label, serial_t, vectorized_t, serial_t / vectorized_t))
+    return results
+
+
+def test_batched_engine_speedups():
+    results = measure()
+    for label, ser, vec, speedup in results:
+        print(
+            f"\n{label}: serial {ser * 1e3:.1f} ms | "
+            f"vectorized {vec * 1e3:.1f} ms | speedup {speedup:.2f}x"
+        )
+    laggards = [(label, s) for label, _, _, s in results if s < BAR]
+    assert not laggards, f"engines under the {BAR}x bar: {laggards}"
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv
+    side = 16 if quick else 32
+    results = measure(side=side, rounds=1 if quick else ROUNDS)
+    worst = min(s for _, _, _, s in results)
+    for label, ser, vec, speedup in results:
+        print(
+            f"{label:28s} serial {ser * 1e3:8.1f} ms | "
+            f"vectorized {vec * 1e3:8.1f} ms | {speedup:6.2f}x"
+        )
+    print(f"worst speedup: {worst:.2f}x (bar: >= {BAR}, grid({side}, 2))")
+    if quick:
+        raise SystemExit(0)  # smoke mode: informational only
+    raise SystemExit(0 if worst >= BAR else 1)

@@ -19,9 +19,11 @@ entry points returning one result schema::
     print(batch.mean, batch.ci95_half_width)   # TrialSummary
 
 ``run_batch`` picks the vectorized batched engine where one exists
-(cobra, simple), so sweeps advance all trials in one ``(trials, n)``
-frontier instead of per-trial Python loops.  The historical
-per-process helpers (``cobra_cover_time`` & co.) remain as thin shims.
+(cover/spread: cobra, simple, walt, parallel, push, pull, push_pull;
+hit: cobra, simple), so sweeps advance all trials in one
+``(trials, n)`` frontier instead of per-trial Python loops.  The
+historical per-process helpers (``cobra_cover_time`` & co.) remain as
+thin shims.
 
 Subpackages
 -----------

@@ -18,8 +18,6 @@ import numpy as np
 
 from ..graphs.base import Graph
 from ..sim.rng import SeedLike, spawn_seeds
-from .cobra import cobra_cover_time
-from .walt import walt_cover_time
 
 __all__ = [
     "stochastic_dominance_fraction",
@@ -83,19 +81,22 @@ def walt_dominates_cobra_report(
     Note the direction: Walt's cover time is the *larger* one — that is
     exactly why an upper bound proved for Walt transfers to the cobra
     walk.
+
+    Both processes run their trials on the vectorized batched cover
+    engines (one flat frontier each) via
+    :func:`repro.sim.facade.run_batch`.
     """
+    from ..sim.facade import run_batch
+
     cobra_seeds, walt_seeds = spawn_seeds(seed, 2)
-    cobra_times = np.empty(trials)
-    walt_times = np.empty(trials)
-    for i, (cs, ws) in enumerate(
-        zip(spawn_seeds(cobra_seeds, trials), spawn_seeds(walt_seeds, trials))
-    ):
-        cres = cobra_cover_time(graph, start=start, seed=cs, max_steps=max_steps)
-        wres = walt_cover_time(
-            graph, delta=delta, start=start, seed=ws, max_steps=max_steps
-        )
-        cobra_times[i] = np.nan if cres.cover_time is None else cres.cover_time
-        walt_times[i] = np.nan if wres.cover_time is None else wres.cover_time
+    cobra_times = run_batch(
+        graph, "cobra", trials=trials, start=start, seed=cobra_seeds,
+        max_steps=max_steps,
+    ).values
+    walt_times = run_batch(
+        graph, "walt", trials=trials, start=start, seed=walt_seeds,
+        max_steps=max_steps, delta=delta,
+    ).values
     return DominanceReport(
         graph_name=graph.name,
         cobra_mean=float(np.nanmean(cobra_times)),

@@ -14,6 +14,8 @@ offers the vectorized batched engine.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..graphs.base import Graph
@@ -106,8 +108,19 @@ def max_hitting_time_estimate(
     Evaluates mean hitting time over sampled ``(u, v)`` pairs (all
     ordered pairs when ``pairs`` is ``None`` and ``n ≤ 40``) and
     returns the maximum.  This is the quantity Matthews' bound
-    (Theorem 1) consumes.
+    (Theorem 1) consumes.  Per-pair trials run on the vectorized
+    batched hitting engine via :func:`repro.sim.facade.run_batch`.
+
+    Budget-exhausted trials are **not** dropped: a trial that never hit
+    within the budget has a hitting time of *at least* the budget, so
+    it enters its pair's mean clamped to the budget (making each pair
+    mean a proper lower bound on the true mean), and a single
+    :class:`RuntimeWarning` reports how many pairs were censored (they
+    are exactly the pairs where hitting is hardest — silently skipping
+    them used to underestimate ``h_max`` where it matters most).
     """
+    from ..sim.facade import run_batch
+
     n = graph.n
     seeds = spawn_seeds(seed, 2)
     rng = np.random.default_rng(seeds[0])
@@ -121,15 +134,46 @@ def max_hitting_time_estimate(
         pair_list = list(zip(us[keep].tolist(), vs[keep].tolist()))
         if not pair_list:
             pair_list = [(0, n - 1)]
+    if max_steps is None:
+        from .cobra import _default_budget
+
+        budget = _default_budget(n)
+    else:
+        budget = int(max_steps)
     hmax = 0.0
+    censored_pairs = 0
     trial_seeds = spawn_seeds(seeds[1], len(pair_list))
     for (u, v), s in zip(pair_list, trial_seeds):
-        times = cobra_hitting_trials(
-            graph, v, k=k, start=u, trials=trials, seed=s, max_steps=max_steps
-        )
-        mean = float(np.nanmean(times))
+        times = run_batch(
+            graph,
+            "cobra",
+            metric="hit",
+            trials=trials,
+            start=u,
+            target=v,
+            seed=s,
+            max_steps=budget,
+            k=k,
+        ).values
+        failed = np.isnan(times)
+        if failed.any():
+            # a trial that ran out of budget hit no earlier than the
+            # budget: clamp it there instead of dropping it, so the
+            # pair mean stays a lower bound on the true mean
+            censored_pairs += 1
+            times = np.where(failed, float(budget), times)
+        mean = float(times.mean())
         if mean > hmax:
             hmax = mean
+    if censored_pairs:
+        warnings.warn(
+            f"max_hitting_time_estimate: {censored_pairs}/{len(pair_list)} "
+            f"pair(s) had trials that exhausted the {budget}-step budget; "
+            "those trials were clamped to the budget, so h_max is a lower "
+            "bound — raise max_steps for a sharper estimate",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return hmax
 
 
@@ -142,7 +186,11 @@ def pair_hitting_matrix(
     max_steps: int | None = None,
 ) -> np.ndarray:
     """Full ``n × n`` matrix of estimated cobra hitting times (small
-    graphs only: quadratic × trials cost).  Diagonal is zero."""
+    graphs only: quadratic × trials cost).  Diagonal is zero; an entry
+    whose every trial exhausted the budget is ``nan`` (no RuntimeWarning
+    is emitted — the caller sees the nan directly)."""
+    from ..sim.facade import run_batch
+
     n = graph.n
     if n > 60:
         raise ValueError(f"pair_hitting_matrix is quadratic; n={n} too large")
@@ -152,9 +200,15 @@ def pair_hitting_matrix(
         for v in range(n):
             if u == v:
                 continue
-            times = cobra_hitting_trials(
-                graph, v, k=k, start=u, trials=trials, seed=seeds[u * n + v],
+            out[u, v] = run_batch(
+                graph,
+                "cobra",
+                metric="hit",
+                trials=trials,
+                start=u,
+                target=v,
+                seed=seeds[u * n + v],
                 max_steps=max_steps,
-            )
-            out[u, v] = float(np.nanmean(times))
+                k=k,
+            ).mean
     return out

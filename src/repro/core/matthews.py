@@ -15,7 +15,7 @@ import numpy as np
 from ..graphs.base import Graph
 from ..sim.rng import SeedLike, spawn_seeds
 from .bounds import harmonic_number, matthews_cover_bound
-from .hitting import cobra_cover_trials, max_hitting_time_estimate
+from .hitting import max_hitting_time_estimate
 
 __all__ = ["MatthewsCheck", "matthews_check"]
 
@@ -52,13 +52,19 @@ def matthews_check(
     seed: SeedLike = None,
 ) -> MatthewsCheck:
     """Estimate ``h_max`` and mean cover time, and assemble the
-    Theorem 1 comparison."""
+    Theorem 1 comparison.
+
+    Both sides run on the vectorized batched engines: hitting trials
+    through :func:`max_hitting_time_estimate` (cobra ``batch_hit``),
+    cover trials through :func:`repro.sim.facade.run_batch` (cobra
+    ``batch_cover``)."""
+    from ..sim.facade import run_batch
+
     s_hit, s_cover = spawn_seeds(seed, 2)
     hmax = max_hitting_time_estimate(
         graph, k=k, trials=hit_trials, pairs=pairs, seed=s_hit
     )
-    covers = cobra_cover_trials(graph, k=k, trials=cover_trials, seed=s_cover)
-    cover_mean = float(np.nanmean(covers))
+    cover_mean = run_batch(graph, "cobra", trials=cover_trials, seed=s_cover, k=k).mean
     hmax = max(hmax, 1.0)
     return MatthewsCheck(
         graph_name=graph.name,

@@ -13,9 +13,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..analysis import Table, fit_constant_to_shape, summarize
-from ..core import cobra_cover_trials, thm8_conductance_cover
+from ..analysis import Table, fit_constant_to_shape
+from ..core import thm8_conductance_cover
 from ..graphs import Graph, cycle_graph, hypercube, random_regular, torus
+from ..sim.facade import run_batch
 from ..sim.rng import spawn_seeds
 from ..spectral import conductance_estimate
 from .registry import ExperimentResult, register
@@ -74,8 +75,7 @@ def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
         for g in graphs:
             d = int(g.degrees[0])
             phi = _conductance(g)
-            times = cobra_cover_trials(g, trials=trials, seed=next(si))
-            s = summarize(times)
+            s = run_batch(g, "cobra", trials=trials, seed=next(si))
             shape_val = phi**-2 * np.log(g.n) ** 2
             xs.append(g.n)
             measured.append(s.mean)

@@ -13,11 +13,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..analysis import Table, ascii_plot, fit_constant_to_shape, fit_power_law, summarize
-from ..core import cobra_cover_trials
+from ..analysis import Table, ascii_plot, fit_constant_to_shape, fit_power_law
 from ..graphs import random_regular
+from ..sim.facade import run_batch
 from ..sim.rng import spawn_seeds
-from ..walks import rw_cover_trials
 from .registry import ExperimentResult, register
 
 _NS = {"quick": [128, 256, 512, 1024], "full": [128, 256, 512, 1024, 2048, 4096]}
@@ -37,15 +36,14 @@ def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
     ns, covers = [], []
     for n in _NS[scale]:
         g = random_regular(n, 8, seed=next(si))
-        times = cobra_cover_trials(g, trials=trials, seed=next(si))
-        s = summarize(times)
+        s = run_batch(g, "cobra", trials=trials, seed=next(si))
         ns.append(n)
         covers.append(s.mean)
         rw_mean = np.nan
         if n <= _RW_LIMIT[scale]:
-            rw_mean = float(
-                np.nanmean(rw_cover_trials(g, trials=max(3, trials // 2), seed=next(si)))
-            )
+            rw_mean = run_batch(
+                g, "simple", trials=max(3, trials // 2), seed=next(si)
+            ).mean
         else:
             next(si)
         table.add_row(

@@ -15,10 +15,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import Table, fit_power_law
-from ..core import cobra_cover_trials, thm20_general_cover
+from ..core import thm20_general_cover
 from ..graphs import barbell, lollipop
+from ..sim.facade import run_batch
 from ..sim.rng import spawn_seeds
-from ..walks import rw_cover_trials, rw_exact_hitting_times
+from ..walks import rw_exact_hitting_times
 from .registry import ExperimentResult, register
 
 _NS = {"quick": [24, 48, 96], "full": [24, 48, 96, 192, 384]}
@@ -47,17 +48,14 @@ def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
         ns, cobra, rw_hmax = [], [], []
         for n in _NS[scale]:
             g = make(n)
-            times = cobra_cover_trials(g, trials=trials, seed=next(si))
-            c_mean = float(np.nanmean(times))
+            c_mean = run_batch(g, "cobra", trials=trials, seed=next(si)).mean
             # exact RW hitting to the path end: the Θ(n³) certificate
             h = float(rw_exact_hitting_times(g, g.n - 1).max())
             rw_sim = np.nan
             if n <= _RW_SIM_LIMIT[scale]:
-                rw_sim = float(
-                    np.nanmean(
-                        rw_cover_trials(g, trials=3, seed=next(si), max_steps=60 * n**3)
-                    )
-                )
+                rw_sim = run_batch(
+                    g, "simple", trials=3, seed=next(si), max_steps=60 * n**3
+                ).mean
             else:
                 next(si)
             ns.append(n)

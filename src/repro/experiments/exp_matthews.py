@@ -3,6 +3,12 @@
 On a portfolio of structurally different graphs, estimate ``h_max``
 (sampled worst pair hitting time) and the mean cover time; the ratio
 ``cover/h_max`` must stay below ``H_n`` (the Matthews multiplier).
+
+Both estimates run on the vectorized batched engines (cobra
+``batch_hit`` for the pair sweep, ``batch_cover`` for the cover
+trials); budget-exhausted hitting trials are clamped to the budget
+rather than dropped, so ``h_max`` is never silently underestimated
+where hitting is hardest.
 """
 
 from __future__ import annotations

@@ -15,10 +15,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import Table, fit_power_law
-from ..core import cobra_cover_trials
 from ..graphs import star_graph
+from ..sim.facade import run_batch
 from ..sim.rng import spawn_seeds
-from ..walks import push_spread_time
 from .registry import ExperimentResult, register
 
 _NS = {"quick": [64, 128, 256, 512], "full": [64, 128, 256, 512, 1024, 2048]}
@@ -37,13 +36,9 @@ def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
     ns, covers = [], []
     for n in _NS[scale]:
         g = star_graph(n)
-        times = cobra_cover_trials(g, trials=trials, seed=next(si))
-        mean = float(np.nanmean(times))
-        push = float(
-            np.mean(
-                [push_spread_time(g, seed=s) for s in spawn_seeds(next(si), max(3, trials // 2))]
-            )
-        )
+        # both sweeps ride the vectorized batched engines via run_batch
+        mean = run_batch(g, "cobra", trials=trials, seed=next(si)).mean
+        push = run_batch(g, "push", trials=max(3, trials // 2), seed=next(si)).mean
         ns.append(n)
         covers.append(mean)
         nl = n * np.log(n)

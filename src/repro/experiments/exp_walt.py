@@ -3,7 +3,9 @@
 For each test graph, run paired cobra and Walt cover trials from the
 same start configuration (all δn Walt pebbles on the cobra's start
 vertex — exactly how Theorem 8's proof swaps the processes) and check
-the empirical survival curves nest the right way.
+the empirical survival curves nest the right way.  Both trial sweeps
+run on the vectorized batched cover engines via ``run_batch`` (see
+:func:`repro.core.coupling.walt_dominates_cobra_report`).
 """
 
 from __future__ import annotations

@@ -2,7 +2,13 @@
 registry, the ``simulate``/``run_batch`` facade, and Monte-Carlo
 trials."""
 
-from .batch import batched_cobra_cover_trials
+from .batch import (
+    batched_cobra_cover_trials,
+    batched_cobra_hit_trials,
+    batched_gossip_spread_trials,
+    batched_parallel_walks_cover_trials,
+    batched_walt_cover_trials,
+)
 from .engine import SteppingProcess, run_process
 from .facade import (
     RunResult,
@@ -43,6 +49,10 @@ __all__ = [
     "set_default_processes",
     "get_default_processes",
     "batched_cobra_cover_trials",
+    "batched_cobra_hit_trials",
+    "batched_gossip_spread_trials",
+    "batched_parallel_walks_cover_trials",
+    "batched_walt_cover_trials",
     "TrialSummary",
     "run_trials",
     "summarize_trials",

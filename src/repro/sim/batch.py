@@ -2,14 +2,34 @@
 
 Serial Monte-Carlo sweeps pay per-trial Python overhead: 32 cobra
 cover runs are 32 Python step loops, each issuing a dozen small numpy
-calls per step.  The engine here advances *all* trials in one flat
-``(trials * n,)`` frontier — trial ``r``'s copy of vertex ``v`` lives
-at index ``r*n + v`` — so each global step does one batched neighbor
-draw and one boolean-scatter coalescing pass for every trial at once
-(the same idiom as the serial :func:`repro.core.cobra.cobra_step`
-kernel, amortized across trials).
+calls per step.  The engines here advance *all* trials in one flat
+``(trials * n,)`` state — trial ``r``'s copy of vertex ``v`` lives at
+index ``r*n + v`` — so each global step does one batched neighbor
+draw and one boolean-scatter pass for every trial at once (the same
+idiom as the serial :func:`repro.core.cobra.cobra_step` kernel,
+amortized across trials).
 (:func:`repro.walks.simple.rw_cover_trials` plays the same role for
 the simple walk.)
+
+One engine per process family, all on the same flat-frontier idiom:
+
+* :func:`batched_cobra_cover_trials` / :func:`batched_cobra_hit_trials`
+  — the cobra frontier, stopped at full coverage or first activation
+  of a target vertex;
+* :func:`batched_gossip_spread_trials` — push / pull / push-pull rumor
+  spreading with incremental boundary tracking (only vertices that can
+  still change the state ever draw);
+* :func:`batched_parallel_walks_cover_trials` — ``trials × walkers``
+  independent walkers advanced by one batched neighbor draw per step;
+* :func:`batched_walt_cover_trials` — Walt's per-vertex pebble groups
+  found sort-free by duplicate-scatter on the flat ``trial*n + vertex``
+  key (groups never span trials), replacing the serial kernel's
+  per-trial lexsort.
+
+Engines whose per-step cost scales with ``alive · n`` (cobra, gossip,
+Walt) compact finished trials out so the tail of slow trials doesn't
+pay for the fast ones; the parallel-walk engine keeps its (tiny)
+state dense, mirroring ``rw_cover_trials``.
 
 Hot-path notes (measured on the benchmark machine, not guessed):
 
@@ -40,10 +60,44 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graphs.base import Graph
+from ..graphs.base import Graph, sample_uniform_neighbors
 from .rng import SeedLike, resolve_rng
 
-__all__ = ["batched_cobra_cover_trials"]
+__all__ = [
+    "batched_cobra_cover_trials",
+    "batched_cobra_hit_trials",
+    "batched_gossip_spread_trials",
+    "batched_parallel_walks_cover_trials",
+    "batched_walt_cover_trials",
+]
+
+
+def _tiled_tables(graph: Graph, a: int, ftype=np.float64):
+    """Per-flat-id ``start``/``degree``/``base``/``row`` lookup tables
+    for *a* trials (gathers from these replace int64 divides in the
+    hot loops)."""
+    ptr_s = np.tile(graph.indptr[:-1], a)
+    deg_s = np.tile(graph.degrees.astype(ftype), a)
+    base_s = np.repeat(np.arange(a, dtype=np.int64) * graph.n, graph.n)
+    row_s = np.repeat(np.arange(a, dtype=np.int64), graph.n)
+    return ptr_s, deg_s, base_s, row_s
+
+
+def _validated_start(graph: Graph, start) -> np.ndarray:
+    """Facade-style ``start`` normalised to a unique sorted vertex array."""
+    start_arr = np.unique(np.atleast_1d(np.asarray(start, dtype=np.int64)))
+    if start_arr.size == 0:
+        raise ValueError("need at least one start vertex")
+    if start_arr.min() < 0 or start_arr.max() >= graph.n:
+        raise ValueError("start vertex out of range")
+    return start_arr
+
+
+def _check_samplable(graph: Graph, trials: int) -> None:
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    if graph.n and graph.min_degree <= 0:
+        raise ValueError("cannot sample a neighbor of an isolated vertex")
 
 
 def batched_cobra_cover_trials(
@@ -63,18 +117,11 @@ def batched_cobra_cover_trials(
     budget exhaustion — the same contract as
     :func:`repro.core.hitting.cobra_cover_trials`.
     """
-    if trials < 1:
-        raise ValueError("need at least one trial")
+    _check_samplable(graph, trials)
     if k < 1:
         raise ValueError(f"branching factor k must be >= 1, got {k}")
     n = graph.n
-    if n and graph.min_degree <= 0:
-        raise ValueError("cannot sample a neighbor of an isolated vertex")
-    start_arr = np.unique(np.atleast_1d(np.asarray(start, dtype=np.int64)))
-    if start_arr.size == 0:
-        raise ValueError("need at least one start vertex")
-    if start_arr.min() < 0 or start_arr.max() >= n:
-        raise ValueError("start vertex out of range")
+    start_arr = _validated_start(graph, start)
     if max_steps is None:
         from ..core.cobra import _default_budget
 
@@ -95,13 +142,7 @@ def batched_cobra_cover_trials(
     nn = np.int64(n)
 
     def build_tables(a: int):
-        """Per-flat-id lookup tables (gathers from these replace int64
-        divides in the hot loop)."""
-        ptr_s = np.tile(graph.indptr[:-1], a)
-        deg_s = np.tile(graph.degrees.astype(ftype), a)
-        base_s = np.repeat(np.arange(a, dtype=np.int64) * n, n)
-        row_s = np.repeat(np.arange(a, dtype=np.int64), n)
-        return ptr_s, deg_s, base_s, row_s
+        return _tiled_tables(graph, a, ftype)
 
     a = trials  # still-running trial count; `alive` maps rows -> trial ids
     alive = np.arange(trials)
@@ -187,4 +228,496 @@ def batched_cobra_cover_trials(
                 covered = np.ascontiguousarray(covered.reshape(-1, n)[keep]).reshape(-1)
                 ptr_s, deg_s, base_s, row_s = build_tables(a)
                 scratch = np.zeros(a * n, dtype=bool)
+    return out
+
+
+def batched_cobra_hit_trials(
+    graph: Graph,
+    target: int,
+    *,
+    trials: int,
+    k: int = 2,
+    start: int | np.ndarray = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """First-activation times of *target* over *trials* independent
+    k-cobra runs advanced in lock-step (the ``metric="hit"`` engine).
+
+    Returns ``float64[trials]`` hitting times with ``np.nan`` marking
+    budget exhaustion — the same contract as
+    :func:`repro.core.hitting.cobra_hitting_trials`.  Unlike the cover
+    engine no per-vertex visit ledger is kept: a trial is done the step
+    its frontier mask lights up ``target``, so the hot loop is just the
+    neighbor draw plus the coalescing scatter.
+    """
+    _check_samplable(graph, trials)
+    if k < 1:
+        raise ValueError(f"branching factor k must be >= 1, got {k}")
+    n = graph.n
+    if not (0 <= target < n):
+        raise ValueError("target out of range")
+    start_arr = _validated_start(graph, start)
+    if max_steps is None:
+        from ..core.cobra import _default_budget
+
+        max_steps = _default_budget(n)
+    rng = resolve_rng(seed)
+
+    out = np.full(trials, np.nan)
+    if target in start_arr:
+        out[:] = 0.0
+        return out
+
+    pair = k == 2
+    if pair:
+        ftype = np.float32 if graph.max_degree <= 64 else np.float64
+    else:
+        ftype = np.float32 if graph.max_degree < (1 << 20) else np.float64
+    indices = graph.indices
+    nn = np.int64(n)
+
+    a = trials
+    alive = np.arange(trials)
+    ptr_s, deg_s, base_s, _ = _tiled_tables(graph, a, ftype)
+    target_flat = np.arange(a, dtype=np.int64) * n + target
+    front = (
+        np.repeat(np.arange(a, dtype=np.int64) * n, start_arr.size)
+        + np.tile(start_arr, a)
+    )
+    scratch = np.zeros(a * n, dtype=bool)
+
+    for t in range(1, max_steps + 1):
+        starts = ptr_s[front]
+        degs = deg_s[front]
+        base = base_s[front]
+        if pair:
+            # both draws from one uniform variate (see module notes)
+            u = rng.random(front.size, dtype=ftype)
+            u *= degs
+            first = np.floor(u)
+            u -= first
+            u *= degs
+            i1 = first.astype(np.int64) + starts
+            i2 = u.astype(np.int64) + starts
+            scratch[indices[i1] + base] = True
+            scratch[indices[i2] + base] = True
+        else:
+            u = rng.random((k, front.size), dtype=ftype)
+            nbrs = indices.take(starts + (u * degs).astype(np.int64), mode="clip")
+            scratch[(base + nbrs).ravel()] = True
+        # hit check reads the mask BEFORE it is reset: the frontier at
+        # step t is exactly the activation set of step t
+        done = scratch[target_flat]
+        front = scratch.nonzero()[0]
+        scratch[front] = False
+        if done.any():
+            out[alive[done]] = t
+            keep = ~done
+            alive = alive[keep]
+            a = alive.size
+            if a == 0:
+                break
+            rows = front // nn
+            keep_front = keep[rows]
+            remap = np.cumsum(keep) - 1
+            front = remap[rows[keep_front]] * n + front[keep_front] % nn
+            ptr_s, deg_s, base_s, _ = _tiled_tables(graph, a, ftype)
+            target_flat = np.arange(a, dtype=np.int64) * n + target
+            scratch = np.zeros(a * n, dtype=bool)
+    return out
+
+
+def batched_gossip_spread_trials(
+    graph: Graph,
+    *,
+    trials: int,
+    start: int = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+    push: bool = True,
+    pull: bool = False,
+) -> np.ndarray:
+    """Spread times of *trials* independent gossip runs (push and/or
+    pull), advanced in lock-step; finished trials are compacted out.
+
+    Per round and per alive trial: every informed vertex pushes the
+    rumor to one uniform neighbor (``push``) and/or every uninformed
+    vertex polls one uniform neighbor and learns the rumor if that
+    neighbor knows it (``pull``) — the same semantics as
+    :class:`repro.walks.gossip.GossipSpread`, whose serial runs these
+    match distributionally.  Returns ``float64[trials]`` round counts
+    with ``np.nan`` marking budget exhaustion.
+
+    The hot loop draws only for vertices that can still change the
+    state: a push from an informed vertex whose whole neighborhood is
+    informed, or a pull by a vertex with no informed neighbor, never
+    alters the informed set, so skipping those draws leaves the
+    process law untouched while cutting per-round work from
+    ``O(alive · n)`` to ``O(boundary)``.  The boundary bookkeeping is
+    maintained incrementally from each round's freshly informed
+    vertices (one CSR neighborhood expansion plus one sparse unique —
+    never an ``O(alive · n)`` pass), the batched analogue of a
+    wavefront sweep.
+    """
+    _check_samplable(graph, trials)
+    if not (push or pull):
+        raise ValueError("enable at least one of push/pull")
+    n = graph.n
+    start = int(start)
+    if not (0 <= start < n):
+        raise ValueError("start out of range")
+    if max_steps is None:
+        from ..walks.gossip import _budget
+
+        max_steps = _budget(n)
+    rng = resolve_rng(seed)
+
+    out = np.full(trials, np.nan)
+    if n == 1:
+        out[:] = 0.0
+        return out
+
+    a = trials
+    alive = np.arange(trials)
+    ptr_s, deg_s, base_s, row_s = _tiled_tables(graph, a)
+    indices = graph.indices
+    indptr = graph.indptr
+    degrees = graph.degrees
+    nn = np.int64(n)
+    informed = np.zeros(a * n, dtype=bool)
+    start_flat = np.arange(a, dtype=np.int64) * n + start
+    informed[start_flat] = True
+    count = np.ones(a, dtype=np.int64)
+
+    def neighbor_expand(fresh: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Unique flat neighbor ids of *fresh* (newly informed flat
+        ids) and how often each is hit: one CSR expansion + one sparse
+        unique — every op is sized by the touched edges, never a·n."""
+        w = fresh % nn
+        deg = degrees[w]
+        csum = np.cumsum(deg)
+        pos = (
+            np.arange(int(csum[-1]))
+            - np.repeat(csum - deg, deg)
+            + np.repeat(indptr[w], deg)
+        )
+        nbrs_flat = np.repeat(fresh - w, deg) + indices[pos]
+        return np.unique(nbrs_flat, return_counts=True)
+
+    # boundary tracking: a push from a vertex whose whole neighborhood
+    # is informed, or a pull by one with no informed neighbor, can
+    # never change the state, so only boundary vertices ever draw
+    uids0, ucnt0 = neighbor_expand(start_flat)
+    uncount = None
+    if push:
+        # uninformed-neighbor count per flat id (push prune: == 0 means
+        # saturated, and saturation is monotone)
+        uncount = np.tile(degrees, a)
+        uncount[uids0] -= ucnt0
+    everseen = None
+    if pull:
+        # flat ids that have ever had an informed neighbor (pull grow:
+        # a vertex joins the asker pool on its first such event)
+        everseen = np.zeros(a * n, dtype=bool)
+        everseen[uids0] = True
+    # push side: informed flat ids still bordering uninformed vertices
+    senders = start_flat
+    # pull side: uninformed flat ids with >= 1 informed neighbor
+    askers = uids0[~informed[uids0]] if pull else None
+
+    for t in range(1, max_steps + 1):
+        new_parts = []
+        if push:
+            senders = senders[uncount[senders] > 0]
+            u = rng.random(senders.size)
+            idx = ptr_s[senders] + (u * deg_s[senders]).astype(np.int64)
+            cand = base_s[senders] + indices[idx]
+            new_parts.append(cand[~informed[cand]])
+        if pull:
+            askers = askers[~informed[askers]]
+            if askers.size:
+                u = rng.random(askers.size)
+                idx = ptr_s[askers] + (u * deg_s[askers]).astype(np.int64)
+                src = base_s[askers] + indices[idx]
+                new_parts.append(askers[informed[src]])
+        new = (
+            new_parts[0]
+            if len(new_parts) == 1
+            else np.concatenate(new_parts)
+            if new_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        if new.size == 0:
+            continue
+        fresh = np.unique(new)
+        informed[fresh] = True
+        count += np.bincount(row_s[fresh], minlength=a)
+        uids, ucnt = neighbor_expand(fresh)
+        if push:
+            uncount[uids] -= ucnt
+            senders = np.concatenate([senders, fresh])
+        if pull:
+            newly = uids[~everseen[uids]]
+            everseen[uids] = True
+            askers = np.concatenate([askers, newly[~informed[newly]]])
+        done = count == n
+        if done.any():
+            out[alive[done]] = t
+            keep = ~done
+            alive = alive[keep]
+            a = alive.size
+            if a == 0:
+                break
+            count = count[keep]
+            remap = np.cumsum(keep) - 1
+            informed = np.ascontiguousarray(informed.reshape(-1, n)[keep]).reshape(-1)
+            if push:
+                uncount = np.ascontiguousarray(uncount.reshape(-1, n)[keep]).reshape(-1)
+                rows = row_s[senders]
+                m = keep[rows]
+                senders = remap[rows[m]] * nn + senders[m] % nn
+            if pull:
+                everseen = np.ascontiguousarray(everseen.reshape(-1, n)[keep]).reshape(-1)
+                rows = row_s[askers]
+                m = keep[rows]
+                askers = remap[rows[m]] * nn + askers[m] % nn
+            ptr_s, deg_s, base_s, row_s = _tiled_tables(graph, a)
+    return out
+
+
+def batched_parallel_walks_cover_trials(
+    graph: Graph,
+    *,
+    trials: int,
+    walkers: int = 2,
+    start: int | np.ndarray = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Cover times of *trials* independent ``walkers``-walk runs,
+    advanced by one batched neighbor draw per step over all
+    ``trials * walkers`` positions.
+
+    ``start`` is one vertex (all walkers there) or an array of length
+    *walkers*, matching :class:`repro.walks.parallel.ParallelWalks`.
+    The state is tiny (one position per walker), so finished trials
+    keep stepping rather than being compacted — the same trade
+    ``rw_cover_trials`` makes.  Returns ``float64[trials]`` with
+    ``np.nan`` marking budget exhaustion.
+    """
+    _check_samplable(graph, trials)
+    if walkers < 1:
+        raise ValueError("need at least one walker")
+    n = graph.n
+    start_pos = np.atleast_1d(np.asarray(start, dtype=np.int64))
+    if start_pos.size == 1:
+        start_pos = np.full(walkers, start_pos[0], dtype=np.int64)
+    if start_pos.size != walkers:
+        raise ValueError("start must be scalar or length == walkers")
+    if start_pos.min() < 0 or start_pos.max() >= n:
+        raise ValueError("start out of range")
+    if max_steps is None:
+        from ..walks.parallel import _default_budget
+
+        max_steps = _default_budget(n, walkers)
+    rng = resolve_rng(seed)
+
+    indptr, indices = graph.indptr, graph.indices
+    pos = np.tile(start_pos, trials)
+    trial_base = np.repeat(np.arange(trials, dtype=np.int64) * n, walkers)
+    nn = np.int64(n)
+    covered = np.zeros(trials * n, dtype=bool)
+    covered[np.unique(trial_base + pos)] = True
+    count = np.full(trials, np.unique(start_pos).size, dtype=np.int64)
+    out = np.full(trials, np.nan)
+    done = count == n
+    out[done] = 0.0
+    if done.all():
+        return out
+
+    for t in range(1, max_steps + 1):
+        starts = indptr[pos]
+        degs = indptr[pos + 1] - starts
+        pos = indices[starts + (rng.random(pos.size) * degs).astype(np.int64)]
+        flat = trial_base + pos
+        fresh = np.unique(flat[~covered[flat]])
+        if fresh.size:
+            covered[fresh] = True
+            count += np.bincount(fresh // nn, minlength=trials)
+            newly = ~done & (count == n)
+            if newly.any():
+                out[newly] = t
+                done |= newly
+                if done.all():
+                    break
+    return out
+
+
+def _walt_move_batch(
+    graph: Graph,
+    positions: np.ndarray,
+    move_rows: np.ndarray,
+    rng: np.random.Generator,
+    tmp: np.ndarray,
+    tmp2: np.ndarray,
+    d1: np.ndarray,
+    d2: np.ndarray,
+) -> np.ndarray:
+    """One non-lazy Walt move applied to the ``move_rows`` trials of the
+    ``(a, p)`` pebble-position array; returns the moved ``(m, p)`` block.
+
+    Grouping is sort-free: per-group representatives come from two
+    duplicate-scatter passes into the dense per-``(trial, vertex)``
+    tables ``tmp``/``tmp2`` (numpy scatter semantics: for repeated
+    indices the last write wins, so ``tmp[key] == own_index`` singles
+    out exactly one pebble per occupied vertex).  The serial kernel
+    (:func:`repro.core.walt.walt_step_positions`) instead lexsorts by
+    ``(vertex, rank)`` per trial, at ``O(p log p)`` per trial per step;
+    here the whole batch pays only ``O(m·p)`` gathers and scatters.
+
+    Which two pebbles of a group act as the independent movers differs
+    from the serial rule ("the two lowest-order"), but pebble identities
+    are exchangeable for the position-*multiset* law — the update
+    removes the group, places one pebble at each of two independent
+    uniform neighbors, and coin-flips the rest between them, regardless
+    of which identities carried the draws — so cover times are
+    distributionally identical.
+
+    The dense tables carry stale values between calls by design: every
+    read is at a key written earlier in the same call, so no O(a·n)
+    reset is ever needed.
+    """
+    n = graph.n
+    sub = positions[move_rows]
+    m, p = sub.shape
+    mp = m * p
+    flat_pos = sub.ravel()
+    key = np.repeat(move_rows.astype(np.int64) * n, p) + flat_pos
+    idx = np.arange(mp, dtype=np.int64)
+    tmp[key] = idx
+    leader = tmp[key] == idx
+    newpos = np.empty(mp, dtype=np.int64)
+    lkey = key[leader]
+    newpos[leader] = sample_uniform_neighbors(graph, flat_pos[leader], rng)
+    d1[lkey] = newpos[leader]
+    nl = np.flatnonzero(~leader)
+    if nl.size:
+        tmp2[key[nl]] = nl
+        vice = nl[tmp2[key[nl]] == nl]
+        vkey = key[vice]
+        newpos[vice] = sample_uniform_neighbors(graph, flat_pos[vice], rng)
+        d2[vkey] = newpos[vice]
+        is_rep = leader.copy()
+        is_rep[vice] = True
+        followers = np.flatnonzero(~is_rep)
+        if followers.size:
+            coin = rng.random(followers.size) < 0.5
+            fkey = key[followers]
+            newpos[followers] = np.where(coin, d1[fkey], d2[fkey])
+    return newpos.reshape(m, p)
+
+
+def batched_walt_cover_trials(
+    graph: Graph,
+    *,
+    trials: int,
+    delta: float = 0.5,
+    lazy: bool = True,
+    start: int | np.ndarray | None = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Cover times of *trials* independent Walt runs (``δn`` ordered
+    pebbles each), advanced in lock-step; finished trials are compacted
+    out.
+
+    Pebble placement matches :func:`repro.core.walt.walt_start_positions`:
+    integer/array *start* puts all pebbles there (identical across
+    trials); ``start=None`` spreads them uniformly at random,
+    independently per trial.  The lazy coin is drawn per trial per step,
+    so each trial holds independently — distributionally the same as
+    the serial process's one global coin.  Returns ``float64[trials]``
+    with ``np.nan`` marking budget exhaustion.
+    """
+    _check_samplable(graph, trials)
+    if not 0 < delta <= 1:
+        raise ValueError("delta must be in (0, 1]")
+    n = graph.n
+    p = max(1, int(delta * n))
+    if max_steps is None:
+        # the serial helper's default budget (walt_cover_time)
+        max_steps = max(20_000, 1000 * n)
+    rng = resolve_rng(seed)
+
+    if start is None:
+        positions = rng.integers(0, n, size=(trials, p))
+    else:
+        start_arr = np.atleast_1d(np.asarray(start, dtype=np.int64))
+        if start_arr.size == 0:
+            raise ValueError("need at least one start vertex")
+        if start_arr.min() < 0 or start_arr.max() >= n:
+            raise ValueError("start vertex out of range")
+        positions = np.tile(np.resize(start_arr, p), (trials, 1))
+
+    a = trials
+    alive = np.arange(trials)
+    nn = np.int64(n)
+    covered = np.zeros(a * n, dtype=bool)
+    init_flat = np.unique(
+        (np.arange(a, dtype=np.int64) * n)[:, None] + positions
+    ).ravel()
+    covered[init_flat] = True
+    count = np.bincount(init_flat // nn, minlength=a).astype(np.int64)
+    out = np.full(trials, np.nan)
+    done0 = count == n
+    if done0.any():
+        out[done0] = 0.0
+        keep = ~done0
+        alive = alive[keep]
+        a = alive.size
+        if a == 0:
+            return out
+        positions = positions[keep]
+        count = count[keep]
+        covered = np.ascontiguousarray(covered.reshape(-1, n)[keep]).reshape(-1)
+
+    # dense per-(trial, vertex) work tables for the sort-free move; no
+    # per-step reset needed (see _walt_move_batch)
+    tmp = np.empty(a * n, dtype=np.int64)
+    tmp2 = np.empty(a * n, dtype=np.int64)
+    d1 = np.empty(a * n, dtype=np.int64)
+    d2 = np.empty(a * n, dtype=np.int64)
+
+    for t in range(1, max_steps + 1):
+        if lazy:
+            move_rows = (rng.random(a) >= 0.5).nonzero()[0]
+            if move_rows.size == 0:
+                continue
+        else:
+            move_rows = np.arange(a)
+        moved = _walt_move_batch(graph, positions, move_rows, rng, tmp, tmp2, d1, d2)
+        positions[move_rows] = moved
+        flat = ((move_rows * nn)[:, None] + moved).ravel()
+        unseen = ~covered[flat]
+        if not unseen.any():
+            continue
+        fresh = np.unique(flat[unseen])
+        covered[fresh] = True
+        count += np.bincount(fresh // nn, minlength=a)
+        done = count == n
+        if done.any():
+            out[alive[done]] = t
+            keep = ~done
+            alive = alive[keep]
+            a = alive.size
+            if a == 0:
+                break
+            positions = positions[keep]
+            count = count[keep]
+            covered = np.ascontiguousarray(covered.reshape(-1, n)[keep]).reshape(-1)
+            tmp = np.empty(a * n, dtype=np.int64)
+            tmp2 = np.empty(a * n, dtype=np.int64)
+            d1 = np.empty(a * n, dtype=np.int64)
+            d2 = np.empty(a * n, dtype=np.int64)
     return out

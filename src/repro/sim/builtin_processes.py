@@ -24,7 +24,13 @@ from ..walks import coalescing as _coalescing_mod
 from ..walks import gossip as _gossip_mod
 from ..walks import parallel as _parallel_mod
 from ..walks import simple as _simple_mod
-from .batch import batched_cobra_cover_trials
+from .batch import (
+    batched_cobra_cover_trials,
+    batched_cobra_hit_trials,
+    batched_gossip_spread_trials,
+    batched_parallel_walks_cover_trials,
+    batched_walt_cover_trials,
+)
 from .processes import ProcessSpec, register_process
 from .rng import resolve_rng
 
@@ -137,6 +143,64 @@ def _simple_batch_cover(graph, *, trials, start=0, seed=None, max_steps=None):
     )
 
 
+def _simple_batch_hit(graph, *, trials, target, start=0, seed=None, max_steps=None):
+    """Vectorized simple-walk hitting engine (``rw_hitting_trials``)."""
+    return _simple_mod.rw_hitting_trials(
+        graph,
+        target,
+        start=_scalar_start(start),
+        trials=trials,
+        seed=seed,
+        max_steps=max_steps,
+    )
+
+
+def _cobra_batch_hit(graph, *, trials, target, start=0, seed=None, max_steps=None, k=2):
+    return batched_cobra_hit_trials(
+        graph, target, trials=trials, k=k, start=start, seed=seed, max_steps=max_steps
+    )
+
+
+def _walt_batch_cover(
+    graph, *, trials, start=0, seed=None, max_steps=None, delta=0.5, lazy=True
+):
+    return batched_walt_cover_trials(
+        graph,
+        trials=trials,
+        delta=delta,
+        lazy=lazy,
+        start=start,
+        seed=seed,
+        max_steps=max_steps,
+    )
+
+
+def _parallel_batch_cover(graph, *, trials, start=0, seed=None, max_steps=None, walkers=2):
+    return batched_parallel_walks_cover_trials(
+        graph,
+        trials=trials,
+        walkers=walkers,
+        start=start,
+        seed=seed,
+        max_steps=max_steps,
+    )
+
+
+def _gossip_batch_cover(push: bool, pull: bool):
+    def engine(graph, *, trials, start=0, seed=None, max_steps=None):
+        return batched_gossip_spread_trials(
+            graph,
+            trials=trials,
+            start=_scalar_start(start),
+            seed=seed,
+            max_steps=max_steps,
+            push=push,
+            pull=pull,
+        )
+
+    return engine
+
+
 # ----------------------------------------------------------------------
 # registrations (budgets mirror each legacy helper's default)
 # ----------------------------------------------------------------------
@@ -149,6 +213,7 @@ register_process(
         default_params={"k": 2},
         default_budget=lambda g, p: _cobra_mod._default_budget(g.n),
         batch_cover=batched_cobra_cover_trials,
+        batch_hit=_cobra_batch_hit,
         description="k-cobra walk (§2): branch to k uniform neighbors, coalesce on meeting",
     )
 )
@@ -161,6 +226,7 @@ register_process(
         default_metric="cover",
         default_budget=lambda g, p: _simple_mod._cover_budget(g.n),
         batch_cover=_simple_batch_cover,
+        batch_hit=_simple_batch_hit,
         description="simple random walk (Feige's classical cover-time baseline)",
     )
 )
@@ -184,6 +250,7 @@ register_process(
         default_metric="cover",
         default_params={"delta": 0.5, "lazy": True},
         default_budget=lambda g, p: max(20_000, 1000 * g.n),
+        batch_cover=_walt_batch_cover,
         description="Walt (§4): δn ordered pebbles, the cobra walk's analysis proxy",
     )
 )
@@ -198,6 +265,7 @@ register_process(
         default_budget=lambda g, p: _parallel_mod._default_budget(
             g.n, int(p.get("walkers", 2))
         ),
+        batch_cover=_parallel_batch_cover,
         description="k independent parallel random walks (Alon et al.)",
     )
 )
@@ -233,6 +301,7 @@ register_process(
         capabilities=frozenset({"spread", "hit"}),
         default_metric="spread",
         default_budget=lambda g, p: _gossip_mod._budget(g.n),
+        batch_cover=_gossip_batch_cover(push=True, pull=False),
         description="push gossip: every informed vertex tells one uniform neighbor",
     )
 )
@@ -244,6 +313,7 @@ register_process(
         capabilities=frozenset({"spread", "hit"}),
         default_metric="spread",
         default_budget=lambda g, p: _gossip_mod._budget(g.n),
+        batch_cover=_gossip_batch_cover(push=False, pull=True),
         description="pull gossip: every uninformed vertex polls one uniform neighbor",
     )
 )
@@ -255,6 +325,7 @@ register_process(
         capabilities=frozenset({"spread", "hit"}),
         default_metric="spread",
         default_budget=lambda g, p: _gossip_mod._budget(g.n),
+        batch_cover=_gossip_batch_cover(push=True, pull=True),
         description="combined push-pull gossip",
     )
 )

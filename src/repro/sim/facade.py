@@ -18,10 +18,11 @@ own sweep loop.  Now::
 single :class:`RunResult`; seed-for-seed it reproduces the legacy
 per-process helper for the same ``(process, metric, seed)``.
 ``run_batch`` replaces the per-process ``*_trials`` helpers: it fans
-out over the vectorized batched engine when the process has one
-(cobra, simple), a multiprocessing pool when ``processes > 1``, or a
-serial seed-spawned loop otherwise, always returning one
-:class:`~repro.sim.montecarlo.TrialSummary`.
+out over the vectorized batched engine when the process has one for
+the metric (cover/spread: cobra, simple, walt, parallel, push, pull,
+push_pull; hit: cobra, simple), a multiprocessing pool when
+``processes > 1``, or a serial seed-spawned loop otherwise, always
+returning one :class:`~repro.sim.montecarlo.TrialSummary`.
 """
 
 from __future__ import annotations
@@ -300,16 +301,17 @@ def run_batch(
 
     Strategy selection (``strategy="auto"``):
 
-    * the process's vectorized batched engine, when it has one and the
-      metric is coverage — all trials advance in one ``(trials, n)``
-      frontier, no per-trial Python loops;
+    * the process's vectorized batched engine, when it has one for the
+      metric — ``batch_cover`` for coverage/spread, ``batch_hit`` for
+      hitting — all trials advance in one ``(trials, n)`` frontier, no
+      per-trial Python loops;
     * a :mod:`multiprocessing` pool when ``processes > 1`` (or a CLI
       default was installed via :func:`set_default_processes`);
     * otherwise a serial loop over spawned per-trial seeds, which is
       seed-for-seed identical to the legacy ``*_trials`` helpers.
 
     ``strategy="vectorized"`` / ``"serial"`` force a path (vectorized
-    raises for processes without a batched engine).
+    raises for processes without a batched engine for the metric).
     """
     spec = process if isinstance(process, ProcessSpec) else get_process(process)
     metric = _resolve_metric(spec, metric)
@@ -317,22 +319,37 @@ def run_batch(
         raise ValueError("need at least one trial")
     if strategy not in ("auto", "vectorized", "serial"):
         raise ValueError(f"unknown strategy {strategy!r}; use auto|vectorized|serial")
+    if metric == "hit":
+        # validate here, before any fan-out: a bad target must fail fast
+        # in the caller, not deep inside pool workers
+        if target is None:
+            raise ValueError("metric 'hit' needs a target vertex")
+        if not (0 <= target < graph.n):
+            raise ValueError("target out of range")
     if processes is None:
         processes = _DEFAULT_PROCESSES
     if max_steps is None:
         max_steps = spec.default_budget(graph, params)
 
-    batchable = spec.batch_cover is not None and metric in ("cover", "spread")
-    if strategy == "vectorized" and not batchable:
+    if metric in ("cover", "spread"):
+        engine = spec.batch_cover
+    elif metric == "hit":
+        engine = spec.batch_hit
+    else:
+        engine = None
+    if strategy == "vectorized" and engine is None:
         raise ValueError(
             f"process {spec.name!r} has no vectorized engine for metric {metric!r}"
         )
     use_vectorized = strategy == "vectorized" or (
-        strategy == "auto" and batchable and (processes is None or processes <= 1)
+        strategy == "auto" and engine is not None and (processes is None or processes <= 1)
     )
     if use_vectorized:
-        values = spec.batch_cover(
-            graph, trials=trials, start=start, seed=seed, max_steps=max_steps, **params
+        kwargs = dict(params)
+        if metric == "hit":
+            kwargs["target"] = target
+        values = engine(
+            graph, trials=trials, start=start, seed=seed, max_steps=max_steps, **kwargs
         )
         return summarize_trials(np.asarray(values, dtype=np.float64))
 

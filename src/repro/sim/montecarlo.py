@@ -24,6 +24,10 @@ __all__ = ["TrialSummary", "run_trials", "summarize_trials"]
 class TrialSummary:
     """Summary statistics over trial outcomes (NaNs = failed trials).
 
+    With a single successful trial ``std`` and ``ci95_half_width`` are
+    ``nan``: one sample carries no spread information, and reporting
+    ``0.0`` would present a point estimate as a zero-width interval.
+
     This is the single summary type for the whole repo:
     :func:`repro.analysis.stats.summarize` returns it too (its
     historical ``SummaryStats`` name is an alias), so facade batches,
@@ -66,8 +70,10 @@ def summarize_trials(values: np.ndarray) -> TrialSummary:
     if ok.size == 0:
         return TrialSummary(values, np.nan, np.nan, np.nan, np.nan, failures)
     mean = float(ok.mean())
-    std = float(ok.std(ddof=1)) if ok.size > 1 else 0.0
-    half = 1.96 * std / np.sqrt(ok.size) if ok.size > 1 else 0.0
+    # one sample has no spread information: report nan, not a zero-width
+    # confidence interval that dresses a point estimate up as certainty
+    std = float(ok.std(ddof=1)) if ok.size > 1 else float("nan")
+    half = 1.96 * std / np.sqrt(ok.size) if ok.size > 1 else float("nan")
     return TrialSummary(
         values,
         mean,

@@ -60,6 +60,10 @@ BudgetFn = Callable[[Graph, Mapping[str, Any]], int]
 #: ``batch_cover(graph, *, trials, start, seed, max_steps, **params) -> float64[trials]``
 BatchCoverFn = Callable[..., Any]
 
+#: batched-hit signature:
+#: ``batch_hit(graph, *, trials, start, target, seed, max_steps, **params) -> float64[trials]``
+BatchHitFn = Callable[..., Any]
+
 
 @dataclass(frozen=True)
 class ProcessSpec:
@@ -84,8 +88,13 @@ class ProcessSpec:
         Step budget matching the process's legacy helper, so facade
         runs reproduce the historical helpers seed-for-seed.
     batch_cover:
-        Optional vectorized engine advancing all cover trials in one
-        ``(trials, n)`` frontier; ``run_batch`` uses it when available.
+        Optional vectorized engine advancing all cover/spread trials in
+        one ``(trials, n)`` frontier; ``run_batch`` uses it when
+        available.
+    batch_hit:
+        Optional vectorized engine for ``metric="hit"`` sweeps: all
+        trials race to first activation of the target in one flat
+        frontier; ``run_batch`` uses it when available.
     description:
         One-line positioning of the process in the paper.
     """
@@ -97,6 +106,7 @@ class ProcessSpec:
     default_budget: BudgetFn
     default_params: Mapping[str, Any] = field(default_factory=dict)
     batch_cover: BatchCoverFn | None = None
+    batch_hit: BatchHitFn | None = None
     description: str = ""
 
     def __post_init__(self) -> None:

@@ -107,6 +107,49 @@ class TestTrialEstimators:
         hmax = max_hitting_time_estimate(g, trials=3, seed=4)
         assert hmax >= 8  # antipodal distance
 
+    def test_hmax_counts_budget_exhausted_pairs(self, recwarn):
+        """Regression: pairs whose every trial exhausts the budget used
+        to be silently dropped (np.nanmean -> nan, nan > hmax False),
+        underestimating h_max exactly where hitting is hardest.  They
+        must now clamp to the budget and warn once."""
+        g = cycle_graph(30)
+        with pytest.warns(RuntimeWarning, match="exhausted"):
+            hmax = max_hitting_time_estimate(
+                g, trials=3, pairs=6, seed=4, max_steps=2
+            )
+        # every sampled pair at distance > 2 fails; the old code returned
+        # ~0 (or only short-distance means), the fix reports the budget
+        assert hmax == 2.0
+        # and no numpy all-NaN RuntimeWarning leaks through
+        assert not any(
+            "All-NaN" in str(w.message) for w in recwarn.list
+        )
+
+    def test_hmax_clamps_partially_exhausted_pairs(self):
+        """A pair where only SOME trials exhaust the budget must also be
+        censored: each failed trial counts as (at least) the budget, so
+        the pair mean cannot be dragged down by its lucky fast trials."""
+        g = cycle_graph(20)
+        budget = 12  # > distance 10, small enough that some trials miss
+        with pytest.warns(RuntimeWarning, match="exhausted"):
+            hmax = max_hitting_time_estimate(
+                g, trials=4, pairs=8, seed=11, max_steps=budget
+            )
+        # clamped trials keep every pair mean within [distance, budget]
+        assert hmax <= budget
+        # and the maximum must reflect the censoring floor, not a
+        # fast-trials-only mean below the hardest pair's distance
+        assert hmax >= 10 * 0.5
+
+    def test_hmax_no_warning_when_all_pairs_succeed(self):
+        import warnings
+
+        g = cycle_graph(10)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            hmax = max_hitting_time_estimate(g, trials=3, pairs=5, seed=4)
+        assert hmax >= 1.0
+
     def test_pair_matrix_small(self):
         g = cycle_graph(8)
         m = pair_hitting_matrix(g, trials=2, seed=5)
@@ -117,6 +160,17 @@ class TestTrialEstimators:
     def test_pair_matrix_guard(self):
         with pytest.raises(ValueError):
             pair_hitting_matrix(cycle_graph(100))
+
+    def test_pair_matrix_exhausted_entries_nan_without_warning(self):
+        import warnings
+
+        g = cycle_graph(12)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any RuntimeWarning -> failure
+            m = pair_hitting_matrix(g, trials=2, seed=5, max_steps=1)
+        # only direct neighbors can be hit in one step
+        assert np.isnan(m[0, 6])
+        assert np.isfinite(m[0, 1])
 
 
 class TestMatthews:

@@ -1,0 +1,249 @@
+"""Tests for the generalized batched-engine layer.
+
+Three pillars:
+
+* each new vectorized engine (gossip push/pull/push_pull, parallel
+  walks, Walt, cobra hit, simple hit) matches ``strategy="serial"``
+  distributionally at fixed seeds (means within a pooled CI);
+* ``run_batch`` auto-selects the vectorized engine for every process
+  that has one, including ``metric="hit"``, and validates the target
+  before any fan-out;
+* engine-specific semantics: multi-source starts, budget-exhaustion
+  NaNs, degenerate starts, validation errors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import cycle_graph, grid, star_graph
+from repro.sim import (
+    batched_cobra_hit_trials,
+    batched_gossip_spread_trials,
+    batched_parallel_walks_cover_trials,
+    batched_walt_cover_trials,
+    get_process,
+    run_batch,
+)
+
+
+@pytest.fixture(scope="module")
+def g():
+    return grid(8, 2)
+
+
+def _assert_means_close(vec, ser):
+    """Means within a pooled 95% CI (3 sigma of the combined SEM, plus
+    a small absolute slack for tiny cover times)."""
+    assert vec.failures == 0 and ser.failures == 0
+    sem = float(np.hypot(vec.std / np.sqrt(vec.n), ser.std / np.sqrt(ser.n)))
+    assert abs(vec.mean - ser.mean) <= 3.0 * sem + 2.0, (
+        f"vectorized mean {vec.mean:.2f} vs serial {ser.mean:.2f} "
+        f"(pooled sem {sem:.2f})"
+    )
+
+
+ENGINE_CASES = [
+    ("push", {}, None, None),
+    ("pull", {}, None, None),
+    ("push_pull", {}, None, None),
+    ("parallel", {"walkers": 4}, None, None),
+    ("walt", {}, None, None),
+    ("walt", {"delta": 0.25, "lazy": False}, None, None),
+    ("cobra", {}, "hit", 63),
+    ("simple", {}, "hit", 63),
+]
+
+
+class TestSerialParity:
+    @pytest.mark.parametrize(
+        "name,params,metric,target",
+        ENGINE_CASES,
+        ids=[f"{c[0]}-{c[2] or 'cover'}-{i}" for i, c in enumerate(ENGINE_CASES)],
+    )
+    def test_vectorized_matches_serial_distributionally(
+        self, g, name, params, metric, target
+    ):
+        kw = dict(trials=48, metric=metric, target=target, seed=29, **params)
+        vec = run_batch(g, name, strategy="vectorized", **kw)
+        ser = run_batch(g, name, strategy="serial", **kw)
+        _assert_means_close(vec, ser)
+
+
+class TestAutoSelection:
+    """auto must pick the vectorized engine wherever one exists: the
+    auto values are bit-exact with strategy="vectorized" (same engine,
+    same seed) for every process with an engine."""
+
+    @pytest.mark.parametrize(
+        "name", ["cobra", "simple", "walt", "parallel", "push", "pull", "push_pull"]
+    )
+    def test_auto_cover_is_vectorized(self, g, name):
+        assert get_process(name).batch_cover is not None
+        auto = run_batch(g, name, trials=6, seed=3)
+        vec = run_batch(g, name, trials=6, seed=3, strategy="vectorized")
+        assert np.array_equal(auto.values, vec.values)
+
+    @pytest.mark.parametrize("name", ["cobra", "simple"])
+    def test_auto_hit_is_vectorized(self, g, name):
+        assert get_process(name).batch_hit is not None
+        auto = run_batch(g, name, trials=6, metric="hit", target=g.n - 1, seed=4)
+        vec = run_batch(
+            g, name, trials=6, metric="hit", target=g.n - 1, seed=4,
+            strategy="vectorized",
+        )
+        assert np.array_equal(auto.values, vec.values)
+
+    def test_engine_coverage_floor(self):
+        """The acceptance bar: >= 5 processes with a cover engine plus
+        cobra hit."""
+        covered = [
+            s.name for s in map(get_process, ["cobra", "simple", "walt", "parallel",
+                                              "push", "pull", "push_pull"])
+            if s.batch_cover is not None
+        ]
+        assert len(covered) >= 5
+        assert get_process("cobra").batch_hit is not None
+
+
+class TestHitTargetValidation:
+    """run_batch must reject bad targets before any fan-out."""
+
+    def test_missing_target(self, g):
+        with pytest.raises(ValueError, match="target"):
+            run_batch(g, "cobra", trials=2, metric="hit")
+
+    def test_out_of_range_target(self, g):
+        with pytest.raises(ValueError, match="target"):
+            run_batch(g, "cobra", trials=2, metric="hit", target=g.n)
+
+    def test_rejected_before_pool_fanout(self, g):
+        # processes=4 would previously explode inside the workers
+        with pytest.raises(ValueError, match="target"):
+            run_batch(g, "cobra", trials=2, metric="hit", target=-1, processes=4)
+
+
+class TestGossipEngine:
+    def test_pull_on_star_is_fast(self):
+        # every leaf polls the hub: pull informs all leaves in one round
+        s = star_graph(30)
+        t = batched_gossip_spread_trials(s, trials=8, seed=1, push=False, pull=True)
+        assert (t <= 2).all()
+
+    def test_budget_exhaustion_nan(self):
+        t = batched_gossip_spread_trials(cycle_graph(64), trials=4, seed=0, max_steps=2)
+        assert np.isnan(t).all()
+
+    def test_two_vertex_graph_trivial(self):
+        from repro.graphs import path_graph
+
+        t = batched_gossip_spread_trials(path_graph(2), trials=3, seed=0)
+        assert np.isfinite(t).all()
+
+    def test_validation(self, g):
+        with pytest.raises(ValueError, match="push/pull"):
+            batched_gossip_spread_trials(g, trials=2, push=False, pull=False)
+        with pytest.raises(ValueError, match="start"):
+            batched_gossip_spread_trials(g, trials=2, start=g.n)
+        with pytest.raises(ValueError, match="trial"):
+            batched_gossip_spread_trials(g, trials=0)
+
+
+class TestParallelEngine:
+    def test_more_walkers_cover_faster(self):
+        c = cycle_graph(40)
+        few = batched_parallel_walks_cover_trials(c, trials=16, walkers=2, seed=5)
+        many = batched_parallel_walks_cover_trials(c, trials=16, walkers=8, seed=5)
+        assert np.nanmean(many) < np.nanmean(few)
+
+    def test_start_array_per_walker(self):
+        # one walker per vertex: everything is covered at t=0
+        c = cycle_graph(12)
+        t = batched_parallel_walks_cover_trials(
+            c, trials=5, walkers=12, start=np.arange(12), seed=6, max_steps=5
+        )
+        assert np.array_equal(t, np.zeros(5))
+
+    def test_budget_exhaustion_nan(self):
+        t = batched_parallel_walks_cover_trials(
+            cycle_graph(64), trials=4, walkers=2, seed=0, max_steps=3
+        )
+        assert np.isnan(t).all()
+
+    def test_validation(self, g):
+        with pytest.raises(ValueError, match="walker"):
+            batched_parallel_walks_cover_trials(g, trials=2, walkers=0)
+        with pytest.raises(ValueError, match="length"):
+            batched_parallel_walks_cover_trials(
+                g, trials=2, walkers=3, start=np.array([0, 1])
+            )
+
+
+class TestWaltEngine:
+    def test_delta_one_any_start_covers_quickly(self):
+        c = cycle_graph(16)
+        t = batched_walt_cover_trials(c, trials=8, delta=1.0, seed=7, max_steps=10**4)
+        assert np.isfinite(t).all()
+
+    def test_full_random_placement_can_cover_at_zero(self):
+        # delta=1 random placement on a 2-vertex graph covers at t=0
+        # often; just check the t=0 path doesn't crash and times are valid
+        from repro.graphs import path_graph
+
+        t = batched_walt_cover_trials(path_graph(2), trials=32, delta=1.0,
+                                      start=None, seed=8)
+        assert np.isfinite(t).all() and (t >= 0).all()
+        assert (t == 0).any()  # 32 trials of 2 uniform pebbles: whp one covers
+
+    def test_multi_source_start_array(self):
+        c = cycle_graph(40)
+        spread = batched_walt_cover_trials(
+            c, trials=12, start=np.array([0, 20]), seed=9, max_steps=10**5
+        )
+        together = batched_walt_cover_trials(c, trials=12, start=0, seed=9,
+                                             max_steps=10**5)
+        assert np.nanmean(spread) < np.nanmean(together)
+
+    def test_budget_exhaustion_nan(self):
+        t = batched_walt_cover_trials(cycle_graph(64), trials=4, seed=0, max_steps=2)
+        assert np.isnan(t).all()
+
+    def test_validation(self, g):
+        with pytest.raises(ValueError, match="delta"):
+            batched_walt_cover_trials(g, trials=2, delta=0.0)
+        with pytest.raises(ValueError, match="start"):
+            batched_walt_cover_trials(g, trials=2, start=g.n)
+
+
+class TestCobraHitEngine:
+    def test_hit_at_start_is_zero(self, g):
+        t = batched_cobra_hit_trials(g, 0, trials=4, seed=1)
+        assert np.array_equal(t, np.zeros(4))
+
+    def test_hit_at_least_distance(self):
+        c = cycle_graph(30)
+        t = batched_cobra_hit_trials(c, 15, trials=16, seed=2)
+        assert (t[~np.isnan(t)] >= 15).all()
+
+    def test_multi_source(self):
+        c = cycle_graph(40)
+        near = batched_cobra_hit_trials(
+            c, 20, trials=16, start=np.array([0, 18]), seed=3
+        )
+        far = batched_cobra_hit_trials(c, 20, trials=16, start=0, seed=3)
+        assert np.nanmean(near) < np.nanmean(far)
+
+    def test_budget_exhaustion_nan(self):
+        c = cycle_graph(100)
+        t = batched_cobra_hit_trials(c, 50, trials=4, seed=0, max_steps=3)
+        assert np.isnan(t).all()
+
+    def test_validation(self, g):
+        with pytest.raises(ValueError, match="target"):
+            batched_cobra_hit_trials(g, g.n, trials=2)
+        with pytest.raises(ValueError, match="k must be"):
+            batched_cobra_hit_trials(g, 0, trials=2, k=0)
+
+    def test_k_three_path(self):
+        c = cycle_graph(24)
+        t = batched_cobra_hit_trials(c, 12, trials=8, k=3, seed=4)
+        assert np.isfinite(t).all()

@@ -125,6 +125,18 @@ class TestMonteCarlo:
         s = summarize_trials(np.array([np.nan, np.nan]))
         assert np.isnan(s.mean) and s.failures == 2
 
+    def test_single_trial_has_nan_spread(self):
+        """Regression: one successful trial used to report std=0.0 and a
+        zero-width CI, presenting a point estimate as certainty."""
+        s = summarize_trials(np.array([7.0]))
+        assert s.mean == 7.0 and s.median == 7.0 and s.n == 1
+        assert np.isnan(s.std) and np.isnan(s.ci95_half_width)
+
+    def test_single_success_among_failures_has_nan_spread(self):
+        s = summarize_trials(np.array([np.nan, 5.0, np.nan]))
+        assert s.mean == 5.0 and s.failures == 2
+        assert np.isnan(s.std) and np.isnan(s.ci95_half_width)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             run_trials(_trial_mean_of_uniform, 0, args=(1.0,))
