@@ -7,11 +7,19 @@ The acceptance bar for the batched-engine layer (mirroring
 * gossip ``push`` / ``pull`` / ``push_pull`` spread,
 * ``parallel`` independent-walkers cover,
 * ``walt`` ordered-pebble cover,
-* cobra ``metric="hit"`` —
+* cobra ``metric="hit"``,
+* ``lazy`` jump-chain cover,
+* ``branching`` capped-population cover,
+* ``coalescing`` shrinking-walker cover —
 
 must be at least 3x faster than the same 32 trials through
 ``run_batch(strategy="serial")`` (the seed-spawned per-trial loop the
 legacy helpers used).
+
+The coalescing case runs 64 walkers: enough that coverage completes in
+seconds, few enough that the serial per-step numpy calls stay
+overhead-bound (at hundreds of walkers the serial step is already
+vectorized over walkers and the trial-batching margin narrows).
 
 Both sides are timed with ``time.process_time`` (CPU time — immune to
 scheduler noise on shared machines), interleaved, best-of-``ROUNDS``.
@@ -49,6 +57,9 @@ CASES = [
     ("parallel cover (4 walkers)", "parallel", {"walkers": 4}),
     ("walt cover", "walt", {}),
     ("cobra hit", "cobra", {"metric": "hit", "target": -1}),
+    ("lazy cover", "lazy", {}),
+    ("branching cover", "branching", {}),
+    ("coalescing cover (64 walkers)", "coalescing", {"metric": "cover", "walkers": 64}),
 ]
 
 

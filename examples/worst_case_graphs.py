@@ -22,8 +22,8 @@ import numpy as np
 from repro.analysis import Table, fit_power_law
 from repro.core import cobra_cover_time, thm20_general_cover
 from repro.graphs import barbell, lollipop
-from repro.sim import coverage_curve
-from repro.walks import rw_cover_time, rw_exact_hitting_times
+from repro.sim import coverage_curve, simulate
+from repro.walks import rw_exact_hitting_times
 
 
 def main() -> None:
@@ -38,7 +38,11 @@ def main() -> None:
         g = lollipop(n)
         res = cobra_cover_time(g, seed=n)
         h = rw_exact_hitting_times(g, g.n - 1).max()
-        rw_sim = rw_cover_time(g, seed=n, max_steps=40 * n**3) if n <= 48 else None
+        rw_sim = (
+            simulate(g, "simple", seed=n, max_steps=40 * n**3).cover_time
+            if n <= 48
+            else None
+        )
         cobra_list.append(res.cover_time)
         rw_list.append(float(h))
         table.add_row([n, res.cover_time, float(h), rw_sim, thm20_general_cover(n)])

@@ -37,7 +37,16 @@ def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
         star_graph(size),
     ]
     table = Table(
-        ["graph", "n", "cobra k=2", "walt δ=.5", "push", "2 parallel RW", "simple RW"],
+        [
+            "graph",
+            "n",
+            "cobra k=2",
+            "walt δ=.5",
+            "push",
+            "2 parallel RW",
+            "simple RW",
+            "lazy RW",
+        ],
         title="BASE mean rounds to cover (same start vertex)",
     )
     findings: dict[str, float] = {}
@@ -55,17 +64,24 @@ def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
         rw = run_batch(
             g, "simple", trials=3, seed=next(si), max_steps=rw_budget
         ).mean
-        table.add_row([g.name, g.n, cobra, walt, push, par, rw])
+        # the lazy arm rides the jump-chain batched engine; same capped
+        # budget (holds included), so it censors where the simple RW does
+        lazy = run_batch(
+            g, "lazy", trials=3, seed=next(si), max_steps=rw_budget
+        ).mean
+        table.add_row([g.name, g.n, cobra, walt, push, par, rw, lazy])
         findings[f"cobra_{g.name}"] = cobra
         findings[f"push_{g.name}"] = push
         findings[f"rw_speedup_{g.name}"] = rw / cobra if np.isfinite(rw) else np.nan
+        findings[f"lazy_{g.name}"] = lazy
     return ExperimentResult(
         experiment_id="BASE_compare",
         tables=[table],
         findings=findings,
         notes=(
-            "Simple-RW entries show '-' where the cover exceeded the "
+            "Simple/lazy-RW entries show '-' where the cover exceeded the "
             "quadratic step budget (the lollipop needs ~n^3) — itself the "
-            "point of comparison."
+            "point of comparison.  The lazy walk pays roughly twice the "
+            "simple walk's cover time (half its steps are holds)."
         ),
     )

@@ -26,8 +26,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import Table
-from ..core.walt import WaltProcess
 from ..graphs import Graph, complete_graph, cycle_graph, petersen
+from ..sim.batch import batched_walt_positions_at
 from ..sim.rng import spawn_seeds
 from ..spectral import conductance_exact, theorem8_epoch_length
 from .registry import ExperimentResult, register
@@ -39,19 +39,19 @@ _S_CAP = {"quick": 1500, "full": 5000}
 def _epoch_hit_stats(
     g: Graph, delta: float, s: int, trials: int, seed
 ) -> tuple[float, float]:
-    """(P[v occupied at time s], mean pebble count on v at time s)."""
+    """(P[v occupied at time s], mean pebble count on v at time s).
+
+    All trials advance through the batched fixed-horizon Walt engine
+    (:func:`repro.sim.batch.batched_walt_positions_at`) — one grouped
+    move per round for every trial at once, instead of *trials*
+    serial ``WaltProcess`` step loops."""
     num = max(2, int(delta * g.n))
     target = g.n - 1
-    hits = 0
-    occupancy = 0
-    for trial_seed in spawn_seeds(seed, trials):
-        proc = WaltProcess(g, np.zeros(num, dtype=np.int64), lazy=True, seed=trial_seed)
-        for _ in range(s):
-            proc.step()
-        on_target = int((proc.positions == target).sum())
-        hits += on_target > 0
-        occupancy += on_target
-    return hits / trials, occupancy / trials
+    positions = batched_walt_positions_at(
+        g, trials=trials, steps=s, lazy=True, start=0, seed=seed, pebbles=num
+    )
+    on_target = (positions == target).sum(axis=1)
+    return float((on_target > 0).mean()), float(on_target.mean())
 
 
 @register("T8_epochs", "Thm 8 proof internals: per-epoch hit probability >= δ/2 − δ²/2")

@@ -3,11 +3,16 @@ registry, the ``simulate``/``run_batch`` facade, and Monte-Carlo
 trials."""
 
 from .batch import (
+    batched_branching_cover_trials,
+    batched_coalescing_cover_trials,
+    batched_cobra_active_sizes,
     batched_cobra_cover_trials,
     batched_cobra_hit_trials,
     batched_gossip_spread_trials,
+    batched_lazy_cover_trials,
     batched_parallel_walks_cover_trials,
     batched_walt_cover_trials,
+    batched_walt_positions_at,
 )
 from .engine import SteppingProcess, run_process
 from .facade import (
@@ -48,11 +53,16 @@ __all__ = [
     "run_batch",
     "set_default_processes",
     "get_default_processes",
+    "batched_branching_cover_trials",
+    "batched_coalescing_cover_trials",
+    "batched_cobra_active_sizes",
     "batched_cobra_cover_trials",
     "batched_cobra_hit_trials",
     "batched_gossip_spread_trials",
+    "batched_lazy_cover_trials",
     "batched_parallel_walks_cover_trials",
     "batched_walt_cover_trials",
+    "batched_walt_positions_at",
     "TrialSummary",
     "run_trials",
     "summarize_trials",

@@ -24,7 +24,27 @@ One engine per process family, all on the same flat-frontier idiom:
 * :func:`batched_walt_cover_trials` — Walt's per-vertex pebble groups
   found sort-free by duplicate-scatter on the flat ``trial*n + vertex``
   key (groups never span trials), replacing the serial kernel's
-  per-trial lexsort.
+  per-trial lexsort;
+* :func:`batched_lazy_cover_trials` — the hold-probability variant of
+  the simple-walk engine, run as a time-change: the move chain rides
+  the simple-walk engine and the holds are reconstructed as one
+  negative-binomial draw per trial;
+* :func:`batched_branching_cover_trials` — per-``(trial, vertex)``
+  particle counts with the multinomial child split done by binomial
+  peeling over neighbor slots; the occupied set is a ragged per-trial
+  frontier held as one sorted flat array, and a per-trial population
+  cap mirrors the serial renormalisation;
+* :func:`batched_coalescing_cover_trials` — shrinking walker sets: one
+  neighbor draw moves every surviving walker of every trial, and
+  in-step duplicate-scatter (``np.unique`` on the flat
+  ``trial*n + vertex`` key) merges co-located walkers without ever
+  crossing trial boundaries.
+
+Two fixed-horizon companions feed experiments that consume state
+rather than stopping times: :func:`batched_cobra_active_sizes`
+(per-step ``|S_t|`` trajectories) and
+:func:`batched_walt_positions_at` (pebble positions after exactly
+``steps`` moves).
 
 Engines whose per-step cost scales with ``alive · n`` (cobra, gossip,
 Walt) compact finished trials out so the tail of slow trials doesn't
@@ -64,11 +84,16 @@ from ..graphs.base import Graph, sample_uniform_neighbors
 from .rng import SeedLike, resolve_rng
 
 __all__ = [
+    "batched_branching_cover_trials",
+    "batched_coalescing_cover_trials",
+    "batched_cobra_active_sizes",
     "batched_cobra_cover_trials",
     "batched_cobra_hit_trials",
     "batched_gossip_spread_trials",
+    "batched_lazy_cover_trials",
     "batched_parallel_walks_cover_trials",
     "batched_walt_cover_trials",
+    "batched_walt_positions_at",
 ]
 
 
@@ -100,6 +125,39 @@ def _check_samplable(graph: Graph, trials: int) -> None:
         raise ValueError("cannot sample a neighbor of an isolated vertex")
 
 
+def _cobra_ftype(graph: Graph, k: int) -> tuple[bool, type]:
+    """``(pair, ftype)`` for the cobra engines' uniform draws: float32
+    while the ``k == 2`` double-draw (degree ≤ 64) or the single-draw
+    index (degree < 2^20) stays exact — see the module's hot-path
+    notes.  One definition so the cover/hit/trajectory engines can
+    never drift apart on the thresholds."""
+    pair = k == 2
+    if pair:
+        return pair, (np.float32 if graph.max_degree <= 64 else np.float64)
+    return pair, (np.float32 if graph.max_degree < (1 << 20) else np.float64)
+
+
+def _scatter_cobra_draws(indices, starts, degs, vbase, k, pair, ftype, rng, scratch):
+    """Draw ``k`` uniform neighbors for every frontier id and scatter
+    their flat destinations into the boolean ``scratch`` mask — the
+    unbuffered step shared by the hit and trajectory engines (the
+    cover engine keeps its pooled-buffer variant of the same math).
+    For ``k == 2`` both draws come from one uniform variate (module
+    notes)."""
+    if pair:
+        u = rng.random(starts.size, dtype=ftype)
+        u *= degs
+        first = np.floor(u)
+        u -= first
+        u *= degs
+        scratch[indices[first.astype(np.int64) + starts] + vbase] = True
+        scratch[indices[u.astype(np.int64) + starts] + vbase] = True
+    else:
+        u = rng.random((k, starts.size), dtype=ftype)
+        nbrs = indices.take(starts + (u * degs).astype(np.int64), mode="clip")
+        scratch[(vbase + nbrs).ravel()] = True
+
+
 def batched_cobra_cover_trials(
     graph: Graph,
     *,
@@ -113,9 +171,29 @@ def batched_cobra_cover_trials(
     lock-step; finished trials are compacted out so the tail of slow
     trials doesn't pay for the fast ones.
 
-    Returns ``float64[trials]`` cover times with ``np.nan`` marking
-    budget exhaustion — the same contract as
-    :func:`repro.core.hitting.cobra_cover_trials`.
+    Parameters
+    ----------
+    graph : Graph
+        Connected graph without isolated vertices.
+    trials : int
+        Number of independent runs.
+    k : int
+        Cobra branching factor (pebbles sent per active vertex).
+    start : int or numpy.ndarray
+        Start vertex, or an array of start vertices shared by all
+        trials (multi-source).
+    seed : SeedLike, optional
+        Seed/stream for the single interleaved RNG.
+    max_steps : int, optional
+        Step budget per trial; defaults to the cobra helper's
+        ``500·n·log n``-ish budget.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64[trials]`` cover times with ``np.nan`` marking budget
+        exhaustion — the same contract as
+        :func:`repro.core.hitting.cobra_cover_trials`.
     """
     _check_samplable(graph, trials)
     if k < 1:
@@ -133,20 +211,16 @@ def batched_cobra_cover_trials(
         out[:] = 0.0
         return out
 
-    pair = k == 2
-    if pair:
-        ftype = np.float32 if graph.max_degree <= 64 else np.float64
-    else:
-        ftype = np.float32 if graph.max_degree < (1 << 20) else np.float64
+    pair, ftype = _cobra_ftype(graph, k)
     indices = graph.indices
     nn = np.int64(n)
 
-    def build_tables(a: int):
+    def _build_tables(a: int):
         return _tiled_tables(graph, a, ftype)
 
     a = trials  # still-running trial count; `alive` maps rows -> trial ids
     alive = np.arange(trials)
-    ptr_s, deg_s, base_s, row_s = build_tables(a)
+    ptr_s, deg_s, base_s, row_s = _build_tables(a)
     covered = np.zeros(a * n, dtype=bool)
     front = (
         np.repeat(np.arange(a, dtype=np.int64) * n, start_arr.size)
@@ -226,7 +300,7 @@ def batched_cobra_cover_trials(
                 remap = np.cumsum(keep) - 1
                 front = remap[rows[keep_front]] * n + front[keep_front] % nn
                 covered = np.ascontiguousarray(covered.reshape(-1, n)[keep]).reshape(-1)
-                ptr_s, deg_s, base_s, row_s = build_tables(a)
+                ptr_s, deg_s, base_s, row_s = _build_tables(a)
                 scratch = np.zeros(a * n, dtype=bool)
     return out
 
@@ -244,12 +318,33 @@ def batched_cobra_hit_trials(
     """First-activation times of *target* over *trials* independent
     k-cobra runs advanced in lock-step (the ``metric="hit"`` engine).
 
-    Returns ``float64[trials]`` hitting times with ``np.nan`` marking
-    budget exhaustion — the same contract as
-    :func:`repro.core.hitting.cobra_hitting_trials`.  Unlike the cover
-    engine no per-vertex visit ledger is kept: a trial is done the step
-    its frontier mask lights up ``target``, so the hot loop is just the
-    neighbor draw plus the coalescing scatter.
+    Unlike the cover engine no per-vertex visit ledger is kept: a
+    trial is done the step its frontier mask lights up ``target``, so
+    the hot loop is just the neighbor draw plus the coalescing scatter.
+
+    Parameters
+    ----------
+    graph : Graph
+        Connected graph without isolated vertices.
+    target : int
+        Vertex whose first activation stops a trial.
+    trials : int
+        Number of independent runs.
+    k : int
+        Cobra branching factor.
+    start : int or numpy.ndarray
+        Start vertex or array of start vertices (multi-source).
+    seed : SeedLike, optional
+        Seed/stream for the single interleaved RNG.
+    max_steps : int, optional
+        Step budget per trial; defaults to the cobra helper's budget.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64[trials]`` hitting times with ``np.nan`` marking
+        budget exhaustion — the same contract as
+        :func:`repro.core.hitting.cobra_hitting_trials`.
     """
     _check_samplable(graph, trials)
     if k < 1:
@@ -269,11 +364,7 @@ def batched_cobra_hit_trials(
         out[:] = 0.0
         return out
 
-    pair = k == 2
-    if pair:
-        ftype = np.float32 if graph.max_degree <= 64 else np.float64
-    else:
-        ftype = np.float32 if graph.max_degree < (1 << 20) else np.float64
+    pair, ftype = _cobra_ftype(graph, k)
     indices = graph.indices
     nn = np.int64(n)
 
@@ -288,24 +379,10 @@ def batched_cobra_hit_trials(
     scratch = np.zeros(a * n, dtype=bool)
 
     for t in range(1, max_steps + 1):
-        starts = ptr_s[front]
-        degs = deg_s[front]
-        base = base_s[front]
-        if pair:
-            # both draws from one uniform variate (see module notes)
-            u = rng.random(front.size, dtype=ftype)
-            u *= degs
-            first = np.floor(u)
-            u -= first
-            u *= degs
-            i1 = first.astype(np.int64) + starts
-            i2 = u.astype(np.int64) + starts
-            scratch[indices[i1] + base] = True
-            scratch[indices[i2] + base] = True
-        else:
-            u = rng.random((k, front.size), dtype=ftype)
-            nbrs = indices.take(starts + (u * degs).astype(np.int64), mode="clip")
-            scratch[(base + nbrs).ravel()] = True
+        _scatter_cobra_draws(
+            indices, ptr_s[front], deg_s[front], base_s[front],
+            k, pair, ftype, rng, scratch,
+        )
         # hit check reads the mask BEFORE it is reset: the frontier at
         # step t is exactly the activation set of step t
         done = scratch[target_flat]
@@ -346,8 +423,7 @@ def batched_gossip_spread_trials(
     vertex polls one uniform neighbor and learns the rumor if that
     neighbor knows it (``pull``) — the same semantics as
     :class:`repro.walks.gossip.GossipSpread`, whose serial runs these
-    match distributionally.  Returns ``float64[trials]`` round counts
-    with ``np.nan`` marking budget exhaustion.
+    match distributionally.
 
     The hot loop draws only for vertices that can still change the
     state: a push from an informed vertex whose whole neighborhood is
@@ -359,6 +435,30 @@ def batched_gossip_spread_trials(
     vertices (one CSR neighborhood expansion plus one sparse unique —
     never an ``O(alive · n)`` pass), the batched analogue of a
     wavefront sweep.
+
+    Parameters
+    ----------
+    graph : Graph
+        Connected graph without isolated vertices.
+    trials : int
+        Number of independent runs.
+    start : int
+        The initially informed vertex.
+    seed : SeedLike, optional
+        Seed/stream for the single interleaved RNG.
+    max_steps : int, optional
+        Round budget per trial; defaults to the gossip helpers'
+        ``O(n log n)``-with-slack budget.
+    push : bool
+        Informed vertices push to one uniform neighbor per round.
+    pull : bool
+        Uninformed vertices poll one uniform neighbor per round.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64[trials]`` round counts with ``np.nan`` marking
+        budget exhaustion.
     """
     _check_samplable(graph, trials)
     if not (push or pull):
@@ -390,7 +490,7 @@ def batched_gossip_spread_trials(
     informed[start_flat] = True
     count = np.ones(a, dtype=np.int64)
 
-    def neighbor_expand(fresh: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def _neighbor_expand(fresh: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Unique flat neighbor ids of *fresh* (newly informed flat
         ids) and how often each is hit: one CSR expansion + one sparse
         unique — every op is sized by the touched edges, never a·n."""
@@ -408,7 +508,7 @@ def batched_gossip_spread_trials(
     # boundary tracking: a push from a vertex whose whole neighborhood
     # is informed, or a pull by one with no informed neighbor, can
     # never change the state, so only boundary vertices ever draw
-    uids0, ucnt0 = neighbor_expand(start_flat)
+    uids0, ucnt0 = _neighbor_expand(start_flat)
     uncount = None
     if push:
         # uninformed-neighbor count per flat id (push prune: == 0 means
@@ -453,7 +553,7 @@ def batched_gossip_spread_trials(
         fresh = np.unique(new)
         informed[fresh] = True
         count += np.bincount(row_s[fresh], minlength=a)
-        uids, ucnt = neighbor_expand(fresh)
+        uids, ucnt = _neighbor_expand(fresh)
         if push:
             uncount[uids] -= ucnt
             senders = np.concatenate([senders, fresh])
@@ -499,12 +599,32 @@ def batched_parallel_walks_cover_trials(
     advanced by one batched neighbor draw per step over all
     ``trials * walkers`` positions.
 
-    ``start`` is one vertex (all walkers there) or an array of length
-    *walkers*, matching :class:`repro.walks.parallel.ParallelWalks`.
     The state is tiny (one position per walker), so finished trials
     keep stepping rather than being compacted — the same trade
-    ``rw_cover_trials`` makes.  Returns ``float64[trials]`` with
-    ``np.nan`` marking budget exhaustion.
+    ``rw_cover_trials`` makes.
+
+    Parameters
+    ----------
+    graph : Graph
+        Connected graph without isolated vertices.
+    trials : int
+        Number of independent runs.
+    walkers : int or None
+        Independent walkers per trial.
+    start : int or numpy.ndarray
+        One vertex (all walkers there) or an array of length
+        *walkers*, matching :class:`repro.walks.parallel.ParallelWalks`.
+    seed : SeedLike, optional
+        Seed/stream for the single interleaved RNG.
+    max_steps : int, optional
+        Step budget per trial; defaults to the parallel-walk helper's
+        ``n³/walkers``-with-slack budget.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64[trials]`` cover times with ``np.nan`` marking budget
+        exhaustion.
     """
     _check_samplable(graph, trials)
     if walkers < 1:
@@ -637,8 +757,31 @@ def batched_walt_cover_trials(
     trials); ``start=None`` spreads them uniformly at random,
     independently per trial.  The lazy coin is drawn per trial per step,
     so each trial holds independently — distributionally the same as
-    the serial process's one global coin.  Returns ``float64[trials]``
-    with ``np.nan`` marking budget exhaustion.
+    the serial process's one global coin.
+
+    Parameters
+    ----------
+    graph : Graph
+        Connected graph without isolated vertices.
+    trials : int
+        Number of independent runs.
+    delta : float
+        Pebble density: ``max(1, int(delta·n))`` pebbles per trial.
+    lazy : bool
+        Apply the per-step 1/2 holding coin (paper default).
+    start : int or numpy.ndarray or None
+        Placement vertex/array (``None`` = uniform per trial).
+    seed : SeedLike, optional
+        Seed/stream for the single interleaved RNG.
+    max_steps : int, optional
+        Step budget per trial; defaults to the Walt helper's
+        ``max(20_000, 1000·n)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64[trials]`` cover times with ``np.nan`` marking budget
+        exhaustion.
     """
     _check_samplable(graph, trials)
     if not 0 < delta <= 1:
@@ -650,15 +793,7 @@ def batched_walt_cover_trials(
         max_steps = max(20_000, 1000 * n)
     rng = resolve_rng(seed)
 
-    if start is None:
-        positions = rng.integers(0, n, size=(trials, p))
-    else:
-        start_arr = np.atleast_1d(np.asarray(start, dtype=np.int64))
-        if start_arr.size == 0:
-            raise ValueError("need at least one start vertex")
-        if start_arr.min() < 0 or start_arr.max() >= n:
-            raise ValueError("start vertex out of range")
-        positions = np.tile(np.resize(start_arr, p), (trials, 1))
+    positions = _walt_initial_positions(graph, trials, p, start, rng)
 
     a = trials
     alive = np.arange(trials)
@@ -721,3 +856,543 @@ def batched_walt_cover_trials(
             d1 = np.empty(a * n, dtype=np.int64)
             d2 = np.empty(a * n, dtype=np.int64)
     return out
+
+
+def _walt_initial_positions(
+    graph: Graph, trials: int, p: int, start, rng: np.random.Generator
+) -> np.ndarray:
+    """``(trials, p)`` initial pebble placement matching
+    :func:`repro.core.walt.walt_start_positions`: ``start=None`` draws
+    uniform positions independently per trial, anything else tiles the
+    given vertex/array across all pebbles of every trial."""
+    n = graph.n
+    if start is None:
+        return rng.integers(0, n, size=(trials, p))
+    start_arr = np.atleast_1d(np.asarray(start, dtype=np.int64))
+    if start_arr.size == 0:
+        raise ValueError("need at least one start vertex")
+    if start_arr.min() < 0 or start_arr.max() >= n:
+        raise ValueError("start vertex out of range")
+    return np.tile(np.resize(start_arr, p), (trials, 1))
+
+
+def batched_lazy_cover_trials(
+    graph: Graph,
+    *,
+    trials: int,
+    start: int = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Cover times of *trials* independent lazy-random-walk runs.
+
+    The hold-probability variant of the simple-walk engine
+    (:func:`repro.walks.simple.rw_cover_trials`), built on the
+    jump-chain decomposition rather than a simulated coin per step: a
+    lazy walk is the simple walk run in slow motion, each move
+    preceded by ``Geometric(1/2)`` holds, so the engine runs the
+    *move* chain on the batched simple-walk engine (half the steps,
+    none of the per-step coin traffic) and then adds the total holding
+    time — the sum of ``N`` independent geometrics, i.e. one
+    ``NegativeBinomial(N, 1/2)`` draw per trial — to the per-trial
+    move count ``N``.  The resulting cover-time law is exactly that of
+    :class:`repro.walks.simple.RandomWalk` with ``lazy=True``
+    (coverage can only change at a move, and each step is an
+    independent fair coin), including budget censoring: a trial is
+    ``nan`` iff its reconstructed step total exceeds *max_steps*.
+
+    Parameters
+    ----------
+    graph : Graph
+        Connected graph without isolated vertices.
+    trials : int
+        Number of independent runs.
+    start : int
+        Common start vertex of every trial.
+    seed : SeedLike, optional
+        Seed/stream for the single interleaved RNG.
+    max_steps : int, optional
+        Step budget per trial (holds included, as in the serial walk);
+        defaults to the lazy walk's serial budget (Feige's worst-case
+        ``n³`` with slack).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64[trials]`` cover times, ``np.nan`` marking budget
+        exhaustion.
+    """
+    _check_samplable(graph, trials)
+    from ..walks.simple import _cover_budget, rw_cover_trials
+
+    n = graph.n
+    start = int(start)
+    if not (0 <= start < n):
+        raise ValueError("start out of range")
+    if max_steps is None:
+        max_steps = _cover_budget(n)
+    rng = resolve_rng(seed)
+
+    out = np.full(trials, np.nan)
+    if n == 1:
+        out[:] = 0.0
+        return out
+
+    # total steps >= moves, so `max_steps` moves bounds every trial
+    # that could still finish within the step budget
+    moves = rw_cover_trials(
+        graph, start=start, trials=trials, seed=rng, max_steps=max_steps
+    )
+    fin = np.flatnonzero(~np.isnan(moves))
+    if fin.size:
+        n_moves = moves[fin].astype(np.int64)
+        total = n_moves + rng.negative_binomial(np.maximum(n_moves, 1), 0.5)
+        total = np.where(n_moves > 0, total, 0)
+        ok = total <= max_steps
+        out[fin[ok]] = total[ok]
+    return out
+
+
+def batched_branching_cover_trials(
+    graph: Graph,
+    *,
+    trials: int,
+    k: int = 2,
+    start: int = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+    population_cap: int = 1_000_000,
+) -> np.ndarray:
+    """Cover times of *trials* independent k-branching-walk runs,
+    advanced in lock-step; finished trials are compacted out.
+
+    State is one flat ``int64[trials * n]`` particle-count array, so
+    the ragged per-trial frontier is simply ``np.flatnonzero(counts)``
+    — a sorted flat array whose runs of equal ``id // n`` are the
+    per-trial occupied sets (offsets/counts recoverable by
+    ``searchsorted``/``bincount``, never materialised in the hot
+    loop).  The ``k·c`` children of the ``c`` particles at a vertex
+    distribute multinomially over its neighbors, exactly as in the
+    serial kernel (:meth:`repro.walks.branching.BranchingWalk.step`),
+    but the multinomial is drawn by *binomial peeling over neighbor
+    slots*: slot ``j`` of every occupied vertex with ``deg > j`` takes
+    ``Binomial(remaining, 1/(deg-j))`` children in one vectorized draw,
+    so a step costs ``O(max_degree)`` batched calls instead of one
+    Python-level multinomial per occupied vertex per trial.  (On
+    unbounded-degree graphs — the star — the slot loop degenerates to
+    ``O(n)`` vectorized calls; the engine is built for the
+    bounded-degree graphs the branching literature studies.)
+
+    When a trial's population exceeds *population_cap* its counts are
+    renormalised down proportionally with occupied vertices clamped to
+    ≥ 1 particle, matching the serial cap semantics (coverage
+    statistics remain valid).
+
+    Parameters
+    ----------
+    graph : Graph
+        Connected graph without isolated vertices.
+    trials : int
+        Number of independent runs.
+    k : int
+        Branching factor (children per particle per step).
+    start : int
+        Common start vertex of every trial (one initial particle).
+    seed : SeedLike, optional
+        Seed/stream for the single interleaved RNG.
+    max_steps : int, optional
+        Step budget per trial; defaults to the serial helper's
+        ``max(10_000, 50·n)``.
+    population_cap : int
+        Per-trial particle ceiling before renormalisation.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64[trials]`` cover times, ``np.nan`` marking budget
+        exhaustion.
+    """
+    _check_samplable(graph, trials)
+    if k < 1:
+        raise ValueError(f"branching factor k must be >= 1, got {k}")
+    if population_cap < 1:
+        raise ValueError("population_cap must be >= 1")
+    n = graph.n
+    start = int(start)
+    if not (0 <= start < n):
+        raise ValueError("start out of range")
+    if max_steps is None:
+        max_steps = max(10_000, 50 * n)
+    rng = resolve_rng(seed)
+
+    out = np.full(trials, np.nan)
+    if n == 1:
+        out[:] = 0.0
+        return out
+
+    indptr, indices, degrees = graph.indptr, graph.indices, graph.degrees
+    nn = np.int64(n)
+    a = trials
+    alive = np.arange(trials)
+    base = np.arange(a, dtype=np.int64) * n
+    counts = np.zeros(a * n, dtype=np.int64)
+    counts[base + start] = 1
+    covered = np.zeros(a * n, dtype=bool)
+    covered[base + start] = True
+    cov_count = np.ones(a, dtype=np.int64)
+
+    for t in range(1, max_steps + 1):
+        occ = np.flatnonzero(counts)  # ragged per-trial frontier, flat+sorted
+        v = occ % nn
+        deg = degrees[v]
+        ptr = indptr[v]
+        vbase = occ - v
+        remaining = counts[occ] * k
+        tgt_parts: list[np.ndarray] = []
+        cnt_parts: list[np.ndarray] = []
+        for j in range(int(deg.max())):
+            sel = np.flatnonzero(deg > j)
+            if sel.size == 0:
+                break
+            rem = remaining[sel]
+            deg_sel = deg[sel]
+            last = deg_sel == j + 1
+            x = np.empty(sel.size, dtype=np.int64)
+            split = ~last
+            if split.any():
+                x[split] = rng.binomial(rem[split], 1.0 / (deg_sel[split] - j))
+            x[last] = rem[last]
+            remaining[sel] -= x
+            nz = np.flatnonzero(x)
+            if nz.size:
+                pick = sel[nz]
+                tgt_parts.append(vbase[pick] + indices[ptr[pick] + j])
+                cnt_parts.append(x[nz])
+        # int sums through float64 weights are exact far beyond any cap
+        counts = np.bincount(
+            np.concatenate(tgt_parts),
+            weights=np.concatenate(cnt_parts),
+            minlength=a * n,
+        ).astype(np.int64)
+        occ2 = np.flatnonzero(counts)
+        row = occ2 // nn
+        pop = np.bincount(row, weights=counts[occ2].astype(np.float64), minlength=a)
+        over = pop > population_cap
+        if over.any():
+            sel = np.flatnonzero(over[row])
+            ids = occ2[sel]
+            scale = population_cap / pop[row[sel]]
+            counts[ids] = np.maximum((counts[ids] * scale).astype(np.int64), 1)
+        unseen = ~covered[occ2]
+        if not unseen.any():
+            continue
+        fresh = occ2[unseen]
+        covered[fresh] = True
+        cov_count += np.bincount(fresh // nn, minlength=a)
+        done = cov_count == n
+        if done.any():
+            out[alive[done]] = t
+            keep = ~done
+            alive = alive[keep]
+            a = alive.size
+            if a == 0:
+                break
+            cov_count = cov_count[keep]
+            counts = np.ascontiguousarray(counts.reshape(-1, n)[keep]).reshape(-1)
+            covered = np.ascontiguousarray(covered.reshape(-1, n)[keep]).reshape(-1)
+    return out
+
+
+def batched_coalescing_cover_trials(
+    graph: Graph,
+    *,
+    trials: int,
+    walkers: int | None = None,
+    start: int | np.ndarray | None = None,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Cover times of *trials* independent coalescing-walk runs,
+    advanced in lock-step; finished trials are compacted out.
+
+    The walker sets shrink as walkers merge, so the state is one flat
+    *sorted* array of ``trial*n + vertex`` walker ids (the ragged
+    per-trial sets are its runs of equal ``id // n``).  Per step every
+    surviving walker of every trial joins one batched neighbor draw,
+    and the in-step merge is a single duplicate-scatter
+    (``np.unique`` on the flat key): co-located walkers of the same
+    trial collapse to one id, while walkers of different trials can
+    never collide because their ids live ``n`` apart — the same
+    distributional law as :class:`repro.walks.coalescing.CoalescingWalks`.
+
+    Parameters
+    ----------
+    graph : Graph
+        Connected graph without isolated vertices.
+    trials : int
+        Number of independent runs.
+    walkers : int or None
+        Walker count for the default placement: distinct uniform
+        vertices drawn independently per trial; ``None`` (or
+        ``>= n``) starts one walker on every vertex, the classical
+        setting — which covers at ``t = 0``.
+    start : numpy.ndarray or None
+        Explicit walker positions (array, shared by all trials) —
+        mirrors the ``"coalescing"`` factory: ``None`` or the facade
+        default ``0`` defer to *walkers*; any other scalar raises.
+    seed : SeedLike, optional
+        Seed/stream for the single interleaved RNG.
+    max_steps : int, optional
+        Step budget per trial; defaults to the serial helper's
+        ``max(100_000, 20·n²)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64[trials]`` cover times, ``np.nan`` marking budget
+        exhaustion.
+    """
+    _check_samplable(graph, trials)
+    n = graph.n
+    if max_steps is None:
+        max_steps = max(100_000, 20 * n * n)
+    rng = resolve_rng(seed)
+
+    out = np.full(trials, np.nan)
+    a = trials
+    alive = np.arange(trials)
+    base = np.arange(a, dtype=np.int64) * n
+
+    if start is not None and np.ndim(start) > 0:
+        pos0 = np.unique(np.asarray(start, dtype=np.int64))
+        if pos0.size == 0:
+            raise ValueError("need at least one walker")
+        if pos0.min() < 0 or pos0.max() >= n:
+            raise ValueError("walker position out of range")
+        wpos = np.repeat(base, pos0.size) + np.tile(pos0, a)
+    else:
+        if start not in (None, 0):
+            raise ValueError(
+                "the coalescing process takes an array of walker positions "
+                "as start (or the walkers= count); a scalar start has no "
+                "meaning for a multi-walker coalescing system"
+            )
+        if walkers is None or walkers >= n:
+            # one walker per vertex: everything is covered at t = 0
+            out[:] = 0.0
+            return out
+        if walkers < 1:
+            raise ValueError("need at least one walker")
+        # per-trial distinct uniform placement: the `walkers` smallest
+        # of n iid uniforms index a uniform random subset
+        r = rng.random((a, n))
+        sel = np.argpartition(r, walkers - 1, axis=1)[:, :walkers]
+        wpos = np.sort((base[:, None] + sel).ravel())
+
+    nn = np.int64(n)
+    indptr, indices = graph.indptr, graph.indices
+    covered = np.zeros(a * n, dtype=bool)
+    covered[wpos] = True
+    cov_count = np.bincount(wpos // nn, minlength=a).astype(np.int64)
+
+    def _compact(wpos, covered, keep):
+        """Drop finished trial rows: remap surviving walker ids onto
+        the dense row numbering and slice the covered mask."""
+        rows = wpos // nn
+        keepw = keep[rows]
+        remap = np.cumsum(keep) - 1
+        wpos = remap[rows[keepw]] * nn + wpos[keepw] % nn
+        covered = np.ascontiguousarray(covered.reshape(-1, n)[keep]).reshape(-1)
+        return wpos, covered
+
+    done0 = cov_count == n
+    if done0.any():
+        out[alive[done0]] = 0.0
+        keep = ~done0
+        alive = alive[keep]
+        a = alive.size
+        if a == 0:
+            return out
+        cov_count = cov_count[keep]
+        wpos, covered = _compact(wpos, covered, keep)
+
+    for t in range(1, max_steps + 1):
+        v = wpos % nn
+        tb = wpos - v
+        starts = indptr[v]
+        degs = indptr[v + 1] - starts
+        u = rng.random(wpos.size)
+        moved = indices[starts + (u * degs).astype(np.int64)] + tb
+        wpos = np.unique(moved)  # in-step merge, trial-local by key design
+        unseen = ~covered[wpos]
+        if not unseen.any():
+            continue
+        fresh = wpos[unseen]
+        covered[fresh] = True
+        cov_count += np.bincount(fresh // nn, minlength=a)
+        done = cov_count == n
+        if done.any():
+            out[alive[done]] = t
+            keep = ~done
+            alive = alive[keep]
+            a = alive.size
+            if a == 0:
+                break
+            cov_count = cov_count[keep]
+            wpos, covered = _compact(wpos, covered, keep)
+    return out
+
+
+def batched_cobra_active_sizes(
+    graph: Graph,
+    *,
+    trials: int,
+    steps: int,
+    k: int = 2,
+    start: int | np.ndarray = 0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Active-set-size trajectories ``|S_t|`` of *trials* independent
+    k-cobra runs over a fixed horizon (no stopping rule).
+
+    The fixed-horizon companion of :func:`batched_cobra_cover_trials`
+    for experiments that consume the frontier dynamics themselves
+    (``ACTIVE_growth``'s §1.1 growth/saturation measurements) rather
+    than a stopping time: all trials advance in one flat frontier and
+    each step records every trial's frontier size with one
+    ``bincount``.
+
+    Parameters
+    ----------
+    graph : Graph
+        Connected graph without isolated vertices.
+    trials : int
+        Number of independent runs.
+    steps : int
+        Horizon: every trial advances exactly this many steps.
+    k : int
+        Cobra branching factor.
+    start : int or numpy.ndarray
+        Start vertex (or array of start vertices) shared by all trials.
+    seed : SeedLike, optional
+        Seed/stream for the single interleaved RNG.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64[trials, steps + 1]``; column ``t`` is ``|S_t|``, with
+        column 0 the start-set size — the batched analogue of
+        :attr:`repro.core.cobra.CobraWalk.history`.
+    """
+    _check_samplable(graph, trials)
+    if k < 1:
+        raise ValueError(f"branching factor k must be >= 1, got {k}")
+    if steps < 0:
+        raise ValueError("steps must be >= 0")
+    n = graph.n
+    start_arr = _validated_start(graph, start)
+    rng = resolve_rng(seed)
+
+    a = trials
+    pair, ftype = _cobra_ftype(graph, k)
+    ptr_s, deg_s, base_s, row_s = _tiled_tables(graph, a, ftype)
+    indices = graph.indices
+    front = (
+        np.repeat(np.arange(a, dtype=np.int64) * n, start_arr.size)
+        + np.tile(start_arr, a)
+    )
+    sizes = np.zeros((trials, steps + 1), dtype=np.int64)
+    sizes[:, 0] = start_arr.size
+    scratch = np.zeros(a * n, dtype=bool)
+
+    for t in range(1, steps + 1):
+        _scatter_cobra_draws(
+            indices, ptr_s[front], deg_s[front], base_s[front],
+            k, pair, ftype, rng, scratch,
+        )
+        front = scratch.nonzero()[0]
+        scratch[front] = False
+        sizes[:, t] = np.bincount(row_s[front], minlength=a)
+    return sizes
+
+
+def batched_walt_positions_at(
+    graph: Graph,
+    *,
+    trials: int,
+    steps: int,
+    delta: float = 0.5,
+    lazy: bool = True,
+    start: int | np.ndarray | None = 0,
+    seed: SeedLike = None,
+    pebbles: int | None = None,
+) -> np.ndarray:
+    """Pebble positions of *trials* independent Walt runs after exactly
+    *steps* (possibly lazy) rounds.
+
+    The fixed-horizon companion of :func:`batched_walt_cover_trials`
+    for the Theorem 8 epoch machinery (``T8_epochs``): the experiment
+    needs the pebble *configuration* at the end of an epoch, not a
+    cover time.  All trials advance through the same sort-free grouped
+    move (:func:`_walt_move_batch`); the lazy coin is drawn per trial
+    per round, so each trial holds independently.
+
+    Parameters
+    ----------
+    graph : Graph
+        Connected graph without isolated vertices.
+    trials : int
+        Number of independent runs.
+    steps : int
+        Horizon: every trial advances exactly this many rounds.
+    delta : float
+        Pebble density — ``max(1, int(delta·n))`` pebbles per trial
+        (ignored when *pebbles* is given).
+    lazy : bool
+        Apply the per-round 1/2 holding coin (paper default).
+    start : int or numpy.ndarray or None
+        Placement, as in :func:`batched_walt_cover_trials`: a
+        vertex/array puts the pebbles there in every trial; ``None``
+        spreads them uniformly at random, independently per trial.
+    seed : SeedLike, optional
+        Seed/stream for the single interleaved RNG.
+    pebbles : int or None
+        Exact per-trial pebble count overriding *delta* (the epoch
+        experiments pin ``max(2, int(δ·n))``).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64[trials, p]`` pebble positions after *steps* rounds.
+    """
+    _check_samplable(graph, trials)
+    if steps < 0:
+        raise ValueError("steps must be >= 0")
+    n = graph.n
+    if pebbles is None:
+        if not 0 < delta <= 1:
+            raise ValueError("delta must be in (0, 1]")
+        p = max(1, int(delta * n))
+    else:
+        p = int(pebbles)
+        if p < 1:
+            raise ValueError("need at least one pebble")
+    rng = resolve_rng(seed)
+    positions = _walt_initial_positions(graph, trials, p, start, rng)
+
+    a = trials
+    tmp = np.empty(a * n, dtype=np.int64)
+    tmp2 = np.empty(a * n, dtype=np.int64)
+    d1 = np.empty(a * n, dtype=np.int64)
+    d2 = np.empty(a * n, dtype=np.int64)
+    for _ in range(steps):
+        if lazy:
+            move_rows = (rng.random(a) >= 0.5).nonzero()[0]
+            if move_rows.size == 0:
+                continue
+        else:
+            move_rows = np.arange(a)
+        positions[move_rows] = _walt_move_batch(
+            graph, positions, move_rows, rng, tmp, tmp2, d1, d2
+        )
+    return positions

@@ -25,9 +25,12 @@ from ..walks import gossip as _gossip_mod
 from ..walks import parallel as _parallel_mod
 from ..walks import simple as _simple_mod
 from .batch import (
+    batched_branching_cover_trials,
+    batched_coalescing_cover_trials,
     batched_cobra_cover_trials,
     batched_cobra_hit_trials,
     batched_gossip_spread_trials,
+    batched_lazy_cover_trials,
     batched_parallel_walks_cover_trials,
     batched_walt_cover_trials,
 )
@@ -186,6 +189,40 @@ def _parallel_batch_cover(graph, *, trials, start=0, seed=None, max_steps=None, 
     )
 
 
+def _lazy_batch_cover(graph, *, trials, start=0, seed=None, max_steps=None):
+    return batched_lazy_cover_trials(
+        graph, trials=trials, start=_scalar_start(start), seed=seed, max_steps=max_steps
+    )
+
+
+def _branching_batch_cover(
+    graph, *, trials, start=0, seed=None, max_steps=None, k=2,
+    population_cap=1_000_000,
+):
+    return batched_branching_cover_trials(
+        graph,
+        trials=trials,
+        k=k,
+        start=_scalar_start(start),
+        seed=seed,
+        max_steps=max_steps,
+        population_cap=population_cap,
+    )
+
+
+def _coalescing_batch_cover(
+    graph, *, trials, start=None, seed=None, max_steps=None, walkers=None
+):
+    return batched_coalescing_cover_trials(
+        graph,
+        trials=trials,
+        walkers=walkers,
+        start=start,
+        seed=seed,
+        max_steps=max_steps,
+    )
+
+
 def _gossip_batch_cover(push: bool, pull: bool):
     def engine(graph, *, trials, start=0, seed=None, max_steps=None):
         return batched_gossip_spread_trials(
@@ -238,6 +275,7 @@ register_process(
         capabilities=frozenset({"cover", "hit"}),
         default_metric="cover",
         default_budget=lambda g, p: _simple_mod._cover_budget(g.n),
+        batch_cover=_lazy_batch_cover,
         description="lazy random walk (holds with probability 1/2)",
     )
 )
@@ -278,6 +316,7 @@ register_process(
         default_metric="cover",
         default_params={"k": 2, "population_cap": 1_000_000},
         default_budget=lambda g, p: max(10_000, 50 * g.n),
+        batch_cover=_branching_batch_cover,
         description="pure branching walk (no coalescence): population explodes",
     )
 )
@@ -290,6 +329,7 @@ register_process(
         default_metric="coalesce",
         default_params={"walkers": None},
         default_budget=lambda g, p: max(100_000, 20 * g.n**2),
+        batch_cover=_coalescing_batch_cover,
         description="coalescing random walks (voter-model dual): walkers merge on meeting",
     )
 )

@@ -19,8 +19,10 @@ single :class:`RunResult`; seed-for-seed it reproduces the legacy
 per-process helper for the same ``(process, metric, seed)``.
 ``run_batch`` replaces the per-process ``*_trials`` helpers: it fans
 out over the vectorized batched engine when the process has one for
-the metric (cover/spread: cobra, simple, walt, parallel, push, pull,
-push_pull; hit: cobra, simple), a multiprocessing pool when
+the metric (cover/spread: every registered process except the biased
+walk; hit: cobra, simple), the sharded executor when ``shards`` is
+given (per-trial seed streams, placement-independent — see
+``docs/architecture.md``), a multiprocessing pool when
 ``processes > 1``, or a serial seed-spawned loop otherwise, always
 returning one :class:`~repro.sim.montecarlo.TrialSummary`.
 """
@@ -51,8 +53,13 @@ _DEFAULT_PROCESSES: int | None = None
 
 
 def set_default_processes(processes: int | None) -> None:
-    """Set the default Monte-Carlo fan-out for :func:`run_batch`
-    (``None`` or 1 = serial/vectorized; > 1 = pool of that size)."""
+    """Set the default Monte-Carlo fan-out for :func:`run_batch`.
+
+    Parameters
+    ----------
+    processes : int or None
+        ``None`` or 1 = serial/vectorized; > 1 = pool of that size.
+    """
     global _DEFAULT_PROCESSES
     if processes is not None and processes < 1:
         raise ValueError("processes must be >= 1 (or None)")
@@ -60,7 +67,13 @@ def set_default_processes(processes: int | None) -> None:
 
 
 def get_default_processes() -> int | None:
-    """Current default fan-out (see :func:`set_default_processes`)."""
+    """Current default fan-out (see :func:`set_default_processes`).
+
+    Returns
+    -------
+    int or None
+        The installed pool width, or ``None`` for serial/vectorized.
+    """
     return _DEFAULT_PROCESSES
 
 
@@ -70,19 +83,21 @@ class RunResult:
 
     Attributes
     ----------
-    process / metric:
-        Registry name and the metric that was driven.
-    covered:
+    process : str
+        Registry name of the process that ran.
+    metric : str
+        The metric that was driven.
+    covered : bool
         Whether full coverage was reached within the budget (always
         ``False`` for metrics that don't track coverage).
-    steps:
+    steps : int
         Steps/rounds executed.
-    cover_time:
+    cover_time : int or None
         Step at which the last vertex was first activated, or ``None``.
-    first_activation:
+    first_activation : numpy.ndarray or None
         ``int64[n]`` first-activation step per vertex (``-1`` = never),
         or ``None`` for processes that don't track visitation.
-    extras:
+    extras : dict
         Process/metric-specific scalars (``hit_time``,
         ``coalescence_time``, ``population``, ``hit_cap``,
         ``walkers_left``, …).
@@ -177,19 +192,31 @@ def simulate(
 
     Parameters
     ----------
-    process:
+    graph : Graph
+        The graph to run on.
+    process : str or ProcessSpec
         Registry name (see :func:`repro.sim.processes.process_names`)
         or a :class:`ProcessSpec`.
-    metric:
+    metric : str, optional
         ``"cover"``, ``"spread"``, ``"hit"``, or ``"coalesce"``;
         defaults to the spec's preferred metric.
-    start / target / seed / max_steps:
-        Start vertex (array for multi-source processes), hit target,
-        RNG seed, and step budget (defaults to the process's legacy
-        budget so seeded runs reproduce the historical helpers).
-    **params:
+    start : int or numpy.ndarray
+        Start vertex (array for multi-source processes).
+    target : int, optional
+        Hit target, required for ``metric="hit"``.
+    seed : SeedLike, optional
+        RNG seed/stream.
+    max_steps : int, optional
+        Step budget; defaults to the process's legacy budget so seeded
+        runs reproduce the historical helpers.
+    **params : Any
         Process-specific knobs (``k``, ``delta``, ``walkers``,
         ``eps``, …) forwarded to the factory.
+
+    Returns
+    -------
+    RunResult
+        The normalised outcome of the single run.
     """
     spec = process if isinstance(process, ProcessSpec) else get_process(process)
     metric = _resolve_metric(spec, metric)
@@ -270,7 +297,20 @@ def _batch_trial(
     max_steps,
     params: dict | None = None,
 ) -> float:
-    """Picklable per-trial worker for serial/pool fan-out."""
+    """Picklable per-trial worker for serial/pool fan-out.
+
+    Parameters
+    ----------
+    seed : SeedLike, optional
+        The trial's own spawned :class:`numpy.random.SeedSequence`.
+    graph, process, metric, start, target, max_steps, params:
+        Static :func:`simulate` arguments shared by every trial.
+
+    Returns
+    -------
+    float
+        The trial's scalar metric value (``nan`` = budget exhausted).
+    """
     return simulate(
         graph,
         process,
@@ -281,6 +321,97 @@ def _batch_trial(
         max_steps=max_steps,
         **(params or {}),
     ).value
+
+
+def _shard_worker(payload: tuple) -> list[float]:
+    """Picklable per-shard worker: run one contiguous block of trials.
+
+    Parameters
+    ----------
+    payload : tuple
+        ``(seeds, graph, proc_ref, metric, start, target, max_steps,
+        params)`` — *seeds* is the shard's slice of the per-trial
+        spawned seed list; everything else is static.
+
+    Returns
+    -------
+    list of float
+        One metric value per trial of the shard, in trial order.
+    """
+    seeds, graph, proc_ref, metric, start, target, max_steps, params = payload
+    return [
+        _batch_trial(s, graph, proc_ref, metric, start, target, max_steps, params)
+        for s in seeds
+    ]
+
+
+def _run_sharded(
+    graph: Graph,
+    proc_ref,
+    metric: str,
+    *,
+    trials: int,
+    start,
+    target,
+    seed: SeedLike,
+    max_steps,
+    params: dict,
+    shards: int,
+    max_workers: int | None,
+) -> TrialSummary:
+    """Sharded Monte-Carlo executor behind ``run_batch(shards=...)``.
+
+    The seed-spawning contract makes results placement-independent:
+    all *trials* per-trial seeds are spawned up front from *seed*
+    (exactly as the serial/pool paths spawn them), and shard ``j``
+    merely executes a contiguous slice of that list.  Trial ``i``
+    therefore consumes the identical RNG stream whether it runs
+    unsharded, in shard 0 of 1, or in shard 7 of 8 on another machine
+    — ``shards=k`` is seed-for-seed identical to ``shards=1`` and to
+    the unsharded serial path for every registered process.
+
+    Parameters
+    ----------
+    graph, proc_ref, metric, start, target, max_steps, params:
+        Static per-trial arguments (see :func:`_batch_trial`).
+    trials : int
+        Total trial count, split round-robin-free into ``shards``
+        contiguous blocks of near-equal size.
+    seed : SeedLike, optional
+        Parent seed for :func:`repro.sim.rng.spawn_seeds`.
+    shards : int or None
+        Number of blocks.
+    max_workers : int or None
+        Process-pool width (defaults to ``min(shards, cpu_count)``);
+        ``1`` executes every shard inline in this process.
+
+    Returns
+    -------
+    TrialSummary
+        Summary over all trials, in trial order.
+    """
+    import os
+
+    from .rng import spawn_seeds
+
+    seeds = spawn_seeds(seed, trials)
+    bounds = np.linspace(0, trials, shards + 1).astype(int)
+    payloads = [
+        (seeds[lo:hi], graph, proc_ref, metric, start, target, max_steps, params)
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
+    if max_workers is None:
+        max_workers = min(len(payloads), os.cpu_count() or 1)
+    if max_workers <= 1 or len(payloads) == 1:
+        chunks = [_shard_worker(p) for p in payloads]
+    else:
+        from .montecarlo import _pool_context
+
+        with _pool_context().Pool(processes=max_workers) as pool:
+            chunks = pool.map(_shard_worker, payloads)
+    values = np.array([v for chunk in chunks for v in chunk], dtype=np.float64)
+    return summarize_trials(values)
 
 
 def run_batch(
@@ -294,6 +425,8 @@ def run_batch(
     seed: SeedLike = None,
     max_steps: int | None = None,
     processes: int | None = None,
+    shards: int | None = None,
+    max_workers: int | None = None,
     strategy: str = "auto",
     **params: Any,
 ) -> TrialSummary:
@@ -301,6 +434,7 @@ def run_batch(
 
     Strategy selection (``strategy="auto"``):
 
+    * the sharded executor when ``shards`` is given (see below);
     * the process's vectorized batched engine, when it has one for the
       metric — ``batch_cover`` for coverage/spread, ``batch_hit`` for
       hitting — all trials advance in one ``(trials, n)`` frontier, no
@@ -312,6 +446,53 @@ def run_batch(
 
     ``strategy="vectorized"`` / ``"serial"`` force a path (vectorized
     raises for processes without a batched engine for the metric).
+
+    Parameters
+    ----------
+    graph : Graph
+        The graph to run on.
+    process : str or ProcessSpec
+        Registry name or a :class:`~repro.sim.processes.ProcessSpec`.
+    trials : int
+        Number of independent trials.
+    metric : str, optional
+        ``"cover"``, ``"spread"``, ``"hit"``, or ``"coalesce"``;
+        defaults to the spec's preferred metric.
+    start : int or numpy.ndarray
+        Start vertex (array for multi-source processes).
+    target : int, optional
+        Hit target, required for ``metric="hit"`` (validated before
+        any fan-out).
+    seed : SeedLike, optional
+        The single root seed all per-trial (or engine) streams derive
+        from.
+    max_steps : int, optional
+        Step budget per trial; defaults to the process's legacy budget.
+    processes : int or None
+        Pool width for the per-trial multiprocessing path (``None``/1
+        = no pool).  Mutually exclusive with *shards*.
+    shards : int or None
+        Split the trials into this many contiguous blocks and run them
+        on the sharded executor.  Per-trial seeds are spawned up front,
+        so results are **placement-independent**: ``shards=k`` is
+        seed-for-seed identical to ``shards=1``, to the unsharded
+        serial path, and to any ``max_workers`` — the contract that
+        lets shards move across worker processes or machines.  Sharded
+        runs use per-trial streams (the serial contract), not the
+        single interleaved stream of the vectorized engines; force
+        ``strategy="vectorized"`` only without shards.
+    max_workers : int or None
+        Process-pool width for the sharded executor (default
+        ``min(shards, cpu_count)``; ``1`` = inline, same values).
+    strategy : str
+        ``"auto"`` (default), ``"vectorized"``, or ``"serial"``.
+    **params : Any
+        Process-specific knobs forwarded to the factory/engine.
+
+    Returns
+    -------
+    TrialSummary
+        One summary over the metric values of all trials.
     """
     spec = process if isinstance(process, ProcessSpec) else get_process(process)
     metric = _resolve_metric(spec, metric)
@@ -319,6 +500,25 @@ def run_batch(
         raise ValueError("need at least one trial")
     if strategy not in ("auto", "vectorized", "serial"):
         raise ValueError(f"unknown strategy {strategy!r}; use auto|vectorized|serial")
+    if shards is not None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if processes is not None:
+            raise ValueError(
+                "pass either shards= (sharded executor) or processes= "
+                "(per-trial pool), not both"
+            )
+        if strategy == "vectorized":
+            raise ValueError(
+                "sharded runs use the per-trial seed-spawning contract; "
+                "strategy='vectorized' cannot be sharded (drop shards= for "
+                "the single-stream vectorized engine)"
+            )
+    if max_workers is not None:
+        if shards is None:
+            raise ValueError("max_workers only applies to sharded runs (pass shards=)")
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
     if metric == "hit":
         # validate here, before any fan-out: a bad target must fail fast
         # in the caller, not deep inside pool workers
@@ -326,10 +526,34 @@ def run_batch(
             raise ValueError("metric 'hit' needs a target vertex")
         if not (0 <= target < graph.n):
             raise ValueError("target out of range")
-    if processes is None:
+    if processes is None and shards is None:
         processes = _DEFAULT_PROCESSES
     if max_steps is None:
         max_steps = spec.default_budget(graph, params)
+
+    # registered specs travel by name (cheap to pickle across a pool);
+    # an unregistered spec is passed as the object itself — fine
+    # serially, and the pool path then needs the spec to be picklable
+    from .processes import _REGISTRY
+
+    proc_ref: str | ProcessSpec = (
+        spec.name if _REGISTRY.get(spec.name) is spec else spec
+    )
+
+    if shards is not None:
+        return _run_sharded(
+            graph,
+            proc_ref,
+            metric,
+            trials=trials,
+            start=start,
+            target=target,
+            seed=seed,
+            max_steps=max_steps,
+            params=dict(params),
+            shards=shards,
+            max_workers=max_workers,
+        )
 
     if metric in ("cover", "spread"):
         engine = spec.batch_cover
@@ -353,14 +577,6 @@ def run_batch(
         )
         return summarize_trials(np.asarray(values, dtype=np.float64))
 
-    # registered specs travel by name (cheap to pickle across a pool);
-    # an unregistered spec is passed as the object itself — fine
-    # serially, and the pool path then needs the spec to be picklable
-    from .processes import _REGISTRY
-
-    proc_ref: str | ProcessSpec = (
-        spec.name if _REGISTRY.get(spec.name) is spec else spec
-    )
     return run_trials(
         _batch_trial,
         trials,

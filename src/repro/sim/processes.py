@@ -71,31 +71,31 @@ class ProcessSpec:
 
     Attributes
     ----------
-    name:
+    name : str
         Registry key (``"cobra"``, ``"walt"``, ``"push"``, …).
-    factory:
+    factory : ProcessFactory
         Builds a fresh stepping process on a graph.  Keyword-only
         arguments ``start``, ``seed``, and ``target`` are always
         accepted (and ignored where meaningless); ``**params`` are the
         process's own knobs (``k``, ``delta``, ``walkers``, …).
-    capabilities:
+    capabilities : frozenset of str
         Subset of :data:`METRICS` plus ``"multi_source"``.
-    default_metric:
+    default_metric : str
         The metric ``simulate()`` uses when none is given.
-    default_params:
+    default_params : Mapping
         The factory's tunable defaults, for documentation/CLI listing.
-    default_budget:
+    default_budget : BudgetFn
         Step budget matching the process's legacy helper, so facade
         runs reproduce the historical helpers seed-for-seed.
-    batch_cover:
+    batch_cover : BatchCoverFn or None
         Optional vectorized engine advancing all cover/spread trials in
         one ``(trials, n)`` frontier; ``run_batch`` uses it when
         available.
-    batch_hit:
+    batch_hit : BatchHitFn or None
         Optional vectorized engine for ``metric="hit"`` sweeps: all
         trials race to first activation of the target in one flat
         frontier; ``run_batch`` uses it when available.
-    description:
+    description : str
         One-line positioning of the process in the paper.
     """
 
@@ -120,11 +120,36 @@ class ProcessSpec:
             )
 
     def supports(self, metric: str) -> bool:
-        """Whether *metric* is declared for this process."""
+        """Whether *metric* is declared for this process.
+
+        Parameters
+        ----------
+        metric:
+            One of :data:`METRICS` (or ``"multi_source"``).
+
+        Returns
+        -------
+        bool
+            ``True`` when the capability is declared.
+        """
         return metric in self.capabilities
 
     def make(self, graph: Graph, **kwargs: Any) -> SteppingProcess:
-        """Instantiate the process (thin sugar over ``factory``)."""
+        """Instantiate the process (thin sugar over ``factory``).
+
+        Parameters
+        ----------
+        graph:
+            The graph to run on.
+        **kwargs:
+            Forwarded to the factory (``start``, ``seed``, ``target``,
+            and the process's own knobs).
+
+        Returns
+        -------
+        SteppingProcess
+            A fresh stepping process.
+        """
         return self.factory(graph, **kwargs)
 
 
@@ -133,7 +158,18 @@ _LOADED = False
 
 
 def register_process(spec: ProcessSpec) -> ProcessSpec:
-    """Register *spec*, rejecting duplicate names."""
+    """Register *spec*, rejecting duplicate names.
+
+    Parameters
+    ----------
+    spec : ProcessSpec
+        The spec to add under ``spec.name``.
+
+    Returns
+    -------
+    ProcessSpec
+        *spec* itself, for decorator-style use.
+    """
     if spec.name in _REGISTRY:
         raise ValueError(f"duplicate process name {spec.name!r}")
     _REGISTRY[spec.name] = spec
@@ -141,7 +177,18 @@ def register_process(spec: ProcessSpec) -> ProcessSpec:
 
 
 def get_process(name: str) -> ProcessSpec:
-    """Look up a process, raising with the known names on miss."""
+    """Look up a process, raising with the known names on miss.
+
+    Parameters
+    ----------
+    name : str
+        Registry key, e.g. ``"cobra"``.
+
+    Returns
+    -------
+    ProcessSpec
+        The registered spec.
+    """
     _load_builtins()
     try:
         return _REGISTRY[name]
@@ -151,13 +198,25 @@ def get_process(name: str) -> ProcessSpec:
 
 
 def all_processes() -> list[ProcessSpec]:
-    """All registered specs, sorted by name."""
+    """All registered specs, sorted by name.
+
+    Returns
+    -------
+    list of ProcessSpec
+        One entry per registered process.
+    """
     _load_builtins()
     return [_REGISTRY[k] for k in sorted(_REGISTRY)]
 
 
 def process_names() -> list[str]:
-    """Sorted registry keys."""
+    """Sorted registry keys.
+
+    Returns
+    -------
+    list of str
+        The registered process names, sorted.
+    """
     _load_builtins()
     return sorted(_REGISTRY)
 

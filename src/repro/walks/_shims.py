@@ -1,0 +1,36 @@
+"""Deprecation plumbing for the legacy per-run helpers in
+:mod:`repro.walks`.
+
+Every ``*_time`` helper in this package predates the
+:mod:`repro.sim.facade`; they all survive as thin shims, but a shim
+that stays silent (or warns generically) leaves callers guessing what
+to migrate to.  :func:`warn_deprecated` pins the contract: each shim
+emits a :class:`DeprecationWarning` that names its **exact** facade
+replacement, spelled as the call to paste in
+(``tests/walks/test_deprecation.py`` checks the wording against the
+registry).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_deprecated"]
+
+
+def warn_deprecated(old: str, replacement: str) -> None:
+    """Emit the package's standard deprecation warning.
+
+    Parameters
+    ----------
+    old : str
+        Name of the deprecated helper, e.g. ``"rw_cover_time"``.
+    replacement : str
+        The exact facade call that supersedes it, e.g.
+        ``'simulate(graph, "simple", metric="cover", ...).cover_time'``.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {replacement} from repro.sim.facade instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

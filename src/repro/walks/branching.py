@@ -19,6 +19,7 @@ import numpy as np
 
 from ..graphs.base import Graph, sample_uniform_neighbors
 from ..sim.rng import SeedLike, resolve_rng
+from ._shims import warn_deprecated
 
 __all__ = ["BranchingWalk", "BranchingRunResult", "branching_cover_time"]
 
@@ -123,7 +124,16 @@ def branching_cover_time(
     max_steps: int | None = None,
     population_cap: int = 1_000_000,
 ) -> BranchingRunResult:
-    """Run one branching walk to coverage."""
+    """Run one branching walk to coverage.
+
+    .. deprecated::
+        Use the facade call named in the emitted warning; it
+        reproduces this helper seed-for-seed (``extras`` carries
+        ``population`` and ``hit_cap``).
+    """
+    warn_deprecated(
+        "branching_cover_time", 'simulate(graph, "branching", metric="cover", ...)'
+    )
     if max_steps is None:
         max_steps = max(10_000, 50 * graph.n)
     walk = BranchingWalk(

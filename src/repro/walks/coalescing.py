@@ -15,6 +15,7 @@ import numpy as np
 
 from ..graphs.base import Graph, sample_uniform_neighbors
 from ..sim.rng import SeedLike, resolve_rng
+from ._shims import warn_deprecated
 
 __all__ = ["CoalescingWalks", "coalescence_time", "coalescing_start_positions"]
 
@@ -105,7 +106,17 @@ def coalescence_time(
     max_steps: int | None = None,
 ) -> int | None:
     """Steps until all walkers merge (see
-    :func:`coalescing_start_positions` for the default placement)."""
+    :func:`coalescing_start_positions` for the default placement).
+
+    .. deprecated::
+        Use the facade call named in the emitted warning; it
+        reproduces this helper seed-for-seed.
+    """
+    warn_deprecated(
+        "coalescence_time",
+        'simulate(graph, "coalescing", walkers=walkers, '
+        '...).extras["coalescence_time"]',
+    )
     rng = resolve_rng(seed)
     positions = coalescing_start_positions(graph, walkers, rng)
     if max_steps is None:

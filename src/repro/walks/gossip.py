@@ -19,6 +19,7 @@ import numpy as np
 
 from ..graphs.base import Graph, sample_uniform_neighbors
 from ..sim.rng import SeedLike, resolve_rng
+from ._shims import warn_deprecated
 
 __all__ = [
     "GossipSpread",
@@ -116,7 +117,13 @@ def push_spread_time(
     seed: SeedLike = None,
     max_rounds: int | None = None,
 ) -> int | None:
-    """Rounds for push gossip to inform every vertex (``None`` = budget)."""
+    """Rounds for push gossip to inform every vertex (``None`` = budget).
+
+    .. deprecated::
+        Use the facade call named in the emitted warning; it
+        reproduces this helper seed-for-seed.
+    """
+    warn_deprecated("push_spread_time", 'simulate(graph, "push", ...).cover_time')
     return _spread_time(graph, start, seed, max_rounds, push=True, pull=False)
 
 
@@ -127,7 +134,13 @@ def pull_spread_time(
     seed: SeedLike = None,
     max_rounds: int | None = None,
 ) -> int | None:
-    """Rounds for pull gossip (uninformed vertices poll a neighbor)."""
+    """Rounds for pull gossip (uninformed vertices poll a neighbor).
+
+    .. deprecated::
+        Use the facade call named in the emitted warning; it
+        reproduces this helper seed-for-seed.
+    """
+    warn_deprecated("pull_spread_time", 'simulate(graph, "pull", ...).cover_time')
     return _spread_time(graph, start, seed, max_rounds, push=False, pull=True)
 
 
@@ -138,7 +151,15 @@ def push_pull_spread_time(
     seed: SeedLike = None,
     max_rounds: int | None = None,
 ) -> int | None:
-    """Rounds for combined push–pull gossip."""
+    """Rounds for combined push–pull gossip.
+
+    .. deprecated::
+        Use the facade call named in the emitted warning; it
+        reproduces this helper seed-for-seed.
+    """
+    warn_deprecated(
+        "push_pull_spread_time", 'simulate(graph, "push_pull", ...).cover_time'
+    )
     return _spread_time(graph, start, seed, max_rounds, push=True, pull=True)
 
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..graphs.base import Graph, sample_uniform_neighbors
 from ..sim.rng import SeedLike, resolve_rng
+from ._shims import warn_deprecated
 
 __all__ = ["ParallelWalks", "parallel_cover_time", "parallel_hitting_time"]
 
@@ -91,7 +92,16 @@ def parallel_cover_time(
     max_steps: int | None = None,
 ) -> int | None:
     """Cover time of *walkers* independent simple walks (``None`` =
-    budget exhausted)."""
+    budget exhausted).
+
+    .. deprecated::
+        Use the facade call named in the emitted warning; it
+        reproduces this helper seed-for-seed.
+    """
+    warn_deprecated(
+        "parallel_cover_time",
+        'simulate(graph, "parallel", walkers=walkers, ...).cover_time',
+    )
     if max_steps is None:
         max_steps = _default_budget(graph.n, walkers)
     proc = ParallelWalks(graph, walkers=walkers, start=start, seed=seed)
@@ -109,7 +119,17 @@ def parallel_hitting_time(
     seed: SeedLike = None,
     max_steps: int | None = None,
 ) -> int | None:
-    """First step any of the *walkers* stands on *target*."""
+    """First step any of the *walkers* stands on *target*.
+
+    .. deprecated::
+        Use the facade call named in the emitted warning; it
+        reproduces this helper seed-for-seed.
+    """
+    warn_deprecated(
+        "parallel_hitting_time",
+        'simulate(graph, "parallel", metric="hit", target=target, '
+        '...).extras["hit_time"]',
+    )
     if not (0 <= target < graph.n):
         raise ValueError("target out of range")
     if max_steps is None:

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..graphs.base import Graph, sample_uniform_neighbors
 from ..sim.rng import SeedLike, resolve_rng, spawn_seeds
+from ._shims import warn_deprecated
 
 __all__ = [
     "RandomWalk",
@@ -92,7 +93,17 @@ def rw_cover_time(
     seed: SeedLike = None,
     max_steps: int | None = None,
 ) -> int | None:
-    """Cover time of one simple-random-walk run (``None`` = budget)."""
+    """Cover time of one simple-random-walk run (``None`` = budget).
+
+    .. deprecated::
+        Use the facade call named in the emitted warning; it
+        reproduces this helper seed-for-seed.
+    """
+    process = "lazy" if lazy else "simple"
+    warn_deprecated(
+        "rw_cover_time",
+        f'simulate(graph, "{process}", metric="cover", ...).cover_time',
+    )
     if max_steps is None:
         max_steps = _cover_budget(graph.n)
     return RandomWalk(graph, start=start, lazy=lazy, seed=seed).run_until_cover(max_steps)
@@ -107,7 +118,18 @@ def rw_hitting_time(
     seed: SeedLike = None,
     max_steps: int | None = None,
 ) -> int | None:
-    """Hitting time of one run."""
+    """Hitting time of one run.
+
+    .. deprecated::
+        Use the facade call named in the emitted warning; it
+        reproduces this helper seed-for-seed.
+    """
+    process = "lazy" if lazy else "simple"
+    warn_deprecated(
+        "rw_hitting_time",
+        f'simulate(graph, "{process}", metric="hit", target=target, '
+        '...).extras["hit_time"]',
+    )
     if max_steps is None:
         max_steps = _cover_budget(graph.n)
     return RandomWalk(graph, start=start, lazy=lazy, seed=seed).run_until_hit(

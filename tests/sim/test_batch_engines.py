@@ -2,14 +2,15 @@
 
 Three pillars:
 
-* each new vectorized engine (gossip push/pull/push_pull, parallel
-  walks, Walt, cobra hit, simple hit) matches ``strategy="serial"``
-  distributionally at fixed seeds (means within a pooled CI);
+* each vectorized engine (gossip push/pull/push_pull, parallel walks,
+  Walt, cobra hit, simple hit, lazy, branching, coalescing) matches
+  ``strategy="serial"`` distributionally at fixed seeds (means within
+  a pooled CI);
 * ``run_batch`` auto-selects the vectorized engine for every process
   that has one, including ``metric="hit"``, and validates the target
   before any fan-out;
 * engine-specific semantics: multi-source starts, budget-exhaustion
-  NaNs, degenerate starts, validation errors.
+  NaNs, degenerate starts, population caps, validation errors.
 """
 
 import numpy as np
@@ -17,10 +18,15 @@ import pytest
 
 from repro.graphs import cycle_graph, grid, star_graph
 from repro.sim import (
+    batched_branching_cover_trials,
+    batched_coalescing_cover_trials,
+    batched_cobra_active_sizes,
     batched_cobra_hit_trials,
     batched_gossip_spread_trials,
+    batched_lazy_cover_trials,
     batched_parallel_walks_cover_trials,
     batched_walt_cover_trials,
+    batched_walt_positions_at,
     get_process,
     run_batch,
 )
@@ -51,6 +57,10 @@ ENGINE_CASES = [
     ("walt", {"delta": 0.25, "lazy": False}, None, None),
     ("cobra", {}, "hit", 63),
     ("simple", {}, "hit", 63),
+    ("lazy", {}, None, None),
+    ("branching", {}, None, None),
+    ("branching", {"k": 3, "population_cap": 64}, None, None),
+    ("coalescing", {"walkers": 8}, "cover", None),
 ]
 
 
@@ -75,13 +85,33 @@ class TestAutoSelection:
     same seed) for every process with an engine."""
 
     @pytest.mark.parametrize(
-        "name", ["cobra", "simple", "walt", "parallel", "push", "pull", "push_pull"]
+        "name,kwargs",
+        [
+            ("cobra", {}),
+            ("simple", {}),
+            ("walt", {}),
+            ("parallel", {}),
+            ("push", {}),
+            ("pull", {}),
+            ("push_pull", {}),
+            ("lazy", {}),
+            ("branching", {}),
+            ("coalescing", {"metric": "cover", "walkers": 6}),
+        ],
     )
-    def test_auto_cover_is_vectorized(self, g, name):
+    def test_auto_cover_is_vectorized(self, g, name, kwargs):
         assert get_process(name).batch_cover is not None
-        auto = run_batch(g, name, trials=6, seed=3)
-        vec = run_batch(g, name, trials=6, seed=3, strategy="vectorized")
+        auto = run_batch(g, name, trials=6, seed=3, **kwargs)
+        vec = run_batch(g, name, trials=6, seed=3, strategy="vectorized", **kwargs)
         assert np.array_equal(auto.values, vec.values)
+
+    def test_coalesce_metric_stays_serial(self, g):
+        """The coalescing engine covers cover/spread only; the default
+        coalesce metric must keep taking the per-trial path."""
+        auto = run_batch(g, "coalescing", trials=3, seed=3, walkers=4)
+        ser = run_batch(g, "coalescing", trials=3, seed=3, walkers=4,
+                        strategy="serial")
+        assert np.array_equal(auto.values, ser.values, equal_nan=True)
 
     @pytest.mark.parametrize("name", ["cobra", "simple"])
     def test_auto_hit_is_vectorized(self, g, name):
@@ -94,15 +124,21 @@ class TestAutoSelection:
         assert np.array_equal(auto.values, vec.values)
 
     def test_engine_coverage_floor(self):
-        """The acceptance bar: >= 5 processes with a cover engine plus
-        cobra hit."""
+        """The "every process is batched" milestone: every registered
+        process except the adversarially-controlled biased walk has a
+        cover/spread engine, plus cobra/simple hit engines."""
         covered = [
-            s.name for s in map(get_process, ["cobra", "simple", "walt", "parallel",
-                                              "push", "pull", "push_pull"])
+            s.name
+            for s in map(
+                get_process,
+                ["cobra", "simple", "lazy", "walt", "parallel", "branching",
+                 "coalescing", "push", "pull", "push_pull"],
+            )
             if s.batch_cover is not None
         ]
-        assert len(covered) >= 5
+        assert len(covered) == 10
         assert get_process("cobra").batch_hit is not None
+        assert get_process("simple").batch_hit is not None
 
 
 class TestHitTargetValidation:
@@ -247,3 +283,142 @@ class TestCobraHitEngine:
         c = cycle_graph(24)
         t = batched_cobra_hit_trials(c, 12, trials=8, k=3, seed=4)
         assert np.isfinite(t).all()
+
+
+class TestLazyEngine:
+    def test_slower_than_simple(self, g):
+        lazy = batched_lazy_cover_trials(g, trials=32, seed=5)
+        simple = run_batch(g, "simple", trials=32, seed=5).values
+        # half the lazy steps are holds: cover should be ~2x, surely >1.3x
+        assert np.nanmean(lazy) > 1.3 * np.nanmean(simple)
+
+    def test_budget_censoring_nan(self):
+        t = batched_lazy_cover_trials(cycle_graph(64), trials=8, seed=0, max_steps=70)
+        assert np.isnan(t).all()  # even the move chain cannot cover in 70
+
+    def test_holds_count_against_budget(self):
+        # generous move budget but tight step budget: reconstructed
+        # totals above max_steps must censor to nan
+        c = cycle_graph(16)
+        unlimited = batched_lazy_cover_trials(c, trials=64, seed=9)
+        capped = batched_lazy_cover_trials(
+            c, trials=64, seed=9, max_steps=int(np.nanmedian(unlimited))
+        )
+        assert np.isnan(capped).sum() > 0
+
+    def test_validation(self, g):
+        with pytest.raises(ValueError, match="start"):
+            batched_lazy_cover_trials(g, trials=2, start=g.n)
+        with pytest.raises(ValueError, match="trial"):
+            batched_lazy_cover_trials(g, trials=0)
+
+
+class TestBranchingEngine:
+    def test_small_cap_still_covers(self):
+        c = cycle_graph(16)
+        t = batched_branching_cover_trials(c, trials=8, seed=1, population_cap=4)
+        assert np.isfinite(t).all()
+
+    def test_larger_k_covers_faster(self, g):
+        k2 = batched_branching_cover_trials(g, trials=16, k=2, seed=2)
+        k4 = batched_branching_cover_trials(g, trials=16, k=4, seed=2)
+        assert np.nanmean(k4) < np.nanmean(k2)
+
+    def test_k_one_is_single_walker(self):
+        # k=1, cap anything: exactly one particle forever — the cover
+        # law of the simple random walk
+        c = cycle_graph(12)
+        t = batched_branching_cover_trials(c, trials=24, k=1, seed=3)
+        s = run_batch(c, "simple", trials=24, seed=3).values
+        assert np.isfinite(t).all()
+        assert abs(np.mean(t) - np.mean(s)) < 3.0 * np.std(s) / np.sqrt(6)
+
+    def test_star_hub_degree_path(self):
+        s = star_graph(20)
+        t = batched_branching_cover_trials(s, trials=8, seed=4)
+        assert np.isfinite(t).all()
+
+    def test_budget_exhaustion_nan(self):
+        t = batched_branching_cover_trials(
+            cycle_graph(64), trials=4, seed=0, max_steps=3
+        )
+        assert np.isnan(t).all()
+
+    def test_validation(self, g):
+        with pytest.raises(ValueError, match="k must be"):
+            batched_branching_cover_trials(g, trials=2, k=0)
+        with pytest.raises(ValueError, match="population_cap"):
+            batched_branching_cover_trials(g, trials=2, population_cap=0)
+        with pytest.raises(ValueError, match="start"):
+            batched_branching_cover_trials(g, trials=2, start=-1)
+
+
+class TestCoalescingEngine:
+    def test_all_vertices_cover_at_zero(self, g):
+        t = batched_coalescing_cover_trials(g, trials=5, seed=1)
+        assert np.array_equal(t, np.zeros(5))
+
+    def test_more_walkers_cover_faster(self):
+        c = cycle_graph(40)
+        few = batched_coalescing_cover_trials(c, trials=12, walkers=3, seed=5)
+        many = batched_coalescing_cover_trials(c, trials=12, walkers=12, seed=5)
+        assert np.nanmean(many) < np.nanmean(few)
+
+    def test_explicit_start_array(self):
+        c = cycle_graph(12)
+        t = batched_coalescing_cover_trials(
+            c, trials=4, start=np.arange(12), seed=6, max_steps=5
+        )
+        assert np.array_equal(t, np.zeros(4))
+
+    def test_budget_exhaustion_nan(self):
+        t = batched_coalescing_cover_trials(
+            cycle_graph(64), trials=4, walkers=4, seed=0, max_steps=3
+        )
+        assert np.isnan(t).all()
+
+    def test_validation(self, g):
+        with pytest.raises(ValueError, match="scalar start"):
+            batched_coalescing_cover_trials(g, trials=2, start=3)
+        with pytest.raises(ValueError, match="walker"):
+            batched_coalescing_cover_trials(g, trials=2, walkers=0)
+        with pytest.raises(ValueError, match="position"):
+            batched_coalescing_cover_trials(g, trials=2, start=np.array([0, g.n]))
+
+
+class TestFixedHorizonEngines:
+    def test_active_sizes_shape_and_start(self, g):
+        sizes = batched_cobra_active_sizes(g, trials=6, steps=20, seed=1)
+        assert sizes.shape == (6, 21)
+        assert (sizes[:, 0] == 1).all()
+        assert (sizes >= 1).all() and (sizes <= g.n).all()
+
+    def test_active_sizes_matches_serial_history(self, g):
+        from repro.core import CobraWalk
+
+        steps = 60
+        batched = batched_cobra_active_sizes(g, trials=24, steps=steps, seed=2)
+        serial = []
+        for s in range(24):
+            w = CobraWalk(g, seed=s, record_history=True)
+            for _ in range(steps):
+                w.step()
+            serial.append(w.history)
+        bt, st = batched.mean(axis=0), np.mean(serial, axis=0)
+        # saturation plateaus must agree (tolerant distributional check)
+        assert abs(bt[-10:].mean() - st[-10:].mean()) < 0.15 * g.n
+
+    def test_walt_positions_shape_and_range(self, g):
+        pos = batched_walt_positions_at(g, trials=5, steps=10, seed=3, pebbles=7)
+        assert pos.shape == (5, 7)
+        assert (pos >= 0).all() and (pos < g.n).all()
+
+    def test_walt_positions_zero_steps_identity(self, g):
+        pos = batched_walt_positions_at(g, trials=4, steps=0, start=2, seed=4)
+        assert (pos == 2).all()
+
+    def test_walt_positions_validation(self, g):
+        with pytest.raises(ValueError, match="steps"):
+            batched_walt_positions_at(g, trials=2, steps=-1)
+        with pytest.raises(ValueError, match="pebble"):
+            batched_walt_positions_at(g, trials=2, steps=1, pebbles=0)

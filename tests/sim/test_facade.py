@@ -210,17 +210,19 @@ class TestRunBatch:
         assert s.trials == 8 and np.isfinite(s.mean)
 
     def test_auto_without_engine_is_serial(self, g):
-        # branching has no batched engine, so auto falls back to the
-        # seed-spawned serial loop (push/walt/parallel now vectorize)
-        from repro.walks import branching_cover_time
-
-        s = run_batch(g, "branching", trials=3, seed=1)
-        ref = [branching_cover_time(g, seed=sd).cover_time for sd in spawn_seeds(1, 3)]
+        # the biased walk is the one process without a batched engine,
+        # so auto falls back to the seed-spawned serial loop
+        # (lazy/branching/coalescing now vectorize too)
+        t = g.n - 1
+        s = run_batch(g, "biased", trials=3, seed=1, target=t)
+        ref = [
+            simulate(g, "biased", target=t, seed=sd).value for sd in spawn_seeds(1, 3)
+        ]
         assert np.array_equal(s.values, np.array(ref, dtype=np.float64))
 
     def test_vectorized_unavailable_raises(self, g):
         with pytest.raises(ValueError, match="no vectorized engine"):
-            run_batch(g, "branching", trials=2, strategy="vectorized")
+            run_batch(g, "biased", trials=2, target=1, strategy="vectorized")
         # walt grew a cover engine but still has no hit engine
         with pytest.raises(ValueError, match="no vectorized engine"):
             run_batch(g, "walt", trials=2, metric="hit", target=1, strategy="vectorized")

@@ -1,0 +1,94 @@
+"""Generated-checked docs: ``docs/processes.md`` vs the live registry.
+
+The page claims to document every registered ``ProcessSpec``; this
+test regenerates the mechanical lines (metrics, multi-source,
+parameters, engines, description) from ``repro.sim.processes`` and
+fails if the page drifted — adding, removing, or changing a spec
+without updating the docs is a test failure, not a silent lie.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.sim import all_processes
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+
+
+@pytest.fixture(scope="module")
+def processes_md() -> str:
+    return (DOCS / "processes.md").read_text(encoding="utf-8")
+
+
+def _sections(text: str) -> dict[str, str]:
+    """Map section name -> body for every ``## `name``` heading."""
+    parts = re.split(r"^## `([^`]+)`$", text, flags=re.MULTILINE)
+    return {
+        name: body for name, body in zip(parts[1::2], parts[2::2])
+    }
+
+
+class TestProcessesPage:
+    def test_exactly_one_section_per_registered_process(self, processes_md):
+        names = {spec.name for spec in all_processes()}
+        sections = set(_sections(processes_md))
+        assert sections == names, (
+            f"missing sections: {sorted(names - sections)}; "
+            f"stale sections: {sorted(sections - names)}"
+        )
+
+    @pytest.mark.parametrize("spec", all_processes(), ids=lambda s: s.name)
+    def test_section_matches_registry(self, processes_md, spec):
+        body = _sections(processes_md)[spec.name]
+        # description is the section's lead paragraph
+        assert spec.description in body
+
+        metrics = sorted(spec.capabilities - {"multi_source"})
+        assert (
+            f"- **metrics:** {', '.join(metrics)} (default `{spec.default_metric}`)"
+            in body
+        )
+
+        multi = "yes" if spec.supports("multi_source") else "no"
+        assert f"- **multi-source start:** {multi}" in body
+
+        params = ", ".join(
+            f"`{k}={v!r}`" for k, v in sorted(spec.default_params.items())
+        ) or "—"
+        assert f"- **parameters:** {params}" in body
+
+        engines = ["serial"]
+        if spec.batch_cover is not None:
+            engines.append("batch_cover")
+        if spec.batch_hit is not None:
+            engines.append("batch_hit")
+        assert f"- **engines:** {', '.join(engines)}" in body
+
+    @pytest.mark.parametrize("spec", all_processes(), ids=lambda s: s.name)
+    def test_section_has_paper_reference(self, processes_md, spec):
+        body = _sections(processes_md)[spec.name]
+        m = re.search(r"- \*\*reference:\*\* (.+)", body)
+        assert m, f"no reference line for {spec.name}"
+        assert len(m.group(1)) > 20, f"reference for {spec.name} looks empty"
+
+
+class TestArchitecturePage:
+    def test_exists_and_covers_the_contracts(self):
+        text = (DOCS / "architecture.md").read_text(encoding="utf-8")
+        for anchor in (
+            "Layer map",
+            "flat-frontier",
+            "Engine selection",
+            "seed-spawning",
+            "shards",
+            "batch_cover",
+            "batch_hit",
+        ):
+            assert anchor in text, f"architecture.md lost its {anchor!r} section"
+
+    def test_readme_links_the_docs_pages(self):
+        readme = (DOCS.parent / "README.md").read_text(encoding="utf-8")
+        assert "docs/architecture.md" in readme
+        assert "docs/processes.md" in readme

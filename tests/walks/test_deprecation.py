@@ -1,0 +1,88 @@
+"""The deprecation contract of the legacy ``repro.walks`` helpers.
+
+Each per-run ``*_time`` helper must emit a :class:`DeprecationWarning`
+that names its **exact** facade replacement (a paste-able
+``simulate(...)`` call naming the right registry process), not a
+generic "this is deprecated" message — and the facade itself must stay
+silent.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.graphs import complete_graph
+from repro.sim import run_batch, simulate
+from repro.walks import (
+    branching_cover_time,
+    coalescence_time,
+    parallel_cover_time,
+    parallel_hitting_time,
+    pull_spread_time,
+    push_pull_spread_time,
+    push_spread_time,
+    rw_cover_time,
+    rw_hitting_time,
+)
+
+G = complete_graph(8)
+
+#: (callable, helper name, registry process the message must point at)
+SHIMS = [
+    (lambda: rw_cover_time(G, seed=0), "rw_cover_time", '"simple"'),
+    (lambda: rw_cover_time(G, seed=0, lazy=True), "rw_cover_time", '"lazy"'),
+    (lambda: rw_hitting_time(G, 3, seed=0), "rw_hitting_time", '"simple"'),
+    (lambda: push_spread_time(G, seed=0), "push_spread_time", '"push"'),
+    (lambda: pull_spread_time(G, seed=0), "pull_spread_time", '"pull"'),
+    (
+        lambda: push_pull_spread_time(G, seed=0),
+        "push_pull_spread_time",
+        '"push_pull"',
+    ),
+    (
+        lambda: parallel_cover_time(G, walkers=2, seed=0),
+        "parallel_cover_time",
+        '"parallel"',
+    ),
+    (
+        lambda: parallel_hitting_time(G, 3, walkers=2, seed=0),
+        "parallel_hitting_time",
+        '"parallel"',
+    ),
+    (lambda: coalescence_time(G, walkers=3, seed=0), "coalescence_time", '"coalescing"'),
+    (lambda: branching_cover_time(G, seed=0), "branching_cover_time", '"branching"'),
+]
+
+
+class TestShimWarnings:
+    @pytest.mark.parametrize(
+        "fn,name,process", SHIMS, ids=[f"{s[1]}-{i}" for i, s in enumerate(SHIMS)]
+    )
+    def test_warns_with_exact_replacement(self, fn, name, process):
+        with pytest.warns(DeprecationWarning) as record:
+            fn()
+        messages = [str(w.message) for w in record]
+        ours = [m for m in messages if m.startswith(f"{name} is deprecated")]
+        assert ours, f"no deprecation warning naming {name}: {messages}"
+        msg = ours[0]
+        assert "simulate(graph, " in msg, f"no facade call in: {msg}"
+        assert process in msg, f"replacement does not name process {process}: {msg}"
+        assert "repro.sim.facade" in msg
+
+    def test_shim_still_returns_legacy_value(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = push_spread_time(G, seed=11)
+        assert legacy == simulate(G, "push", seed=11).cover_time
+
+
+class TestFacadeIsSilent:
+    def test_simulate_and_run_batch_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            simulate(G, "push", seed=0)
+            simulate(G, "parallel", seed=0, walkers=2)
+            simulate(G, "branching", seed=0)
+            simulate(G, "coalescing", seed=0, walkers=3)
+            s = run_batch(G, "simple", trials=3, seed=0)
+            assert np.isfinite(s.mean)
