@@ -38,6 +38,9 @@ Subpackages
 ``repro.sim`` / ``repro.analysis``
     Process registry, simulate/run_batch facade, Monte-Carlo harness,
     and exponent-fit analysis.
+``repro.store``
+    Declarative sweep campaigns (``SweepSpec``) over a
+    content-addressed result store: cached, resumable, queryable.
 ``repro.experiments``
     One registered experiment per paper claim, with a CLI.
 """
@@ -63,6 +66,7 @@ from .sim import (
     run_batch,
     simulate,
 )
+from .store import Campaign, ResultStore, SweepSpec
 
 __all__ = [
     "__version__",
@@ -75,6 +79,9 @@ __all__ = [
     "get_process",
     "all_processes",
     "process_names",
+    "SweepSpec",
+    "ResultStore",
+    "Campaign",
     "CobraRunResult",
     "CobraWalk",
     "WaltProcess",

@@ -6,6 +6,7 @@ from .scaling import (
     doubling_ratios,
     fit_constant_to_shape,
     fit_power_law,
+    fit_power_law_rows,
 )
 from .plot import ascii_loglog, ascii_plot
 from .stats import SummaryStats, bootstrap_ci, summarize
@@ -17,6 +18,7 @@ __all__ = [
     "doubling_ratios",
     "fit_constant_to_shape",
     "fit_power_law",
+    "fit_power_law_rows",
     "SummaryStats",
     "bootstrap_ci",
     "summarize",

@@ -16,6 +16,7 @@ import numpy as np
 __all__ = [
     "PowerLawFit",
     "fit_power_law",
+    "fit_power_law_rows",
     "doubling_ratios",
     "ShapeFit",
     "fit_constant_to_shape",
@@ -71,6 +72,19 @@ def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
         r_squared=r2,
         npoints=int(npts),
     )
+
+
+def fit_power_law_rows(rows: Sequence[dict], *, x: str, y: str = "mean") -> PowerLawFit:
+    """Power-law fit over dict rows (the sweep-store ``Frame`` shape).
+
+    Extracts columns ``x`` and ``y`` (missing/None entries become NaN
+    and are dropped by :func:`fit_power_law`'s finite-point filter) —
+    the one-liner the migrated experiments fit their ladders with.
+    """
+    xs = [row.get(x) for row in rows]
+    ys = [row.get(y) for row in rows]
+    to_f = lambda v: float("nan") if v is None else float(v)  # noqa: E731
+    return fit_power_law([to_f(v) for v in xs], [to_f(v) for v in ys])
 
 
 def doubling_ratios(x: Sequence[float], y: Sequence[float]) -> np.ndarray:

@@ -28,6 +28,24 @@ class Table:
         self.title = title
         self.rows: list[list[str]] = []
 
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[dict],
+        columns: Sequence[str],
+        *,
+        title: str | None = None,
+    ) -> "Table":
+        """Build a table from dict rows (the sweep-store ``Frame`` shape).
+
+        Missing columns render as ``-`` (NaN), so partially-complete
+        campaigns tabulate cleanly.
+        """
+        table = cls(list(columns), title=title)
+        for row in rows:
+            table.add_row([row.get(c, float("nan")) for c in columns])
+        return table
+
     def add_row(self, values: Iterable[Any]) -> None:
         """Append a row (values are formatted: floats to 4 significant
         digits, everything else via ``str``)."""

@@ -8,12 +8,23 @@ Usage::
     cobra-experiments run T3_grid [--scale quick|full] [--seed N]
     cobra-experiments run all --scale full --processes 4
     cobra-experiments run T3_grid --json > t3.json
+    cobra-experiments sweep list
+    cobra-experiments sweep run T3_grid --store results/ [--max-cells N]
+    cobra-experiments sweep status T3_grid --store results/
+    cobra-experiments sweep show T3_grid --store results/
 
 Each run prints the experiment's tables and findings; ``run all``
 iterates the whole registry (this is how EXPERIMENTS.md numbers were
 produced).  ``--json`` emits a machine-readable findings dump instead
 of tables; ``--processes N`` fans Monte-Carlo trials out over a
 process pool via the :func:`repro.sim.facade.run_batch` default.
+
+The ``sweep`` subcommands drive the registered sweep declarations
+(:mod:`repro.store.sweeps`) against a **durable content-addressed
+store**: ``sweep run`` computes only the cells the store is missing
+(kill it any time; re-running resumes exactly where it stopped),
+``sweep status`` counts stored vs pending cells, and ``sweep show``
+tabulates the stored results.  See ``docs/sweeps.md``.
 """
 
 from __future__ import annotations
@@ -53,7 +64,42 @@ def main(argv: list[str] | None = None) -> int:
         help="fan Monte-Carlo trials out over N worker processes "
         "(default: serial/vectorized)",
     )
+    sweepp = sub.add_parser(
+        "sweep", help="declarative sweep campaigns over a durable result store"
+    )
+    sweep_sub = sweepp.add_subparsers(dest="sweep_command", required=True)
+    sweep_sub.add_parser("list", help="list registered sweeps")
+    for cmd, help_text in (
+        ("run", "run a sweep's pending cells (resumable; cached cells skip)"),
+        ("status", "count stored vs pending cells of a sweep"),
+        ("show", "tabulate a sweep's stored results"),
+    ):
+        p = sweep_sub.add_parser(cmd, help=help_text)
+        p.add_argument("name", help="registered sweep name (see 'sweep list')")
+        p.add_argument(
+            "--store", required=True, metavar="DIR",
+            help="result-store directory (created on first write)",
+        )
+        p.add_argument("--scale", choices=("quick", "full"), default="quick")
+        p.add_argument("--seed", type=int, default=0)
+        if cmd == "run":
+            p.add_argument(
+                "--shards", type=int, default=None, metavar="K",
+                help="run each cell on the sharded executor "
+                "(placement-independent, seed-for-seed stable)",
+            )
+            p.add_argument(
+                "--max-workers", type=int, default=None, metavar="M",
+                help="process-pool width for --shards",
+            )
+            p.add_argument(
+                "--max-cells", type=int, default=None, metavar="N",
+                help="stop after computing N cells (incremental mode)",
+            )
     args = parser.parse_args(argv)
+
+    if args.command == "sweep":
+        return _sweep_main(args)
 
     if args.command == "list":
         for exp in all_experiments():
@@ -95,6 +141,80 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[{exp.id} finished in {elapsed:.1f}s]")
     if args.json:
         json.dump(dump, sys.stdout, indent=2, sort_keys=True)
+        print()
+    return 0
+
+
+def _sweep_main(args: argparse.Namespace) -> int:
+    """Dispatch the ``sweep`` subcommands (see the module docstring)."""
+    from ..store import Campaign, ResultStore
+    from ..store.sweeps import build_sweep, sweep_names
+
+    if args.sweep_command == "list":
+        for name in sweep_names():
+            specs = build_sweep(name)
+            cells = sum(len(s.expand()) for s in specs)
+            print(f"{name:18s} {len(specs):3d} spec(s), {cells:4d} cells at quick scale")
+        return 0
+
+    specs = build_sweep(args.name, scale=args.scale, seed=args.seed)
+    store = ResultStore(args.store)
+
+    if args.sweep_command == "status":
+        total = done = 0
+        for spec in specs:
+            status = Campaign(spec, store).status()
+            total += status.total
+            done += status.done
+            print(f"{spec.name:28s} {status.done}/{status.total} cells stored")
+        print(f"{'TOTAL':28s} {done}/{total} cells stored "
+              f"({'complete' if done == total else f'{total - done} pending'})")
+        return 0
+
+    if args.sweep_command == "run":
+        budget = args.max_cells
+        ran = cached = pending = 0
+        for spec in specs:
+            campaign = Campaign(
+                spec, store, shards=args.shards, max_workers=args.max_workers
+            )
+            report = campaign.run(max_cells=budget)
+            ran += len(report.ran)
+            cached += len(report.cached)
+            pending += len(report.pending)
+            print(
+                f"{spec.name:28s} ran {len(report.ran)}, "
+                f"cached {len(report.cached)}, pending {len(report.pending)}"
+            )
+            if budget is not None:
+                budget -= len(report.ran)
+        print(f"{'TOTAL':28s} ran {ran}, cached {cached}, pending {pending}")
+        return 0
+
+    # sweep show: one table per spec, in expansion order
+    for spec in specs:
+        cells = spec.expand()
+        columns = (
+            [f"g_{a}" for a in sorted(spec.graph_grid)]
+            + sorted(spec.params_grid)
+            + ["trials", "mean", "ci95_half_width", "failures", "engine"]
+        )
+        rows = []
+        for key in cells:
+            record = store.get(key)
+            if record is None:
+                row = {f"g_{a}": v for a, v in key.graph_params}
+                row.update(dict(key.params))
+                row["trials"] = key.trials
+                row["engine"] = "(pending)"
+                rows.append(row)
+            else:
+                from ..store import record_row
+
+                rows.append(record_row(record))
+        from ..analysis import Table
+
+        print(Table.from_rows(rows, columns, title=f"{spec.name} [{args.scale}]").render())
         print()
     return 0
 

@@ -9,6 +9,10 @@ start.  The expected ordering (the paper's narrative):
 * grids — cobra ≈ diameter-linear, simple RW ≈ quadratic;
 * lollipop — cobra linear-ish, simple RW cubic;
 * star — everyone pays the Θ(n log n) coupon collector.
+
+The Monte-Carlo surface is the registered ``BASE_compare`` sweep
+(:mod:`repro.store.sweeps`): one spec per (graph family, process arm),
+all sharing one store.
 """
 
 from __future__ import annotations
@@ -16,64 +20,49 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import Table
-from ..graphs import grid, lollipop, random_regular, star_graph
-from ..sim import run_batch
-from ..sim.rng import spawn_seeds
+from ..store import Campaign, ResultStore
+from ..store.sweeps import base_compare_graphs, build_sweep
 from .registry import ExperimentResult, register
 
-_TRIALS = {"quick": 5, "full": 15}
+#: arm → table column, in render order
+_COLUMNS = [
+    ("cobra", "cobra k=2"),
+    ("walt", "walt δ=.5"),
+    ("push", "push"),
+    ("parallel", "2 parallel RW"),
+    ("simple", "simple RW"),
+    ("lazy", "lazy RW"),
+]
 
 
 @register("BASE_compare", "Related work: cobra vs push gossip vs parallel/simple RW")
 def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
-    trials = _TRIALS[scale]
-    seeds = spawn_seeds(seed, 64)
-    si = iter(seeds)
-    size = 256 if scale == "quick" else 1024
-    graphs = [
-        random_regular(size, 8, seed=next(si)),
-        grid(int(np.sqrt(size)) - 1, 2),
-        lollipop(max(24, size // 4)),
-        star_graph(size),
-    ]
+    store = ResultStore()
+    campaigns = {}
+    for spec in build_sweep("BASE_compare", scale=scale, seed=seed):
+        campaigns[spec.name] = campaign = Campaign(spec, store)
+        campaign.run()
+
     table = Table(
-        [
-            "graph",
-            "n",
-            "cobra k=2",
-            "walt δ=.5",
-            "push",
-            "2 parallel RW",
-            "simple RW",
-            "lazy RW",
-        ],
+        ["graph", "n"] + [col for _, col in _COLUMNS],
         title="BASE mean rounds to cover (same start vertex)",
     )
     findings: dict[str, float] = {}
-    for g in graphs:
-        cobra = run_batch(g, "cobra", trials=trials, seed=next(si)).mean
-        walt = run_batch(
-            g, "walt", trials=max(3, trials // 2), seed=next(si)
-        ).mean
-        push = run_batch(g, "push", trials=trials, seed=next(si)).mean
-        par = run_batch(
-            g, "parallel", trials=max(3, trials // 2), seed=next(si), walkers=2
-        ).mean
-        # full RW cover on the lollipop is cubic: cap the budget hard
-        rw_budget = min(40 * g.n**2, 4_000_000)
-        rw = run_batch(
-            g, "simple", trials=3, seed=next(si), max_steps=rw_budget
-        ).mean
-        # the lazy arm rides the jump-chain batched engine; same capped
-        # budget (holds included), so it censors where the simple RW does
-        lazy = run_batch(
-            g, "lazy", trials=3, seed=next(si), max_steps=rw_budget
-        ).mean
-        table.add_row([g.name, g.n, cobra, walt, push, par, rw, lazy])
-        findings[f"cobra_{g.name}"] = cobra
-        findings[f"push_{g.name}"] = push
-        findings[f"rw_speedup_{g.name}"] = rw / cobra if np.isfinite(rw) else np.nan
-        findings[f"lazy_{g.name}"] = lazy
+    for label, _builder, _gparams, _n in base_compare_graphs(scale, seed):
+        means = {}
+        gname = gn = None
+        for arm, _col in _COLUMNS:
+            row = campaigns[f"BASE_compare/{label}/{arm}"].frame().rows[0]
+            means[arm] = row["mean"]
+            gname, gn = row["graph_name"], row["graph_n"]
+        table.add_row([gname, gn] + [means[arm] for arm, _ in _COLUMNS])
+        findings[f"cobra_{gname}"] = means["cobra"]
+        findings[f"push_{gname}"] = means["push"]
+        rw = means["simple"]
+        findings[f"rw_speedup_{gname}"] = (
+            rw / means["cobra"] if np.isfinite(rw) else np.nan
+        )
+        findings[f"lazy_{gname}"] = means["lazy"]
     return ExperimentResult(
         experiment_id="BASE_compare",
         tables=[table],

@@ -5,70 +5,61 @@ Sweep the grid extent ``n`` for ``d ∈ {1, 2, 3}``, measure the mean
 exponent 1 in ``n`` (for every fixed ``d``).  The simple-random-walk
 baseline on the same graphs has exponent 2 (path/2-D grid up to logs),
 so the gap between rows is the paper's headline grid result.
+
+The Monte-Carlo surface is the registered ``T3_grid`` sweep
+(:mod:`repro.store.sweeps`): this runner just drives its campaigns
+through an ephemeral store and tabulates ``store.frame()`` — point the
+CLI's ``sweep run T3_grid --store DIR`` at a directory to make the
+same cells durable and resumable.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..analysis import Table, ascii_loglog, fit_power_law
-from ..graphs import grid
-from ..sim import run_batch
-from ..sim.rng import spawn_seeds
+from ..analysis import Table, ascii_loglog
+from ..store import Campaign, ResultStore
+from ..store.sweeps import T3_SWEEPS, build_sweep
 from .registry import ExperimentResult, register
-
-_SWEEPS = {
-    "quick": {
-        1: [64, 128, 256],
-        2: [8, 16, 32],
-        3: [4, 6, 8],
-    },
-    "full": {
-        1: [64, 128, 256, 512, 1024],
-        2: [8, 16, 32, 64, 128],
-        3: [4, 6, 8, 12, 16],
-    },
-}
-_TRIALS = {"quick": 5, "full": 15}
-_RW_LIMIT = {"quick": 600, "full": 4000}  # vertex cap for the slow baseline
 
 
 @register("T3_grid", "Thm 3: 2-cobra cover time on [0,n]^d is O(n)")
 def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
-    trials = _TRIALS[scale]
+    store = ResultStore()
+    campaigns = {}
+    for spec in build_sweep("T3_grid", scale=scale, seed=seed):
+        campaigns[spec.name] = campaign = Campaign(spec, store)
+        campaign.run()
+
     tables: list[Table] = []
     findings: dict[str, float] = {}
-    seeds = spawn_seeds(seed, 64)
-    seed_iter = iter(seeds)
     series: dict[str, tuple[list[int], list[float]]] = {}
-    for d, ns in _SWEEPS[scale].items():
+    for d, ns in T3_SWEEPS[scale].items():
+        cobra = campaigns[f"T3_grid/cobra_d{d}"].frame().sort_by("g_n")
+        rw_campaign = campaigns.get(f"T3_grid/rw_d{d}")
+        rw = rw_campaign.frame() if rw_campaign is not None else []
+        rw_by_n = {row["g_n"]: row["mean"] for row in rw}
         table = Table(
             ["n", "vertices", "cobra cover", "±95%", "cover/n", "rw cover", "rw/cobra"],
             title=f"T3 grid d={d} (2-cobra cover vs n; bound O(n))",
         )
         covers = []
-        for n in ns:
-            g = grid(n, d)
-            s = run_batch(g, "cobra", trials=trials, seed=next(seed_iter))
-            rw_mean = np.nan
-            if g.n <= _RW_LIMIT[scale]:
-                rw = run_batch(
-                    g, "simple", trials=max(3, trials // 2), seed=next(seed_iter)
-                )
-                rw_mean = rw.mean
-            covers.append(s.mean)
+        for row in cobra:
+            n = row["g_n"]
+            rw_mean = rw_by_n.get(n, np.nan)
+            covers.append(row["mean"])
             table.add_row(
                 [
                     n,
-                    g.n,
-                    s.mean,
-                    s.ci95_half_width,
-                    s.mean / n,
+                    row["graph_n"],
+                    row["mean"],
+                    row["ci95_half_width"],
+                    row["mean"] / n,
                     rw_mean,
-                    rw_mean / s.mean if np.isfinite(rw_mean) else np.nan,
+                    rw_mean / row["mean"] if np.isfinite(rw_mean) else np.nan,
                 ]
             )
-        fit = fit_power_law(ns, covers)
+        fit = cobra.fit_power_law(x="g_n")
         findings[f"cobra_exponent_d{d}"] = fit.exponent
         findings[f"cobra_exponent_ci95_d{d}"] = fit.exponent_ci95
         table.add_row(["fit", "", f"n^{fit.exponent:.3f}", f"±{fit.exponent_ci95:.3f}", "", "", ""])

@@ -7,52 +7,50 @@ the simple random walk) on a grid and an expander: mean cover time
 must be non-increasing in ``k``, with the big cliff between ``k = 1``
 and ``k = 2`` — the paper's point that a *little* branching changes
 the cover-time regime.
+
+The Monte-Carlo surface is the registered ``KCOBRA_k`` sweep
+(:mod:`repro.store.sweeps`): one spec per graph family, the branching
+factor as a ``params_grid`` axis.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..analysis import Table
-from ..graphs import grid, random_regular
-from ..sim import run_batch
-from ..sim.rng import spawn_seeds
+from ..store import Campaign, ResultStore
+from ..store.sweeps import KCOBRA_KS, build_sweep
 from .registry import ExperimentResult, register
-
-_KS = [1, 2, 3, 4, 8]
-_TRIALS = {"quick": 5, "full": 15}
-_SIZE = {"quick": (15, 256), "full": (31, 1024)}  # (grid side extent, expander n)
 
 
 @register("KCOBRA_k", "Model: cover time non-increasing in branching factor k")
 def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
-    trials = _TRIALS[scale]
-    side, n = _SIZE[scale]
-    seeds = spawn_seeds(seed, 32)
-    si = iter(seeds)
-    graphs = [grid(side, 2), random_regular(n, 8, seed=next(si))]
+    store = ResultStore()
+    campaigns = []
+    for spec in build_sweep("KCOBRA_k", scale=scale, seed=seed):
+        campaign = Campaign(spec, store)
+        campaign.run()
+        campaigns.append(campaign)
+
     tables = []
     findings: dict[str, float] = {}
-    for g in graphs:
+    for campaign in campaigns:
+        rows = campaign.frame()
+        gname = rows.rows[0]["graph_name"]
         table = Table(
             ["k", "cover mean", "±95%", "vs k=2"],
-            title=f"KCOBRA branching sweep on {g.name}",
+            title=f"KCOBRA branching sweep on {gname}",
         )
-        means = {}
-        for k in _KS:
-            s = run_batch(g, "cobra", k=k, trials=trials, seed=next(si))
-            mean = s.mean
-            ci = s.ci95_half_width
-            means[k] = mean
-            table.add_row([k, mean, ci, ""])
-        for k in _KS:
-            findings[f"{g.name}_k{k}"] = means[k]
+        means = {row["k"]: row["mean"] for row in rows}
+        for k in KCOBRA_KS:
+            ci = rows.filter(k=k).rows[0]["ci95_half_width"]
+            table.add_row([k, means[k], ci, ""])
+        for k in KCOBRA_KS:
+            findings[f"{gname}_k{k}"] = means[k]
         # non-increasing check with sampling slack
         ordered = all(
-            means[a] >= means[b] * 0.85 for a, b in zip(_KS, _KS[1:])
+            means[a] >= means[b] * 0.85 for a, b in zip(KCOBRA_KS, KCOBRA_KS[1:])
         )
-        findings[f"{g.name}_monotone"] = float(ordered)
-        findings[f"{g.name}_k1_over_k2"] = means[1] / means[2]
+        findings[f"{gname}_monotone"] = float(ordered)
+        findings[f"{gname}_k1_over_k2"] = means[1] / means[2]
         tables.append(table)
     return ExperimentResult(
         experiment_id="KCOBRA_k",

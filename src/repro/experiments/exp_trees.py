@@ -5,6 +5,10 @@ Lemma 2 style two-step analysis and conjectures it for every constant
 ``k``.  We sweep depth for ``k ∈ {2, 3, 4, 5}`` and tabulate
 ``cover / diameter``: the remark predicts a flat column (constant in
 ``n``, though the constant may grow with ``k``).
+
+The Monte-Carlo surface is the registered ``TREES_kary`` sweep
+(:mod:`repro.store.sweeps`), driven through an ephemeral store and
+tabulated off ``store.frame()``.
 """
 
 from __future__ import annotations
@@ -12,40 +16,37 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import Table, fit_power_law
-from ..graphs import kary_tree
-from ..sim import run_batch
-from ..sim.rng import spawn_seeds
+from ..store import Campaign, ResultStore
+from ..store.sweeps import TREES_DEPTHS, build_sweep
 from .registry import ExperimentResult, register
-
-_DEPTHS = {
-    "quick": {2: [4, 6, 8], 3: [3, 4, 5], 4: [3, 4], 5: [2, 3]},
-    "full": {2: [4, 6, 8, 10, 12], 3: [3, 4, 5, 6, 7], 4: [3, 4, 5], 5: [2, 3, 4]},
-}
-_TRIALS = {"quick": 6, "full": 15}
 
 
 @register("TREES_kary", "§3 remark: k-ary tree cover ∝ diameter (k=2,3 proven; all k conjectured)")
 def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
-    trials = _TRIALS[scale]
-    seeds = spawn_seeds(seed, 64)
-    si = iter(seeds)
+    store = ResultStore()
+    campaigns = {}
+    for spec in build_sweep("TREES_kary", scale=scale, seed=seed):
+        campaigns[spec.name] = campaign = Campaign(spec, store)
+        campaign.run()
+
     tables: list[Table] = []
     findings: dict[str, float] = {}
-    for k, depths in _DEPTHS[scale].items():
+    for k, depths in TREES_DEPTHS[scale].items():
+        rows = campaigns[f"TREES_kary/k{k}"].frame().sort_by("g_depth")
         table = Table(
             ["depth", "n", "diameter", "cover", "±95%", "cover/diam"],
             title=f"TREES k={k} ({'proven' if k <= 3 else 'conjectured'})",
         )
         diam, covers = [], []
-        for depth in depths:
-            g = kary_tree(k, depth)
-            s = run_batch(g, "cobra", trials=trials, seed=next(si))
-            mean = s.mean
-            ci = s.ci95_half_width
+        for row in rows:
+            depth = row["g_depth"]
             d = 2 * depth
             diam.append(d)
-            covers.append(mean)
-            table.add_row([depth, g.n, d, mean, ci, mean / d])
+            covers.append(row["mean"])
+            table.add_row(
+                [depth, row["graph_n"], d, row["mean"], row["ci95_half_width"],
+                 row["mean"] / d]
+            )
         ratios = np.array(covers) / np.array(diam)
         # flatness: exponent of cover in n should be ~0 i.e. log-like
         n_values = [(k ** (dep + 1) - 1) // (k - 1) for dep in depths]

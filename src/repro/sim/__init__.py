@@ -3,6 +3,7 @@ registry, the ``simulate``/``run_batch`` facade, and Monte-Carlo
 trials."""
 
 from .batch import (
+    batched_biased_cover_trials,
     batched_branching_cover_trials,
     batched_coalescing_cover_trials,
     batched_cobra_active_sizes,
@@ -10,6 +11,7 @@ from .batch import (
     batched_cobra_hit_trials,
     batched_gossip_spread_trials,
     batched_lazy_cover_trials,
+    batched_lazy_hit_trials,
     batched_parallel_walks_cover_trials,
     batched_walt_cover_trials,
     batched_walt_positions_at,
@@ -53,6 +55,7 @@ __all__ = [
     "run_batch",
     "set_default_processes",
     "get_default_processes",
+    "batched_biased_cover_trials",
     "batched_branching_cover_trials",
     "batched_coalescing_cover_trials",
     "batched_cobra_active_sizes",
@@ -60,6 +63,7 @@ __all__ = [
     "batched_cobra_hit_trials",
     "batched_gossip_spread_trials",
     "batched_lazy_cover_trials",
+    "batched_lazy_hit_trials",
     "batched_parallel_walks_cover_trials",
     "batched_walt_cover_trials",
     "batched_walt_positions_at",

@@ -38,7 +38,13 @@ One engine per process family, all on the same flat-frontier idiom:
   neighbor draw moves every surviving walker of every trial, and
   in-step duplicate-scatter (``np.unique`` on the flat
   ``trial*n + vertex`` key) merges co-located walkers without ever
-  crossing trial boundaries.
+  crossing trial boundaries;
+* :func:`batched_biased_cover_trials` — the ε-/inverse-degree-biased
+  walk: one position row per trial, a precomputed controller table,
+  two uniform draws per trial-step (bias coin + neighbor index);
+* :func:`batched_lazy_hit_trials` — the hitting-time companion of the
+  lazy cover engine, the same jump-chain time-change over
+  :func:`repro.walks.simple.rw_hitting_trials`.
 
 Two fixed-horizon companions feed experiments that consume state
 rather than stopping times: :func:`batched_cobra_active_sizes`
@@ -84,6 +90,7 @@ from ..graphs.base import Graph, sample_uniform_neighbors
 from .rng import SeedLike, resolve_rng
 
 __all__ = [
+    "batched_biased_cover_trials",
     "batched_branching_cover_trials",
     "batched_coalescing_cover_trials",
     "batched_cobra_active_sizes",
@@ -91,6 +98,7 @@ __all__ = [
     "batched_cobra_hit_trials",
     "batched_gossip_spread_trials",
     "batched_lazy_cover_trials",
+    "batched_lazy_hit_trials",
     "batched_parallel_walks_cover_trials",
     "batched_walt_cover_trials",
     "batched_walt_positions_at",
@@ -1396,3 +1404,177 @@ def batched_walt_positions_at(
             graph, positions, move_rows, rng, tmp, tmp2, d1, d2
         )
     return positions
+
+
+def batched_biased_cover_trials(
+    graph: Graph,
+    target: int,
+    *,
+    trials: int,
+    start: int = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+    eps: float | None = None,
+    controller: np.ndarray | None = None,
+) -> np.ndarray:
+    """Cover times of *trials* independent biased-walk runs.
+
+    The last serial-only process: one row of state per trial, exactly
+    the :func:`repro.walks.simple.rw_cover_trials` idiom but with the
+    biased transition — at vertex ``v`` the walk follows the
+    controller's neighbor with probability ``eps`` (or the
+    inverse-degree bias ``1/d(v)`` when ``eps is None``) and a uniform
+    neighbor otherwise.  The controller table is precomputed once (the
+    toward-*target* BFS table by default), so each global step is two
+    uniform draws per trial — one bias coin, one neighbor index — plus
+    the boolean coverage scatter.  Distributionally identical to
+    serial :class:`repro.core.biased.BiasedWalk` runs (the serial walk
+    skips the neighbor draw on controller steps; the batched engine
+    always draws both, a different stream consumption of the same
+    law).
+
+    Parameters
+    ----------
+    graph : Graph
+        Connected graph without isolated vertices.
+    target : int
+        The vertex the controller steers toward (the biased walk is
+        defined relative to a target even when sweeping coverage).
+    trials : int
+        Number of independent runs.
+    start : int
+        Common start vertex of every trial.
+    seed : SeedLike, optional
+        Seed/stream for the single interleaved RNG.
+    max_steps : int, optional
+        Step budget per trial; defaults to the biased walk's serial
+        budget.
+    eps : float, optional
+        Constant controller probability; ``None`` selects the paper's
+        inverse-degree bias ``1/d(v)``.
+    controller : numpy.ndarray, optional
+        ``int64[n]`` controller table (vertex → chosen neighbor);
+        defaults to the toward-target BFS table.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64[trials]`` cover times, ``np.nan`` marking budget
+        exhaustion.
+    """
+    _check_samplable(graph, trials)
+    n = graph.n
+    if not (0 <= target < n):
+        raise ValueError("target out of range")
+    if not (0 <= int(start) < n):
+        raise ValueError("start out of range")
+    if eps is not None and not 0.0 <= eps <= 1.0:
+        raise ValueError("eps must be in [0, 1]")
+    if max_steps is None:
+        max_steps = 10_000_000
+    if controller is None:
+        from ..core.biased import toward_target_controller
+
+        controller = toward_target_controller(graph, target)
+    controller = np.asarray(controller, dtype=np.int64)
+    if controller.shape != (n,):
+        raise ValueError("controller table must have one entry per vertex")
+    rng = resolve_rng(seed)
+
+    deg = graph.degrees.astype(np.float64)
+    rows = np.arange(trials)
+    pos = np.full(trials, int(start), dtype=np.int64)
+    covered = np.zeros((trials, n), dtype=bool)
+    covered[:, int(start)] = True
+    count = np.ones(trials, dtype=np.int64)
+    out = np.full(trials, np.nan)
+    done = np.zeros(trials, dtype=bool)
+    if n == 1:
+        return np.zeros(trials)
+    for t in range(1, max_steps + 1):
+        bias = (1.0 / deg[pos]) if eps is None else eps
+        coin = rng.random(trials)
+        nbr = sample_uniform_neighbors(graph, pos, rng)
+        pos = np.where(coin < bias, controller[pos], nbr)
+        fresh = ~covered[rows, pos]
+        covered[rows, pos] = True
+        count += fresh
+        newly_done = ~done & (count == n)
+        if newly_done.any():
+            out[newly_done] = t
+            done |= newly_done
+            if done.all():
+                break
+    return out
+
+
+def batched_lazy_hit_trials(
+    graph: Graph,
+    target: int,
+    *,
+    trials: int,
+    start: int = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Hitting times of *target* over *trials* independent
+    lazy-random-walk runs (the lazy ``metric="hit"`` engine).
+
+    The same jump-chain time-change as
+    :func:`batched_lazy_cover_trials`: first activation of the target
+    can only happen at a move, so the *move* chain races to the target
+    on the batched simple-walk hit engine
+    (:func:`repro.walks.simple.rw_hitting_trials`) and the holds are
+    reconstructed afterwards as one ``NegativeBinomial(moves, 1/2)``
+    draw per finished trial.  Exactly the law of the serial lazy walk,
+    including budget censoring: a trial is ``nan`` iff its
+    reconstructed step total exceeds *max_steps*.
+
+    Parameters
+    ----------
+    graph : Graph
+        Connected graph without isolated vertices.
+    target : int
+        Vertex whose first visit stops a trial.
+    trials : int
+        Number of independent runs.
+    start : int
+        Common start vertex of every trial.
+    seed : SeedLike, optional
+        Seed/stream for the single interleaved RNG.
+    max_steps : int, optional
+        Step budget per trial (holds included, as in the serial walk);
+        defaults to the lazy walk's serial budget.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64[trials]`` hitting times, ``np.nan`` marking budget
+        exhaustion.
+    """
+    _check_samplable(graph, trials)
+    from ..walks.simple import _cover_budget, rw_hitting_trials
+
+    n = graph.n
+    if not (0 <= target < n):
+        raise ValueError("target out of range")
+    if not (0 <= int(start) < n):
+        raise ValueError("start out of range")
+    if max_steps is None:
+        max_steps = _cover_budget(n)
+    rng = resolve_rng(seed)
+
+    # total steps >= moves, so `max_steps` moves bounds every trial
+    # that could still hit within the step budget
+    moves = rw_hitting_trials(
+        graph, target, start=int(start), trials=trials, seed=rng, max_steps=max_steps
+    )
+    out = np.full(trials, np.nan)
+    fin = np.flatnonzero(~np.isnan(moves))
+    if fin.size:
+        n_moves = moves[fin].astype(np.int64)
+        total = n_moves + rng.negative_binomial(np.maximum(n_moves, 1), 0.5)
+        total = np.where(n_moves > 0, total, 0)
+        ok = total <= max_steps
+        out[fin[ok]] = total[ok]
+    return out

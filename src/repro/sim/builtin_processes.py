@@ -22,15 +22,18 @@ from ..core import walt as _walt_mod
 from ..walks import branching as _branching_mod
 from ..walks import coalescing as _coalescing_mod
 from ..walks import gossip as _gossip_mod
+from ..walks import minima as _minima_mod
 from ..walks import parallel as _parallel_mod
 from ..walks import simple as _simple_mod
 from .batch import (
+    batched_biased_cover_trials,
     batched_branching_cover_trials,
     batched_coalescing_cover_trials,
     batched_cobra_cover_trials,
     batched_cobra_hit_trials,
     batched_gossip_spread_trials,
     batched_lazy_cover_trials,
+    batched_lazy_hit_trials,
     batched_parallel_walks_cover_trials,
     batched_walt_cover_trials,
 )
@@ -126,6 +129,25 @@ def _make_push_pull(graph, *, start=0, seed=None, target=None):
     )
 
 
+def _make_branching_minima(
+    graph, *, start=None, seed=None, target=None, k=2, generations=32,
+    count_cap=10**12,
+):
+    """``generations`` is consumed by the facade as the step budget
+    (``default_budget``); the walk itself is horizon-free.  The
+    facade's default ``start=0`` (the reflecting left end of the line
+    — never what a minima sweep wants) maps to the line's midpoint,
+    mirroring how the coalescing factory treats the facade default;
+    any other scalar is an explicit line coordinate."""
+    if start is not None and np.ndim(start) > 0:
+        raise ValueError("branching_minima takes a single start coordinate")
+    if start in (None, 0):
+        start = graph.n // 2
+    return _minima_mod.BranchingMinimaWalk(
+        graph, k=k, start=int(start), seed=seed, count_cap=count_cap
+    )
+
+
 def _make_biased(graph, *, start=0, seed=None, target=None, eps=None, controller=None):
     if target is None:
         raise ValueError("the biased walk needs a target (its controller steers toward it)")
@@ -192,6 +214,38 @@ def _parallel_batch_cover(graph, *, trials, start=0, seed=None, max_steps=None, 
 def _lazy_batch_cover(graph, *, trials, start=0, seed=None, max_steps=None):
     return batched_lazy_cover_trials(
         graph, trials=trials, start=_scalar_start(start), seed=seed, max_steps=max_steps
+    )
+
+
+def _lazy_batch_hit(graph, *, trials, target, start=0, seed=None, max_steps=None):
+    return batched_lazy_hit_trials(
+        graph,
+        target,
+        trials=trials,
+        start=_scalar_start(start),
+        seed=seed,
+        max_steps=max_steps,
+    )
+
+
+def _biased_batch_cover(
+    graph, *, trials, start=0, seed=None, max_steps=None, target=None,
+    eps=None, controller=None,
+):
+    """``target`` arrives via the facade's target-forwarding (the
+    signature-declared keyword); the biased walk is undefined without
+    one, matching the factory's error."""
+    if target is None:
+        raise ValueError("the biased walk needs a target (its controller steers toward it)")
+    return batched_biased_cover_trials(
+        graph,
+        target,
+        trials=trials,
+        start=_scalar_start(start),
+        seed=seed,
+        max_steps=max_steps,
+        eps=eps,
+        controller=controller,
     )
 
 
@@ -276,6 +330,7 @@ register_process(
         default_metric="cover",
         default_budget=lambda g, p: _simple_mod._cover_budget(g.n),
         batch_cover=_lazy_batch_cover,
+        batch_hit=_lazy_batch_hit,
         description="lazy random walk (holds with probability 1/2)",
     )
 )
@@ -378,6 +433,19 @@ register_process(
         default_metric="hit",
         default_params={"eps": None},
         default_budget=lambda g, p: 10_000_000,
+        batch_cover=_biased_batch_cover,
         description="ε-/inverse-degree-biased walk (§5.1, Azar et al.)",
+    )
+)
+
+register_process(
+    ProcessSpec(
+        name="branching_minima",
+        factory=_make_branching_minima,
+        capabilities=frozenset({"min"}),
+        default_metric="min",
+        default_params={"k": 2, "generations": 32, "count_cap": 10**12},
+        default_budget=lambda g, p: int(p.get("generations", 32)),
+        description="branching walk on the ℤ-line: n'th-generation minimum position",
     )
 )

@@ -19,8 +19,8 @@ single :class:`RunResult`; seed-for-seed it reproduces the legacy
 per-process helper for the same ``(process, metric, seed)``.
 ``run_batch`` replaces the per-process ``*_trials`` helpers: it fans
 out over the vectorized batched engine when the process has one for
-the metric (cover/spread: every registered process except the biased
-walk; hit: cobra, simple), the sharded executor when ``shards`` is
+the metric (cover/spread: every cover-capable registered process;
+hit: cobra, simple, lazy), the sharded executor when ``shards`` is
 given (per-trial seed streams, placement-independent — see
 ``docs/architecture.md``), a multiprocessing pool when
 ``processes > 1``, or a serial seed-spawned loop otherwise, always
@@ -29,6 +29,7 @@ returning one :class:`~repro.sim.montecarlo.TrialSummary`.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -43,6 +44,7 @@ __all__ = [
     "RunResult",
     "simulate",
     "run_batch",
+    "select_execution_path",
     "set_default_processes",
     "get_default_processes",
 ]
@@ -123,7 +125,52 @@ class RunResult:
         if self.metric == "coalesce":
             ct = self.extras.get("coalescence_time")
             return float(ct) if ct is not None else float("nan")
+        if self.metric == "min":
+            mp = self.extras.get("min_position")
+            return float(mp) if mp is not None else float("nan")
         raise ValueError(f"metric {self.metric!r} has no scalar value")
+
+    def to_record(self) -> dict[str, Any]:
+        """JSON-safe dict form of this result (the sweep-store schema).
+
+        Numpy scalars collapse to Python numbers and the per-vertex
+        ``first_activation`` array becomes a plain list (or ``None``),
+        so ``json.dumps(res.to_record())`` round-trips; this is the
+        serializer :mod:`repro.store` records ride on.
+
+        Returns
+        -------
+        dict
+            ``process``, ``metric``, ``covered``, ``steps``,
+            ``cover_time``, ``value``, ``first_activation``, and the
+            ``extras`` mapping with numpy scalars unwrapped.
+        """
+
+        def _plain(v: Any) -> Any:
+            if isinstance(v, (np.bool_,)):
+                return bool(v)
+            if isinstance(v, np.integer):
+                return int(v)
+            if isinstance(v, np.floating):
+                return float(v)
+            if isinstance(v, np.ndarray):
+                return v.tolist()
+            return v
+
+        return {
+            "process": self.process,
+            "metric": self.metric,
+            "covered": bool(self.covered),
+            "steps": int(self.steps),
+            "cover_time": None if self.cover_time is None else int(self.cover_time),
+            "value": float(self.value),
+            "first_activation": (
+                None
+                if self.first_activation is None
+                else self.first_activation.tolist()
+            ),
+            "extras": {k: _plain(v) for k, v in self.extras.items()},
+        }
 
 
 # ----------------------------------------------------------------------
@@ -173,6 +220,72 @@ def _resolve_metric(spec: ProcessSpec, metric: str | None) -> str:
     return metric
 
 
+def select_execution_path(
+    spec: ProcessSpec,
+    metric: str,
+    *,
+    strategy: str = "auto",
+    shards: int | None = None,
+    processes: int | None = None,
+) -> str:
+    """The execution path :func:`run_batch` takes for these arguments.
+
+    This is the *single* strategy-selection rule: ``run_batch`` calls
+    it to pick its path, and :mod:`repro.store.campaign` calls it to
+    record truthful engine provenance — the two can't drift.
+
+    Parameters
+    ----------
+    spec : ProcessSpec
+        The resolved process spec.
+    metric : str
+        The resolved metric.
+    strategy : str
+        ``"auto"`` (default), ``"vectorized"``, or ``"serial"``.
+    shards : int or None
+        Sharded-executor request (wins over everything else).
+    processes : int or None
+        Effective pool width (the caller resolves the CLI default).
+
+    Returns
+    -------
+    str
+        ``"sharded"``, ``"vectorized"``, ``"pool"``, or ``"serial"``.
+    """
+    if shards is not None:
+        return "sharded"
+    if metric in ("cover", "spread"):
+        engine = spec.batch_cover
+    elif metric == "hit":
+        engine = spec.batch_hit
+    else:
+        engine = None
+    if strategy == "vectorized":
+        if engine is None:
+            raise ValueError(
+                f"process {spec.name!r} has no vectorized engine for metric {metric!r}"
+            )
+        return "vectorized"
+    if (
+        strategy == "auto"
+        and engine is not None
+        and (processes is None or processes <= 1)
+    ):
+        return "vectorized"
+    if processes is not None and processes > 1:
+        return "pool"
+    return "serial"
+
+
+def _accepts_target(engine) -> bool:
+    """Whether a batched engine's signature declares a ``target``
+    keyword (drives forwarding for non-hit metrics)."""
+    try:
+        return "target" in inspect.signature(engine).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtin callables
+        return False
+
+
 # ----------------------------------------------------------------------
 # the facade proper
 # ----------------------------------------------------------------------
@@ -198,8 +311,9 @@ def simulate(
         Registry name (see :func:`repro.sim.processes.process_names`)
         or a :class:`ProcessSpec`.
     metric : str, optional
-        ``"cover"``, ``"spread"``, ``"hit"``, or ``"coalesce"``;
-        defaults to the spec's preferred metric.
+        ``"cover"``, ``"spread"``, ``"hit"``, ``"coalesce"``, or
+        ``"min"`` (fixed-horizon branching-minima statistic); defaults
+        to the spec's preferred metric.
     start : int or numpy.ndarray
         Start vertex (array for multi-source processes).
     target : int, optional
@@ -262,6 +376,28 @@ def simulate(
             steps=int(proc.t),
             cover_time=None,
             first_activation=fa.copy(),
+            extras=extras,
+        )
+
+    if metric == "min":
+        if not hasattr(proc, "min_position"):
+            raise TypeError(
+                f"{type(proc).__name__} does not track a minimum position"
+            )
+        while proc.t < max_steps:
+            proc.step()
+        extras = _collect_extras(proc)
+        extras["min_position"] = int(proc.min_position)
+        max_pos = getattr(proc, "max_position", None)
+        if max_pos is not None:
+            extras["max_position"] = int(max_pos)
+        return RunResult(
+            process=spec.name,
+            metric=metric,
+            covered=bool(getattr(proc, "all_covered", False)),
+            steps=int(proc.t),
+            cover_time=None,
+            first_activation=None,
             extras=extras,
         )
 
@@ -456,8 +592,8 @@ def run_batch(
     trials : int
         Number of independent trials.
     metric : str, optional
-        ``"cover"``, ``"spread"``, ``"hit"``, or ``"coalesce"``;
-        defaults to the spec's preferred metric.
+        ``"cover"``, ``"spread"``, ``"hit"``, ``"coalesce"``, or
+        ``"min"``; defaults to the spec's preferred metric.
     start : int or numpy.ndarray
         Start vertex (array for multi-source processes).
     target : int, optional
@@ -540,7 +676,10 @@ def run_batch(
         spec.name if _REGISTRY.get(spec.name) is spec else spec
     )
 
-    if shards is not None:
+    path = select_execution_path(
+        spec, metric, strategy=strategy, shards=shards, processes=processes
+    )
+    if path == "sharded":
         return _run_sharded(
             graph,
             proc_ref,
@@ -555,22 +694,14 @@ def run_batch(
             max_workers=max_workers,
         )
 
-    if metric in ("cover", "spread"):
-        engine = spec.batch_cover
-    elif metric == "hit":
-        engine = spec.batch_hit
-    else:
-        engine = None
-    if strategy == "vectorized" and engine is None:
-        raise ValueError(
-            f"process {spec.name!r} has no vectorized engine for metric {metric!r}"
-        )
-    use_vectorized = strategy == "vectorized" or (
-        strategy == "auto" and engine is not None and (processes is None or processes <= 1)
-    )
-    if use_vectorized:
+    if path == "vectorized":
+        engine = spec.batch_cover if metric in ("cover", "spread") else spec.batch_hit
         kwargs = dict(params)
         if metric == "hit":
+            kwargs["target"] = target
+        elif target is not None and _accepts_target(engine):
+            # cover engines of target-parameterised processes (the
+            # biased walk's controller steers toward its target)
             kwargs["target"] = target
         values = engine(
             graph, trials=trials, start=start, seed=seed, max_steps=max_steps, **kwargs

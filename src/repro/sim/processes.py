@@ -26,6 +26,11 @@ Capabilities
 ``coalesce``
     The process has a shrinking walker population and a coalescence
     time (``metric="coalesce"``).
+``min``
+    The process tracks a minimum position (branching-random-walk
+    minima à la Addario-Berry–Reed); ``metric="min"`` runs a fixed
+    horizon of generations and reports the final generation's minimum
+    displacement.
 ``multi_source``
     The factory accepts an array of start vertices.
 """
@@ -48,7 +53,7 @@ __all__ = [
 ]
 
 #: the metric vocabulary understood by the facade
-METRICS = ("cover", "hit", "spread", "coalesce")
+METRICS = ("cover", "hit", "spread", "coalesce", "min")
 
 #: factory signature: ``factory(graph, *, start, seed, target, **params)``
 ProcessFactory = Callable[..., SteppingProcess]

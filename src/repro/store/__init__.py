@@ -1,0 +1,46 @@
+"""Declarative sweep campaigns over a content-addressed result store.
+
+The layer above :mod:`repro.sim`: declare a sweep once
+(:class:`SweepSpec`), run it through a :class:`Campaign` against a
+:class:`ResultStore`, and query the accumulated results as a
+:class:`Frame`.  Identical simulation work is computed exactly once —
+re-running a completed sweep is pure cache hits, and an interrupted
+campaign resumes seed-for-seed.  See ``docs/sweeps.md``.
+
+>>> from repro.store import Campaign, ResultStore, SweepSpec
+>>> spec = SweepSpec(
+...     name="demo", process="cobra", graph="grid",
+...     graph_grid={"n": [8, 16], "d": [2]}, trials=4,
+... )
+>>> store = ResultStore("results")          # doctest: +SKIP
+>>> Campaign(spec, store).run()             # doctest: +SKIP
+>>> store.frame(process="cobra").column("mean")  # doctest: +SKIP
+"""
+
+from .campaign import Campaign, CampaignReport, CampaignStatus
+from .spec import (
+    STORE_SCHEMA_VERSION,
+    RunKey,
+    SeedPolicy,
+    SweepSpec,
+    canonical_json,
+)
+from .store import Frame, ResultStore, record_row
+from .sweeps import build_sweep, register_sweep, sweep_names
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "SweepSpec",
+    "SeedPolicy",
+    "RunKey",
+    "canonical_json",
+    "ResultStore",
+    "Frame",
+    "record_row",
+    "Campaign",
+    "CampaignReport",
+    "CampaignStatus",
+    "register_sweep",
+    "build_sweep",
+    "sweep_names",
+]

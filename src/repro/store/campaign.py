@@ -1,0 +1,258 @@
+"""The campaign runner: drive a sweep's pending cells through ``run_batch``.
+
+A :class:`Campaign` binds one :class:`~repro.store.spec.SweepSpec` to
+one :class:`~repro.store.store.ResultStore` and runs only the cells
+the store does not already hold — re-running a completed sweep
+performs **zero** ``run_batch`` calls, and a campaign killed mid-way
+resumes exactly where it stopped (per-cell seeds are content-derived,
+so the completed-then-resumed results are seed-for-seed identical to
+an uninterrupted run; ``tests/store/test_campaign.py`` pins both).
+
+Execution rides the facade: each cell is one
+``run_batch(graph, process, trials=, metric=, seed=, shards=, ...)``
+call, so a campaign gets the vectorized batched engine, the
+multiprocessing pool, or the placement-independent sharded executor
+exactly as any other caller would.  Per-cell provenance (sweep name,
+engine used, seed entropy, wall time, graph name) is recorded next to
+the result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..sim.facade import run_batch
+from ..sim.processes import get_process
+from .spec import RunKey, SweepSpec
+from .store import Frame, ResultStore, record_row
+
+__all__ = ["Campaign", "CampaignReport", "CampaignStatus"]
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Progress snapshot of a sweep against a store.
+
+    Attributes
+    ----------
+    total : int
+        Number of cells the spec expands to.
+    done : int
+        Cells already in the store.
+    """
+
+    total: int
+    done: int
+
+    @property
+    def pending(self) -> int:
+        """Cells still to run."""
+        return self.total - self.done
+
+    @property
+    def complete(self) -> bool:
+        """Whether every cell is stored."""
+        return self.done == self.total
+
+
+@dataclass
+class CampaignReport:
+    """What one :meth:`Campaign.run` call did.
+
+    Attributes
+    ----------
+    sweep : str
+        The spec's name.
+    ran : list of str
+        Hashes of cells actually computed this call.
+    cached : list of str
+        Hashes that were already stored (skipped).
+    pending : list of str
+        Hashes left unrun (only non-empty when ``max_cells`` stopped
+        the call early).
+    """
+
+    sweep: str
+    ran: list[str] = field(default_factory=list)
+    cached: list[str] = field(default_factory=list)
+    pending: list[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """All cells of the sweep."""
+        return len(self.ran) + len(self.cached) + len(self.pending)
+
+    @property
+    def complete(self) -> bool:
+        """Whether the sweep is fully stored after this call."""
+        return not self.pending
+
+
+def _engine_label(process: str, metric: str, shards: int | None) -> str:
+    """The execution path ``run_batch`` takes for a cell, for
+    provenance — computed by the facade's own
+    :func:`~repro.sim.facade.select_execution_path` (the one selection
+    rule ``run_batch`` itself uses), so the label cannot drift from
+    what actually ran."""
+    from ..sim.facade import get_default_processes, select_execution_path
+
+    pool = get_default_processes()
+    path = select_execution_path(
+        get_process(process), metric, shards=shards, processes=pool
+    )
+    if path == "sharded":
+        return f"sharded(shards={shards})"
+    if path == "pool":
+        return f"pool(processes={pool})"
+    return path
+
+
+class Campaign:
+    """Run one sweep against one store, cache-aware and resumable.
+
+    Parameters
+    ----------
+    spec : SweepSpec
+        The declarative sweep.
+    store : ResultStore
+        Where results live (pass a disk-backed store for durable,
+        resumable campaigns; the default is an ephemeral in-memory
+        store).
+    shards : int, optional
+        Forwarded to ``run_batch(shards=)`` per cell (the
+        placement-independent sharded executor).
+    max_workers : int, optional
+        Forwarded with *shards*.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        store: ResultStore | None = None,
+        *,
+        shards: int | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        self.spec = spec
+        self.store = store if store is not None else ResultStore()
+        self.shards = shards
+        self.max_workers = max_workers
+        self._cells: list[RunKey] | None = None
+
+    @property
+    def cells(self) -> list[RunKey]:
+        """The spec's expanded cell list (computed once)."""
+        if self._cells is None:
+            self._cells = self.spec.expand()
+        return self._cells
+
+    def frame(self) -> Frame:
+        """This sweep's stored results, addressed by *content*.
+
+        Looks up each of the spec's cells by hash — not by the
+        ``sweep`` provenance label — so a cell that was computed by a
+        *different* campaign (content dedup deliberately excludes the
+        sweep name from the hash) still appears here.  Rows come back
+        in expansion order with this spec's name in the ``sweep``
+        column; cells not yet stored are simply absent.
+
+        Returns
+        -------
+        Frame
+            One row per stored cell of this sweep.
+        """
+        rows = []
+        for key in self.cells:
+            record = self.store.get(key)
+            if record is None:
+                continue
+            row = record_row(record)
+            row["sweep"] = self.spec.name
+            rows.append(row)
+        return Frame(rows)
+
+    def status(self) -> CampaignStatus:
+        """How much of the sweep the store already holds.
+
+        Returns
+        -------
+        CampaignStatus
+            Total vs stored cell counts.
+        """
+        done = sum(1 for key in self.cells if self.store.has(key))
+        return CampaignStatus(total=len(self.cells), done=done)
+
+    def run(
+        self,
+        *,
+        max_cells: int | None = None,
+        on_cell: Callable[[RunKey, dict[str, Any], bool], None] | None = None,
+    ) -> CampaignReport:
+        """Run every pending cell (or up to *max_cells* of them).
+
+        Parameters
+        ----------
+        max_cells : int, optional
+            Stop after computing this many cells — the hook the
+            interrupt/resume tests and the CLI's incremental mode use;
+            cached cells don't count against it.
+        on_cell : callable, optional
+            ``on_cell(key, record, cached)`` after every cell (cached
+            or computed) — progress reporting.
+
+        Returns
+        -------
+        CampaignReport
+            Hashes ran / cached / left pending.
+        """
+        report = CampaignReport(sweep=self.spec.name)
+        graph_cache: dict[tuple, Any] = {}
+        for key in self.cells:
+            record = self.store.get(key)
+            if record is not None:
+                report.cached.append(key.hash)
+                if on_cell is not None:
+                    on_cell(key, record, True)
+                continue
+            if max_cells is not None and len(report.ran) >= max_cells:
+                report.pending.append(key.hash)
+                continue
+            record = self._run_cell(key, graph_cache)
+            report.ran.append(key.hash)
+            if on_cell is not None:
+                on_cell(key, record, False)
+        return report
+
+    def _run_cell(self, key: RunKey, graph_cache: dict) -> dict[str, Any]:
+        """Compute one cell and store it with provenance."""
+        gkey = (key.graph_builder, key.graph_params)
+        if gkey not in graph_cache:
+            graph_cache[gkey] = key.build_graph()
+        graph = graph_cache[gkey]
+        target = key.resolve_target(graph)
+        t0 = time.perf_counter()
+        summary = run_batch(
+            graph,
+            key.process,
+            trials=key.trials,
+            metric=key.metric,
+            target=target,
+            seed=key.seed_sequence(),
+            max_steps=key.max_steps,
+            shards=self.shards,
+            max_workers=self.max_workers,
+            **dict(key.params),
+        )
+        wall = time.perf_counter() - t0
+        provenance = {
+            "sweep": self.spec.name,
+            "engine": _engine_label(key.process, key.metric, self.shards),
+            "wall_time_s": round(wall, 6),
+            "seed_entropy": key.seed_entropy(),
+            "graph_name": graph.name,
+            "graph_n": int(graph.n),
+            "created_unix": round(time.time(), 3),
+        }
+        return self.store.put(key, summary, provenance)

@@ -1,0 +1,468 @@
+"""Content-addressed result store: JSONL shards + an in-memory index.
+
+Layout on disk (``root`` is the directory handed to
+:class:`ResultStore`)::
+
+    root/
+      meta.json          # store schema version, for humans/tools
+      shards/
+        3f.jsonl         # one append-only JSONL file per 2-hex-char
+        a0.jsonl         # prefix of the cell hash
+
+Each line of a shard is one **record**::
+
+    {"hash": "...64 hex chars...",
+     "key": {...RunKey.payload()...},
+     "result": {"values": [...], "mean": ..., "std": ..., "median": ...,
+                "ci95_half_width": ..., "failures": ...},
+     "provenance": {"sweep": ..., "engine": ..., "wall_time_s": ...,
+                    "seed_entropy": [...], "created_unix": ...}}
+
+The hash is the record's address: ``get``/``has`` only ever load the
+one shard the prefix names, so point lookups on a million-cell store
+touch one small file.  Shards are append-only and lines are
+self-contained, which makes the store crash-tolerant by construction —
+a record torn by an interrupted write fails to parse, is skipped (with
+a warning) at load time, and its cell simply re-runs.  Duplicate
+hashes are last-write-wins.
+
+``root=None`` gives a memory-only store with the same API (what the
+migrated experiments use for their ephemeral sweeps).
+
+Querying goes through :meth:`ResultStore.frame`: every record flattens
+to one plain-dict row (axes + summary statistics + provenance) inside
+a lightweight :class:`Frame` with ``filter``/``sort_by``/``column``/
+``summarize``/``to_table``/``fit_power_law`` — the bridge into
+:mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..sim.montecarlo import TrialSummary
+from .spec import STORE_SCHEMA_VERSION, RunKey, canonical_json
+
+__all__ = ["ResultStore", "Frame", "record_row"]
+
+_RESULT_FIELDS = ("values", "mean", "std", "median", "ci95_half_width", "failures")
+
+
+def _summary_payload(summary: TrialSummary) -> dict[str, Any]:
+    """JSON-safe form of a :class:`TrialSummary` (NaNs survive the
+    round-trip via Python's JSON NaN extension)."""
+    return {
+        "values": [float(v) for v in np.asarray(summary.values).ravel()],
+        "mean": float(summary.mean),
+        "std": float(summary.std),
+        "median": float(summary.median),
+        "ci95_half_width": float(summary.ci95_half_width),
+        "failures": int(summary.failures),
+    }
+
+
+def record_row(record: Mapping[str, Any]) -> dict[str, Any]:
+    """Flatten a store record into one query row.
+
+    Graph-builder arguments are prefixed ``g_`` (so a tree's ``k``
+    never collides with cobra's ``k``); process parameters keep their
+    names; summary statistics and provenance ride along unprefixed.
+
+    Parameters
+    ----------
+    record : Mapping
+        A record as stored (``hash``/``key``/``result``/``provenance``).
+
+    Returns
+    -------
+    dict
+        The flat row :class:`Frame` exposes.
+    """
+    key = record["key"]
+    result = record["result"]
+    prov = record.get("provenance", {})
+    row: dict[str, Any] = {
+        "hash": record["hash"],
+        "sweep": prov.get("sweep"),
+        "process": key["process"],
+        "metric": key["metric"],
+        "graph": key["graph"]["builder"],
+        "graph_name": prov.get("graph_name"),
+        "graph_n": prov.get("graph_n"),
+        "target": key.get("target"),
+        "trials": key["trials"],
+        "max_steps": key.get("max_steps"),
+        "seed_root": key["seed"]["root"],
+        "seed_kind": key["seed"]["kind"],
+        "engine": prov.get("engine"),
+        "wall_time_s": prov.get("wall_time_s"),
+    }
+    for name, value in key["graph"]["params"].items():
+        row[f"g_{name}"] = value
+    for name, value in key["params"].items():
+        row[name] = value
+    for name in _RESULT_FIELDS:
+        row[name] = result[name]
+    return row
+
+
+@dataclass
+class Frame:
+    """A list of flat result rows with a tiny query vocabulary.
+
+    Deliberately not a dataframe dependency: rows are plain dicts, and
+    the methods cover what the experiments and CLI need — equality
+    filters, sorting, column extraction, summary statistics, table
+    rendering, and power-law fits.
+    """
+
+    rows: list[dict[str, Any]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.rows)
+
+    def filter(self, **where: Any) -> "Frame":
+        """Rows whose columns equal every given value.
+
+        Parameters
+        ----------
+        **where : Any
+            Column-name → required value (missing column ≠ any value).
+
+        Returns
+        -------
+        Frame
+            The matching rows, in order.
+        """
+        sentinel = object()
+        return Frame(
+            [
+                r
+                for r in self.rows
+                if all(r.get(k, sentinel) == v for k, v in where.items())
+            ]
+        )
+
+    def sort_by(self, *columns: str) -> "Frame":
+        """Rows sorted by the given columns (missing values first).
+
+        Parameters
+        ----------
+        *columns : str
+            Sort keys, applied left to right.
+
+        Returns
+        -------
+        Frame
+            A sorted copy.
+        """
+
+        def key(row: dict[str, Any]):
+            return tuple(
+                (row.get(c) is not None, row.get(c) if row.get(c) is not None else 0)
+                for c in columns
+            )
+
+        return Frame(sorted(self.rows, key=key))
+
+    def column(self, name: str) -> list[Any]:
+        """One column as a list (``None`` where a row lacks it).
+
+        Parameters
+        ----------
+        name : str
+            Column name.
+
+        Returns
+        -------
+        list
+            The column values, in row order.
+        """
+        return [r.get(name) for r in self.rows]
+
+    def summarize(self, column: str = "mean") -> TrialSummary:
+        """Summary statistics of a numeric column across rows.
+
+        Parameters
+        ----------
+        column : str
+            Column to aggregate (default the per-cell mean).
+
+        Returns
+        -------
+        TrialSummary
+            Via :func:`repro.analysis.stats.summarize` — one schema
+            everywhere.
+        """
+        from ..analysis.stats import summarize
+
+        values = [v for v in self.column(column) if v is not None]
+        return summarize(np.asarray(values, dtype=np.float64))
+
+    def to_table(self, columns: Sequence[str], *, title: str | None = None):
+        """Render selected columns as an :class:`repro.analysis.Table`.
+
+        Parameters
+        ----------
+        columns : sequence of str
+            Column order of the table.
+        title : str, optional
+            Table title.
+
+        Returns
+        -------
+        Table
+            Ready to ``render()``.
+        """
+        from ..analysis.tables import Table
+
+        return Table.from_rows(self.rows, columns, title=title)
+
+    def fit_power_law(self, *, x: str, y: str = "mean"):
+        """Least-squares power-law fit ``y ≈ c·x^a`` over the rows.
+
+        Parameters
+        ----------
+        x : str
+            Column with the size axis.
+        y : str
+            Column with the measured time (default ``"mean"``).
+
+        Returns
+        -------
+        PowerLawFit
+            Via :func:`repro.analysis.scaling.fit_power_law_rows`.
+        """
+        from ..analysis.scaling import fit_power_law_rows
+
+        return fit_power_law_rows(self.rows, x=x, y=y)
+
+
+class ResultStore:
+    """Content-addressed store of sweep-cell summaries.
+
+    Parameters
+    ----------
+    root : str or Path or None
+        Store directory (created on first write).  ``None`` keeps
+        everything in memory — same API, no persistence.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._cache: dict[str, dict[str, Any]] = {}
+        self._loaded_shards: set[str] = set()
+        self._all_loaded = self.root is None
+        if self.root is not None and self.root.exists():
+            meta_path = self.root / "meta.json"
+            if meta_path.exists():
+                try:
+                    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+                except json.JSONDecodeError:
+                    meta = {}
+                version = meta.get("schema")
+                if version not in (None, STORE_SCHEMA_VERSION):
+                    warnings.warn(
+                        f"store at {self.root} has schema {version!r}, this "
+                        f"code writes {STORE_SCHEMA_VERSION}; old records "
+                        "will simply never match new keys",
+                        stacklevel=2,
+                    )
+
+    # ------------------------------------------------------------------
+    # shard plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalise(key_or_hash: RunKey | str) -> str:
+        h = key_or_hash.hash if isinstance(key_or_hash, RunKey) else key_or_hash
+        if not isinstance(h, str) or len(h) < 2:
+            raise ValueError("expected a RunKey or a hex cell hash")
+        return h
+
+    def _shard_path(self, prefix: str) -> Path:
+        assert self.root is not None
+        return self.root / "shards" / f"{prefix}.jsonl"
+
+    def _load_shard(self, prefix: str) -> None:
+        if self.root is None or prefix in self._loaded_shards:
+            return
+        self._loaded_shards.add(prefix)
+        path = self._shard_path(prefix)
+        if not path.exists():
+            return
+        bad = 0
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    if not all(k in record for k in ("hash", "key", "result")):
+                        raise ValueError("missing record fields")
+                    if any(f not in record["result"] for f in _RESULT_FIELDS):
+                        raise ValueError("missing result fields")
+                except (ValueError, TypeError, KeyError):
+                    bad += 1
+                    continue
+                self._cache[record["hash"]] = record
+        if bad:
+            warnings.warn(
+                f"store shard {path} had {bad} corrupt record(s); the "
+                "affected cells will re-run",
+                stacklevel=2,
+            )
+
+    def _load_all(self) -> None:
+        if self._all_loaded:
+            return
+        self._all_loaded = True
+        assert self.root is not None
+        shard_dir = self.root / "shards"
+        if shard_dir.is_dir():
+            for path in sorted(shard_dir.glob("*.jsonl")):
+                self._load_shard(path.stem)
+
+    # ------------------------------------------------------------------
+    # the store API
+    # ------------------------------------------------------------------
+    def has(self, key_or_hash: RunKey | str) -> bool:
+        """Whether a valid record exists for the cell.
+
+        Parameters
+        ----------
+        key_or_hash : RunKey or str
+            The cell, by key or by content hash.
+
+        Returns
+        -------
+        bool
+            ``True`` on a cache hit.
+        """
+        return self.get(key_or_hash) is not None
+
+    def get(self, key_or_hash: RunKey | str) -> dict[str, Any] | None:
+        """Fetch the record for a cell, or ``None``.
+
+        Parameters
+        ----------
+        key_or_hash : RunKey or str
+            The cell, by key or by content hash.
+
+        Returns
+        -------
+        dict or None
+            The stored record.
+        """
+        h = self._normalise(key_or_hash)
+        if h not in self._cache:
+            self._load_shard(h[:2])
+        return self._cache.get(h)
+
+    def put(
+        self,
+        key: RunKey,
+        summary: TrialSummary,
+        provenance: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Record a cell's summary (appends one JSONL line on disk).
+
+        Parameters
+        ----------
+        key : RunKey
+            The cell that was run.
+        summary : TrialSummary
+            ``run_batch``'s output for the cell.
+        provenance : Mapping, optional
+            Anything worth keeping about *how* the cell ran (sweep
+            name, engine, wall time, seed entropy…).
+
+        Returns
+        -------
+        dict
+            The record as stored.
+        """
+        record = {
+            "hash": key.hash,
+            "key": key.payload(),
+            "result": _summary_payload(summary),
+            "provenance": dict(provenance or {}),
+        }
+        if self.root is not None:
+            path = self._shard_path(key.hash[:2])
+            path.parent.mkdir(parents=True, exist_ok=True)
+            meta_path = self.root / "meta.json"
+            if not meta_path.exists():
+                meta_path.write_text(
+                    canonical_json({"schema": STORE_SCHEMA_VERSION}) + "\n",
+                    encoding="utf-8",
+                )
+            with path.open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._cache[key.hash] = record
+        return record
+
+    def __len__(self) -> int:
+        self._load_all()
+        return len(self._cache)
+
+    def hashes(self) -> list[str]:
+        """All stored cell hashes (loads every shard).
+
+        Returns
+        -------
+        list of str
+            Sorted hex hashes.
+        """
+        self._load_all()
+        return sorted(self._cache)
+
+    def frame(self, **where: Any) -> Frame:
+        """All records as a :class:`Frame`, optionally pre-filtered.
+
+        Parameters
+        ----------
+        **where : Any
+            Equality filters applied to the flattened rows (e.g.
+            ``store.frame(process="cobra", g_d=2)``).
+
+        Returns
+        -------
+        Frame
+            One row per stored record.
+        """
+        self._load_all()
+        frame = Frame([record_row(r) for _, r in sorted(self._cache.items())])
+        return frame.filter(**where) if where else frame
+
+    def summary(self, key_or_hash: RunKey | str) -> TrialSummary | None:
+        """Rehydrate a cell's :class:`TrialSummary` from its record.
+
+        Parameters
+        ----------
+        key_or_hash : RunKey or str
+            The cell, by key or by content hash.
+
+        Returns
+        -------
+        TrialSummary or None
+            Rebuilt from the stored trial values (identical statistics
+            to the original summary), or ``None`` on a miss.
+        """
+        record = self.get(key_or_hash)
+        if record is None:
+            return None
+        from ..sim.montecarlo import summarize_trials
+
+        return summarize_trials(
+            np.asarray(record["result"]["values"], dtype=np.float64)
+        )

@@ -1,0 +1,294 @@
+"""Registered sweep declarations — the campaigns behind the experiments.
+
+The migrated experiments (``T3_grid``, ``TREES_kary``, ``KCOBRA_k``,
+``BASE_compare``) no longer hand-roll sweep loops: each is a **sweep
+builder** here — a function of ``(scale, seed)`` returning the list of
+:class:`~repro.store.spec.SweepSpec` declarations whose cells are the
+experiment's whole Monte-Carlo surface.  The experiment runners expand
+these through a :class:`~repro.store.campaign.Campaign` and read their
+tables off :meth:`ResultStore.frame`; the CLI's ``sweep run/status/
+show`` subcommands drive the same builders against a durable on-disk
+store.
+
+``BRW_minima`` sweeps the new ``branching_minima`` process — the
+Addario-Berry–Reed n'th-generation minimum on the ℤ-line — purely
+through the store (there is no legacy experiment for it).
+
+Multiple specs per name are the norm: a sweep name is an experiment's
+worth of campaigns (one spec per process arm or per graph family),
+sharing one store so overlapping cells are computed once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .spec import SeedPolicy, SweepSpec
+
+__all__ = [
+    "register_sweep",
+    "build_sweep",
+    "sweep_names",
+]
+
+#: builder signature: ``builder(scale, seed) -> list[SweepSpec]``
+SweepBuilder = Callable[[str, int], "list[SweepSpec]"]
+
+_SWEEPS: dict[str, SweepBuilder] = {}
+
+
+def register_sweep(name: str, builder: SweepBuilder) -> SweepBuilder:
+    """Register a sweep builder under *name* (rejecting duplicates).
+
+    Parameters
+    ----------
+    name : str
+        Sweep name (conventionally the experiment id it powers).
+    builder : callable
+        ``builder(scale, seed) -> list[SweepSpec]``.
+
+    Returns
+    -------
+    callable
+        *builder* itself, for decorator-style use.
+    """
+    if name in _SWEEPS:
+        raise ValueError(f"duplicate sweep name {name!r}")
+    _SWEEPS[name] = builder
+    return builder
+
+
+def build_sweep(name: str, *, scale: str = "quick", seed: int = 0) -> list[SweepSpec]:
+    """Build the registered sweep's spec list for a scale and root seed.
+
+    Parameters
+    ----------
+    name : str
+        Registered sweep name (see :func:`sweep_names`).
+    scale : str
+        ``"quick"`` (seconds, the test/CI configuration) or ``"full"``.
+    seed : int
+        Root seed of every spec's :class:`SeedPolicy`.
+
+    Returns
+    -------
+    list of SweepSpec
+        The sweep's campaigns.
+    """
+    if scale not in ("quick", "full"):
+        raise ValueError(f"unknown scale {scale!r}; use 'quick' or 'full'")
+    try:
+        builder = _SWEEPS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SWEEPS))
+        raise KeyError(f"unknown sweep {name!r}; known: {known}") from None
+    specs = builder(scale, seed)
+    return list(specs) if isinstance(specs, Sequence) else [specs]
+
+
+def sweep_names() -> list[str]:
+    """Sorted registered sweep names.
+
+    Returns
+    -------
+    list of str
+        The registry keys.
+    """
+    return sorted(_SWEEPS)
+
+
+# ----------------------------------------------------------------------
+# built-in sweeps (the migrated experiments + the minima statistic)
+# ----------------------------------------------------------------------
+
+#: T3 grid ladders, keyed by dimension (mirrors the historical exp_grid)
+T3_SWEEPS = {
+    "quick": {1: [64, 128, 256], 2: [8, 16, 32], 3: [4, 6, 8]},
+    "full": {
+        1: [64, 128, 256, 512, 1024],
+        2: [8, 16, 32, 64, 128],
+        3: [4, 6, 8, 12, 16],
+    },
+}
+T3_TRIALS = {"quick": 5, "full": 15}
+T3_RW_LIMIT = {"quick": 600, "full": 4000}  # vertex cap for the slow baseline
+
+
+def _t3_grid(scale: str, seed: int) -> list[SweepSpec]:
+    policy = SeedPolicy(root=seed)
+    trials = T3_TRIALS[scale]
+    specs = []
+    for d, ns in T3_SWEEPS[scale].items():
+        specs.append(
+            SweepSpec(
+                name=f"T3_grid/cobra_d{d}",
+                process="cobra",
+                graph="grid",
+                graph_grid={"n": ns, "d": [d]},
+                trials=trials,
+                seed=policy,
+            )
+        )
+        rw_ns = [n for n in ns if (n + 1) ** d <= T3_RW_LIMIT[scale]]
+        if rw_ns:
+            specs.append(
+                SweepSpec(
+                    name=f"T3_grid/rw_d{d}",
+                    process="simple",
+                    graph="grid",
+                    graph_grid={"n": rw_ns, "d": [d]},
+                    trials=max(3, trials // 2),
+                    seed=policy,
+                )
+            )
+    return specs
+
+
+register_sweep("T3_grid", _t3_grid)
+
+
+TREES_DEPTHS = {
+    "quick": {2: [4, 6, 8], 3: [3, 4, 5], 4: [3, 4], 5: [2, 3]},
+    "full": {2: [4, 6, 8, 10, 12], 3: [3, 4, 5, 6, 7], 4: [3, 4, 5], 5: [2, 3, 4]},
+}
+TREES_TRIALS = {"quick": 6, "full": 15}
+
+
+def _trees_kary(scale: str, seed: int) -> list[SweepSpec]:
+    policy = SeedPolicy(root=seed)
+    return [
+        SweepSpec(
+            name=f"TREES_kary/k{k}",
+            process="cobra",
+            graph="kary_tree",
+            graph_grid={"k": [k], "depth": depths},
+            trials=TREES_TRIALS[scale],
+            seed=policy,
+        )
+        for k, depths in TREES_DEPTHS[scale].items()
+    ]
+
+
+register_sweep("TREES_kary", _trees_kary)
+
+
+KCOBRA_KS = [1, 2, 3, 4, 8]
+KCOBRA_TRIALS = {"quick": 5, "full": 15}
+KCOBRA_SIZE = {"quick": (15, 256), "full": (31, 1024)}  # (grid extent, expander n)
+
+
+def _kcobra_k(scale: str, seed: int) -> list[SweepSpec]:
+    policy = SeedPolicy(root=seed)
+    trials = KCOBRA_TRIALS[scale]
+    side, n = KCOBRA_SIZE[scale]
+    return [
+        SweepSpec(
+            name="KCOBRA_k/grid",
+            process="cobra",
+            graph="grid",
+            graph_grid={"n": [side], "d": [2]},
+            params_grid={"k": KCOBRA_KS},
+            trials=trials,
+            seed=policy,
+        ),
+        SweepSpec(
+            name="KCOBRA_k/expander",
+            process="cobra",
+            graph="random_regular",
+            graph_grid={"n": [n], "d": [8], "seed": [seed]},
+            params_grid={"k": KCOBRA_KS},
+            trials=trials,
+            seed=policy,
+        ),
+    ]
+
+
+register_sweep("KCOBRA_k", _kcobra_k)
+
+
+BASE_TRIALS = {"quick": 5, "full": 15}
+BASE_SIZE = {"quick": 256, "full": 1024}
+
+
+def base_compare_graphs(scale: str, seed: int) -> list[tuple[str, str, dict, int]]:
+    """The BASE_compare graph ladder: ``(label, builder, params, n)``.
+
+    ``n`` (the vertex count) is computed statically so the specs can
+    size the random-walk budget without building a graph.
+    """
+    size = BASE_SIZE[scale]
+    import numpy as np
+
+    side = int(np.sqrt(size)) - 1
+    lolli = max(24, size // 4)
+    return [
+        ("expander", "random_regular", {"n": size, "d": 8, "seed": seed}, size),
+        ("grid", "grid", {"n": side, "d": 2}, (side + 1) ** 2),
+        ("lollipop", "lollipop", {"n": lolli}, lolli),
+        ("star", "star_graph", {"n": size}, size),
+    ]
+
+
+#: the BASE_compare process arms: (arm, process, trials-rule, params)
+BASE_ARMS = [
+    ("cobra", "cobra", "full", {}),
+    ("walt", "walt", "half", {}),
+    ("push", "push", "full", {}),
+    ("parallel", "parallel", "half", {"walkers": 2}),
+    ("simple", "simple", "rw", {}),
+    ("lazy", "lazy", "rw", {}),
+]
+
+
+def _base_compare(scale: str, seed: int) -> list[SweepSpec]:
+    policy = SeedPolicy(root=seed)
+    trials = BASE_TRIALS[scale]
+    counts = {"full": trials, "half": max(3, trials // 2), "rw": 3}
+    specs = []
+    for label, builder, gparams, n in base_compare_graphs(scale, seed):
+        # full RW cover on the lollipop is cubic: cap the budget hard;
+        # the lazy arm shares the cap (holds included) so it censors
+        # where the simple RW does
+        rw_budget = min(40 * n**2, 4_000_000)
+        for arm, process, count_rule, params in BASE_ARMS:
+            specs.append(
+                SweepSpec(
+                    name=f"BASE_compare/{label}/{arm}",
+                    process=process,
+                    graph=builder,
+                    graph_grid={k: [v] for k, v in gparams.items()},
+                    params_grid={k: [v] for k, v in params.items()},
+                    trials=counts[count_rule],
+                    max_steps=rw_budget if count_rule == "rw" else None,
+                    seed=policy,
+                )
+            )
+    return specs
+
+
+register_sweep("BASE_compare", _base_compare)
+
+
+BRW_LINES = {"quick": [129], "full": [257, 513]}
+BRW_GENERATIONS = {"quick": [8, 16], "full": [16, 32, 64]}
+BRW_TRIALS = {"quick": 4, "full": 16}
+
+
+def _brw_minima(scale: str, seed: int) -> list[SweepSpec]:
+    # the line must outrun the frontier: n // 2 > max generations holds
+    # for every (n, generations) pair declared above
+    return [
+        SweepSpec(
+            name="BRW_minima",
+            process="branching_minima",
+            graph="path_graph",
+            graph_grid={"n": BRW_LINES[scale]},
+            params_grid={"k": [2, 3], "generations": BRW_GENERATIONS[scale]},
+            metric="min",
+            trials=BRW_TRIALS[scale],
+            seed=SeedPolicy(root=seed),
+        )
+    ]
+
+
+register_sweep("BRW_minima", _brw_minima)

@@ -1,0 +1,152 @@
+"""Branching random walk on the ℤ-line: the n'th-generation minimum.
+
+Addario-Berry & Reed compute the expected minimum position ``E M_n``
+of the n'th generation of a branching random walk to within ``O(1)``
+(``γn − (3/2λ)·log n + O(1)``), and Aïdékon proves the centred minimum
+converges in law — the two statistics PAPERS.md flags as the natural
+next sweep axes beyond cover/hitting times.  This module provides the
+simulator: a k-branching walk on a path graph standing in for ℤ (every
+particle spawns ``k`` children, each stepping to a uniform neighbor —
+``±1`` in the interior), tracking which line positions the current
+generation occupies.
+
+The minimum position only depends on *occupancy*, never on how many
+particles stack on a vertex, so the state is an exact per-vertex count
+vector with a saturation cap: counts above ``count_cap`` clamp, which
+leaves the frontier law untouched for any realistically large cap
+(capped vertices are deep in the flooded interior; the extremal
+particles always sit at small counts).  Unlike
+:class:`~repro.walks.branching.BranchingWalk` nothing is renormalised —
+occupancy is preserved exactly.
+
+Registered as the ``branching_minima`` process with the fixed-horizon
+``min`` metric: ``simulate(path_graph(n), "branching_minima",
+max_steps=g)`` runs ``g`` generations and reports the generation's
+minimum displacement from the start vertex in
+``extras["min_position"]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.base import Graph
+from ..sim.rng import SeedLike, resolve_rng
+
+__all__ = ["BranchingMinimaWalk", "validate_line_graph"]
+
+
+def validate_line_graph(graph: Graph) -> None:
+    """Reject graphs that are not a path with vertices in line order.
+
+    The minimum-position statistic is defined on ℤ; the simulator
+    stands a path graph in for it and reads vertex ids as line
+    coordinates, so vertex ``v`` must be adjacent to exactly
+    ``v − 1`` and ``v + 1`` (endpoints to their single inner
+    neighbor).  ``repro.graphs.path_graph`` produces exactly this.
+
+    Parameters
+    ----------
+    graph : Graph
+        Candidate substrate.
+
+    Raises
+    ------
+    ValueError
+        When *graph* is not a line-ordered path.
+    """
+    n = graph.n
+    if n < 2:
+        raise ValueError("branching_minima needs a path with at least 2 vertices")
+    deg = graph.degrees
+    if deg[0] != 1 or deg[-1] != 1 or (n > 2 and (deg[1:-1] != 2).any()):
+        raise ValueError(
+            "branching_minima needs a ℤ-line (path) graph: use "
+            "repro.graphs.path_graph(n)"
+        )
+    if n > 2:
+        interior = np.repeat(np.arange(1, n - 1, dtype=np.int64), 2)
+        interior += np.tile(np.array([-1, 1], dtype=np.int64), n - 2)
+        expected = np.concatenate([[1], interior, [n - 2]])
+    else:
+        expected = np.array([1, 0], dtype=np.int64)
+    if not np.array_equal(graph.indices, expected):
+        raise ValueError(
+            "branching_minima needs vertices in line order (vertex v adjacent "
+            "to v-1 and v+1): use repro.graphs.path_graph(n)"
+        )
+
+
+class BranchingMinimaWalk:
+    """k-branching walk on a line with exact occupancy tracking.
+
+    Each generation, every particle spawns ``k`` children; a child at
+    an interior vertex moves left or right with probability 1/2 each
+    (endpoints send all children to their single neighbor, a reflecting
+    boundary — choose the line long enough that the frontier never
+    reaches it over the horizon you sweep).  Per-vertex particle
+    counts saturate at ``count_cap`` instead of renormalising, so the
+    occupied set — and with it :attr:`min_position` — follows the
+    exact branching-random-walk law as long as the cap stays above the
+    frontier counts (any cap ≫ 1 does; the default is ``10**12``).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        k: int = 2,
+        start: int | None = None,
+        seed: SeedLike = None,
+        count_cap: int = 10**12,
+    ) -> None:
+        validate_line_graph(graph)
+        if k < 1:
+            raise ValueError(f"branching factor k must be >= 1, got {k}")
+        if count_cap < 1:
+            raise ValueError("count_cap must be >= 1")
+        n = graph.n
+        if start is None:
+            start = n // 2
+        if not (0 <= start < n):
+            raise ValueError("start out of range")
+        self.graph = graph
+        self.k = int(k)
+        self.cap = int(count_cap)
+        self.start = int(start)
+        self.rng = resolve_rng(seed)
+        self.counts = np.zeros(n, dtype=np.int64)
+        self.counts[start] = 1
+        self.t = 0
+
+    @property
+    def population(self) -> int:
+        """Total particles of the current generation (cap-saturated)."""
+        return int(self.counts.sum())
+
+    @property
+    def min_position(self) -> int:
+        """Leftmost occupied line coordinate, relative to the start."""
+        return int(np.flatnonzero(self.counts)[0]) - self.start
+
+    @property
+    def max_position(self) -> int:
+        """Rightmost occupied line coordinate, relative to the start."""
+        return int(np.flatnonzero(self.counts)[-1]) - self.start
+
+    def step(self) -> int:
+        """Advance one generation; returns the new minimum position."""
+        n = self.graph.n
+        children = np.minimum(self.counts * self.k, self.cap)
+        new = np.zeros(n, dtype=np.int64)
+        if n > 2:
+            inner = children[1:-1]
+            left = self.rng.binomial(inner, 0.5)
+            new[: n - 2] += left
+            new[2:] += inner - left
+        new[1] += children[0]
+        new[n - 2] += children[-1]
+        np.minimum(new, self.cap, out=new)
+        self.counts = new
+        self.t += 1
+        return self.min_position

@@ -103,3 +103,50 @@ class TestCli:
         assert main(["processes"]) == 0
         out = capsys.readouterr().out
         assert "cobra" in out and "walt" in out and "push_pull" in out
+        assert "branching_minima" in out
+
+
+class TestSweepCli:
+    def test_sweep_list(self, capsys):
+        assert main(["sweep", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("T3_grid", "TREES_kary", "KCOBRA_k", "BASE_compare",
+                     "BRW_minima"):
+            assert name in out
+
+    def test_sweep_run_status_show_roundtrip(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        # interrupt after 2 cells, then resume to completion
+        assert main(["sweep", "run", "BRW_minima", "--store", store,
+                     "--max-cells", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ran 2" in out and "pending 2" in out
+
+        assert main(["sweep", "status", "BRW_minima", "--store", store]) == 0
+        assert "2/4 cells stored" in capsys.readouterr().out
+
+        assert main(["sweep", "run", "BRW_minima", "--store", store]) == 0
+        assert "ran 2, cached 2" in capsys.readouterr().out
+
+        # completed sweep: the third run is pure cache
+        assert main(["sweep", "run", "BRW_minima", "--store", store]) == 0
+        assert "ran 0, cached 4" in capsys.readouterr().out
+
+        assert main(["sweep", "show", "BRW_minima", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "BRW_minima" in out and "generations" in out
+        assert "(pending)" not in out
+
+    def test_sweep_show_marks_pending_cells(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "run", "BRW_minima", "--store", store,
+                     "--max-cells", "1"]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "show", "BRW_minima", "--store", store]) == 0
+        assert "(pending)" in capsys.readouterr().out
+
+    def test_sweep_unknown_name(self, tmp_path):
+        import pytest
+
+        with pytest.raises(KeyError, match="unknown sweep"):
+            main(["sweep", "run", "nope", "--store", str(tmp_path / "s")])

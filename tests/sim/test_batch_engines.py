@@ -18,12 +18,14 @@ import pytest
 
 from repro.graphs import cycle_graph, grid, star_graph
 from repro.sim import (
+    batched_biased_cover_trials,
     batched_branching_cover_trials,
     batched_coalescing_cover_trials,
     batched_cobra_active_sizes,
     batched_cobra_hit_trials,
     batched_gossip_spread_trials,
     batched_lazy_cover_trials,
+    batched_lazy_hit_trials,
     batched_parallel_walks_cover_trials,
     batched_walt_cover_trials,
     batched_walt_positions_at,
@@ -58,9 +60,14 @@ ENGINE_CASES = [
     ("cobra", {}, "hit", 63),
     ("simple", {}, "hit", 63),
     ("lazy", {}, None, None),
+    ("lazy", {}, "hit", 63),
     ("branching", {}, None, None),
     ("branching", {"k": 3, "population_cap": 64}, None, None),
     ("coalescing", {"walkers": 8}, "cover", None),
+    # weak constant bias: the inverse-degree default pins the walk to
+    # the target and pushes serial cover past 80k steps/trial — too
+    # slow for a 48-trial parity check
+    ("biased", {"eps": 0.05}, "cover", 63),
 ]
 
 
@@ -97,6 +104,7 @@ class TestAutoSelection:
             ("lazy", {}),
             ("branching", {}),
             ("coalescing", {"metric": "cover", "walkers": 6}),
+            ("biased", {"metric": "cover", "target": 63, "eps": 0.1}),
         ],
     )
     def test_auto_cover_is_vectorized(self, g, name, kwargs):
@@ -113,7 +121,7 @@ class TestAutoSelection:
                         strategy="serial")
         assert np.array_equal(auto.values, ser.values, equal_nan=True)
 
-    @pytest.mark.parametrize("name", ["cobra", "simple"])
+    @pytest.mark.parametrize("name", ["cobra", "simple", "lazy"])
     def test_auto_hit_is_vectorized(self, g, name):
         assert get_process(name).batch_hit is not None
         auto = run_batch(g, name, trials=6, metric="hit", target=g.n - 1, seed=4)
@@ -125,20 +133,20 @@ class TestAutoSelection:
 
     def test_engine_coverage_floor(self):
         """The "every process is batched" milestone: every registered
-        process except the adversarially-controlled biased walk has a
-        cover/spread engine, plus cobra/simple hit engines."""
+        cover/spread-capable process — the biased walk included — has a
+        cover engine, plus cobra/simple/lazy hit engines."""
         covered = [
             s.name
             for s in map(
                 get_process,
                 ["cobra", "simple", "lazy", "walt", "parallel", "branching",
-                 "coalescing", "push", "pull", "push_pull"],
+                 "coalescing", "push", "pull", "push_pull", "biased"],
             )
             if s.batch_cover is not None
         ]
-        assert len(covered) == 10
-        assert get_process("cobra").batch_hit is not None
-        assert get_process("simple").batch_hit is not None
+        assert len(covered) == 11
+        for name in ("cobra", "simple", "lazy"):
+            assert get_process(name).batch_hit is not None
 
 
 class TestHitTargetValidation:
@@ -384,6 +392,88 @@ class TestCoalescingEngine:
             batched_coalescing_cover_trials(g, trials=2, walkers=0)
         with pytest.raises(ValueError, match="position"):
             batched_coalescing_cover_trials(g, trials=2, start=np.array([0, g.n]))
+
+
+class TestBiasedEngine:
+    def test_weakly_biased_cover_is_finite(self):
+        c = cycle_graph(16)
+        t = batched_biased_cover_trials(c, 8, trials=8, seed=1, eps=0.05)
+        assert np.isfinite(t).all() and (t >= 15).all()
+
+    def test_inverse_degree_default(self):
+        # eps=None selects the 1/d(v) bias; on a cycle that is a strong
+        # pull toward the target, and coverage still completes
+        c = cycle_graph(12)
+        t = batched_biased_cover_trials(c, 6, trials=8, seed=2, max_steps=10**5)
+        assert np.isfinite(t).all()
+
+    def test_pure_controller_never_covers(self):
+        # eps=1: deterministic descent to the target, then pinned there
+        c = cycle_graph(16)
+        t = batched_biased_cover_trials(c, 8, trials=4, seed=3, eps=1.0,
+                                        max_steps=200)
+        assert np.isnan(t).all()
+
+    def test_budget_exhaustion_nan(self):
+        t = batched_biased_cover_trials(
+            cycle_graph(64), 32, trials=4, seed=0, eps=0.05, max_steps=3
+        )
+        assert np.isnan(t).all()
+
+    def test_validation(self, g):
+        with pytest.raises(ValueError, match="target"):
+            batched_biased_cover_trials(g, g.n, trials=2)
+        with pytest.raises(ValueError, match="start"):
+            batched_biased_cover_trials(g, 0, trials=2, start=g.n)
+        with pytest.raises(ValueError, match="eps"):
+            batched_biased_cover_trials(g, 0, trials=2, eps=1.5)
+        with pytest.raises(ValueError, match="controller"):
+            batched_biased_cover_trials(g, 0, trials=2, controller=np.arange(3))
+
+    def test_run_batch_requires_target(self, g):
+        # the facade forwards target to the cover engine; without one
+        # the engine fails exactly like the serial factory
+        with pytest.raises(ValueError, match="target"):
+            run_batch(g, "biased", trials=2, metric="cover", eps=0.1)
+
+
+class TestLazyHitEngine:
+    def test_hit_at_start_is_zero(self, g):
+        t = batched_lazy_hit_trials(g, 0, trials=4, seed=1)
+        assert np.array_equal(t, np.zeros(4))
+
+    def test_slower_than_simple(self, g):
+        lazy = batched_lazy_hit_trials(g, 63, trials=64, seed=5)
+        simple = run_batch(g, "simple", trials=64, metric="hit", target=63,
+                           seed=5).values
+        # half the lazy steps are holds: hitting should be ~2x
+        assert np.nanmean(lazy) > 1.3 * np.nanmean(simple)
+
+    def test_hit_at_least_distance(self):
+        c = cycle_graph(30)
+        t = batched_lazy_hit_trials(c, 15, trials=16, seed=2)
+        assert (t[~np.isnan(t)] >= 15).all()
+
+    def test_holds_count_against_budget(self):
+        c = cycle_graph(16)
+        unlimited = batched_lazy_hit_trials(c, 8, trials=64, seed=9)
+        capped = batched_lazy_hit_trials(
+            c, 8, trials=64, seed=9, max_steps=int(np.nanmedian(unlimited))
+        )
+        assert np.isnan(capped).sum() > 0
+
+    def test_budget_exhaustion_nan(self):
+        t = batched_lazy_hit_trials(cycle_graph(64), 32, trials=4, seed=0,
+                                    max_steps=5)
+        assert np.isnan(t).all()
+
+    def test_validation(self, g):
+        with pytest.raises(ValueError, match="target"):
+            batched_lazy_hit_trials(g, g.n, trials=2)
+        with pytest.raises(ValueError, match="start"):
+            batched_lazy_hit_trials(g, 0, trials=2, start=-1)
+        with pytest.raises(ValueError, match="trial"):
+            batched_lazy_hit_trials(g, 0, trials=0)
 
 
 class TestFixedHorizonEngines:

@@ -10,7 +10,7 @@ independence), for **every** registered process.
 import numpy as np
 import pytest
 
-from repro.graphs import complete_graph, grid
+from repro.graphs import complete_graph, grid, path_graph
 from repro.sim import process_names, run_batch
 
 
@@ -21,19 +21,23 @@ def g():
     return complete_graph(8)
 
 
-def _kwargs(name, g):
+def _case(name, g):
+    """Per-process graph/kwargs (the line-only minima walk aside, every
+    process runs on the shared complete graph)."""
     kw = {}
     if name == "biased":
         kw["target"] = g.n - 1
     if name == "coalescing":
         kw["walkers"] = 4
-    return kw
+    if name == "branching_minima":
+        return path_graph(17), {"generations": 4}
+    return g, kw
 
 
 class TestShardDeterminism:
     @pytest.mark.parametrize("name", process_names())
     def test_shard_count_invariant_and_serial_identical(self, g, name):
-        kw = _kwargs(name, g)
+        g, kw = _case(name, g)
         one = run_batch(g, name, trials=9, seed=42, shards=1, **kw)
         four = run_batch(g, name, trials=9, seed=42, shards=4, **kw)
         serial = run_batch(g, name, trials=9, seed=42, strategy="serial", **kw)

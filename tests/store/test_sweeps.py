@@ -1,0 +1,87 @@
+"""The registered sweep declarations behind the migrated experiments."""
+
+import pytest
+
+from repro.store import build_sweep, sweep_names
+from repro.store.sweeps import base_compare_graphs
+
+EXPECTED_SWEEPS = {"BASE_compare", "BRW_minima", "KCOBRA_k", "T3_grid", "TREES_kary"}
+
+
+class TestRegistry:
+    def test_expected_sweeps_registered(self):
+        assert set(sweep_names()) >= EXPECTED_SWEEPS
+
+    def test_unknown_sweep_lists_options(self):
+        with pytest.raises(KeyError, match="T3_grid"):
+            build_sweep("nope")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            build_sweep("T3_grid", scale="huge")
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SWEEPS))
+    @pytest.mark.parametrize("scale", ["quick", "full"])
+    def test_specs_expand_deterministically(self, name, scale):
+        specs = build_sweep(name, scale=scale, seed=3)
+        assert specs
+        hashes = [c.hash for spec in specs for c in spec.expand()]
+        again = [
+            c.hash for spec in build_sweep(name, scale=scale, seed=3)
+            for c in spec.expand()
+        ]
+        assert hashes == again
+        # cells are distinct across the whole sweep (shared store safe)
+        assert len(set(hashes)) == len(hashes)
+
+    def test_seed_threads_into_every_spec(self):
+        for spec in build_sweep("T3_grid", seed=41):
+            assert spec.seed.root == 41
+
+    def test_scales_differ(self):
+        quick = {c.hash for s in build_sweep("T3_grid") for c in s.expand()}
+        full = {
+            c.hash for s in build_sweep("T3_grid", scale="full") for c in s.expand()
+        }
+        # different trial counts/ladders: full is a different, larger
+        # cell population (scales never alias in the store)
+        assert len(full) > len(quick)
+        assert quick != full
+
+
+class TestBaseCompare:
+    def test_rw_arms_carry_the_budget_cap(self):
+        for spec in build_sweep("BASE_compare"):
+            arm = spec.name.rsplit("/", 1)[-1]
+            if arm in ("simple", "lazy"):
+                assert spec.max_steps is not None
+                assert spec.trials == 3
+            else:
+                assert spec.max_steps is None
+
+    def test_graph_ladder_shape(self):
+        graphs = base_compare_graphs("quick", 0)
+        assert [label for label, *_ in graphs] == [
+            "expander", "grid", "lollipop", "star",
+        ]
+        for _label, _builder, params, n in graphs:
+            assert n >= 24 and params
+
+
+class TestBrwMinima:
+    def test_runs_through_the_store(self):
+        from repro.store import Campaign, ResultStore
+
+        (spec,) = build_sweep("BRW_minima", seed=1)
+        store = ResultStore()
+        report = Campaign(spec, store).run()
+        assert report.complete
+        frame = store.frame(process="branching_minima")
+        assert len(frame) == len(spec.expand())
+        # deeper generations reach lower minima (k=2 arm)
+        rows = frame.filter(k=2).sort_by("generations")
+        means = rows.column("mean")
+        assert means[0] > means[-1]
+        # the minimum of generation g is within [-g, g]
+        for row in frame:
+            assert -row["generations"] <= row["mean"] <= row["generations"]

@@ -85,6 +85,8 @@ class TestArchitecturePage:
             "shards",
             "batch_cover",
             "batch_hit",
+            "The sweep store",
+            "content-addressed",
         ):
             assert anchor in text, f"architecture.md lost its {anchor!r} section"
 
@@ -92,3 +94,48 @@ class TestArchitecturePage:
         readme = (DOCS.parent / "README.md").read_text(encoding="utf-8")
         assert "docs/architecture.md" in readme
         assert "docs/processes.md" in readme
+        assert "docs/sweeps.md" in readme
+
+
+class TestSweepsPage:
+    @pytest.fixture(scope="class")
+    def sweeps_md(self) -> str:
+        return (DOCS / "sweeps.md").read_text(encoding="utf-8")
+
+    def test_covers_the_store_contracts(self, sweeps_md):
+        for anchor in (
+            "SweepSpec schema",
+            "Content addressing",
+            "Seed policy",
+            "Store layout",
+            "resume",
+            "shards/",
+            "Campaigns",
+            "Query API",
+            "sweep run",
+            "sweep status",
+            "sweep show",
+        ):
+            assert anchor in sweeps_md, f"sweeps.md lost its {anchor!r} section"
+
+    def test_schema_table_matches_sweepspec_fields(self, sweeps_md):
+        import dataclasses
+
+        from repro.store import SweepSpec
+
+        for field in dataclasses.fields(SweepSpec):
+            assert f"`{field.name}`" in sweeps_md, (
+                f"sweeps.md schema table is missing SweepSpec.{field.name}"
+            )
+
+    def test_every_registered_sweep_is_documented(self, sweeps_md):
+        from repro.store import sweep_names
+
+        for name in sweep_names():
+            assert name in sweeps_md, f"registered sweep {name!r} not documented"
+
+    def test_target_rules_match_the_code(self, sweeps_md):
+        from repro.store.spec import _TARGET_RULES
+
+        for rule in _TARGET_RULES:
+            assert f'"{rule}"' in sweeps_md

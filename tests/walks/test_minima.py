@@ -1,0 +1,138 @@
+"""Branching-minima walk: line validation, exact occupancy, facade wiring."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import cycle_graph, grid, path_graph, star_graph
+from repro.sim import run_batch, simulate
+from repro.walks.minima import BranchingMinimaWalk, validate_line_graph
+
+
+class TestLineValidation:
+    @pytest.mark.parametrize("n", [2, 3, 17])
+    def test_accepts_paths(self, n):
+        validate_line_graph(path_graph(n))
+
+    @pytest.mark.parametrize(
+        "g", [cycle_graph(8), star_graph(6), grid(3, 2)],
+        ids=["cycle", "star", "grid"],
+    )
+    def test_rejects_non_paths(self, g):
+        with pytest.raises(ValueError, match="path"):
+            validate_line_graph(g)
+
+    def test_rejects_singleton(self):
+        from repro.graphs import complete_graph
+
+        with pytest.raises(ValueError, match="at least 2"):
+            validate_line_graph(complete_graph(1))
+
+
+class TestWalkSemantics:
+    def test_initial_state(self):
+        w = BranchingMinimaWalk(path_graph(21), start=10, seed=0)
+        assert w.t == 0 and w.population == 1
+        assert w.min_position == 0 and w.max_position == 0
+
+    def test_population_doubles_until_cap(self):
+        w = BranchingMinimaWalk(path_graph(65), start=32, seed=1, k=2)
+        for t in range(1, 6):
+            w.step()
+            assert w.population == 2**t
+        capped = BranchingMinimaWalk(path_graph(65), start=32, seed=1, k=2,
+                                     count_cap=3)
+        for _ in range(8):
+            capped.step()
+        assert capped.counts.max() <= 3
+
+    def test_k1_is_a_single_walker(self):
+        w = BranchingMinimaWalk(path_graph(11), start=5, seed=2, k=1)
+        for _ in range(20):
+            w.step()
+            assert w.population == 1
+            assert w.min_position == w.max_position
+
+    def test_frontier_within_generation_bound(self):
+        w = BranchingMinimaWalk(path_graph(65), start=32, seed=3, k=3)
+        for t in range(1, 12):
+            w.step()
+            assert -t <= w.min_position <= w.max_position <= t
+
+    def test_minimum_drifts_left_for_supercritical_k(self):
+        # E min of gen g is ~ -g·gamma for k >= 2; at g=10 the minimum
+        # is essentially always strictly negative
+        mins = []
+        for s in range(16):
+            w = BranchingMinimaWalk(path_graph(65), start=32, seed=s, k=3)
+            for _ in range(10):
+                w.step()
+            mins.append(w.min_position)
+        assert np.mean(mins) < -5
+
+    def test_reflecting_boundary_keeps_particles(self):
+        w = BranchingMinimaWalk(path_graph(3), start=1, seed=4, k=1)
+        for _ in range(30):
+            w.step()
+            assert w.population == 1
+            assert 0 <= w.min_position + 1 <= 2
+
+    def test_seed_determinism(self):
+        runs = []
+        for _ in range(2):
+            w = BranchingMinimaWalk(path_graph(65), start=32, seed=42, k=2)
+            for _ in range(8):
+                w.step()
+            runs.append((w.min_position, w.max_position, w.counts.copy()))
+        assert runs[0][:2] == runs[1][:2]
+        assert np.array_equal(runs[0][2], runs[1][2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must be"):
+            BranchingMinimaWalk(path_graph(9), k=0)
+        with pytest.raises(ValueError, match="count_cap"):
+            BranchingMinimaWalk(path_graph(9), count_cap=0)
+        with pytest.raises(ValueError, match="start"):
+            BranchingMinimaWalk(path_graph(9), start=9)
+
+
+class TestFacadeIntegration:
+    def test_simulate_min_metric(self):
+        res = simulate(path_graph(65), "branching_minima", seed=0, max_steps=8)
+        assert res.metric == "min"
+        assert res.steps == 8
+        assert res.extras["min_position"] == int(res.value)
+        assert -8 <= res.value <= 8
+        assert res.extras["max_position"] >= res.extras["min_position"]
+
+    def test_default_start_is_the_line_midpoint(self):
+        # generation-g frontier from the midpoint of a long-enough line
+        # never touches the boundary; a start-0 default would reflect
+        res = simulate(path_graph(129), "branching_minima", seed=1, max_steps=16)
+        assert -16 <= res.value <= 0
+
+    def test_generations_param_sets_the_budget(self):
+        res = simulate(path_graph(65), "branching_minima", seed=2, generations=5)
+        assert res.steps == 5
+
+    def test_run_batch_serial_path(self):
+        summary = run_batch(
+            path_graph(65), "branching_minima", trials=6, seed=3, generations=6
+        )
+        assert summary.failures == 0
+        assert (summary.values <= 0).any()
+        assert (np.abs(summary.values) <= 6).all()
+
+    def test_array_start_rejected(self):
+        with pytest.raises(ValueError, match="single start"):
+            simulate(
+                path_graph(65), "branching_minima", start=np.array([1, 2]),
+                max_steps=2,
+            )
+
+    def test_non_line_graph_rejected(self):
+        with pytest.raises(ValueError, match="path"):
+            simulate(grid(4, 2), "branching_minima", max_steps=2)
+
+    def test_min_metric_rejected_for_other_processes(self):
+        with pytest.raises(ValueError, match="does not support"):
+            simulate(path_graph(9), "cobra", metric="min")
