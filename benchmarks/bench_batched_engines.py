@@ -121,6 +121,27 @@ if __name__ == "__main__":
             f"vectorized {vec * 1e3:8.1f} ms | {speedup:6.2f}x"
         )
     print(f"worst speedup: {worst:.2f}x (bar: >= {BAR}, grid({side}, 2))")
+    from _emit import emit_bench_json
+
+    emit_bench_json(
+        "batched_engines",
+        {
+            "graph": f"grid({side}, 2)",
+            "trials": TRIALS,
+            "quick": quick,
+            "worst_speedup": round(worst, 3),
+            "bar": BAR,
+            "cases": [
+                {
+                    "label": label,
+                    "serial_ms": round(ser * 1e3, 3),
+                    "vectorized_ms": round(vec * 1e3, 3),
+                    "speedup": round(speedup, 3),
+                }
+                for label, ser, vec, speedup in results
+            ],
+        },
+    )
     if quick:
         raise SystemExit(0)  # smoke mode: informational only
     raise SystemExit(0 if worst >= BAR else 1)

@@ -77,4 +77,18 @@ if __name__ == "__main__":
     print(f"32 serial cobra_cover_time calls : {serial_t * 1e3:7.1f} ms")
     print(f"run_batch (vectorized, 32 trials): {batched_t * 1e3:7.1f} ms")
     print(f"speedup                          : {speedup:7.2f}x (bar: >= 3)")
+    from _emit import emit_bench_json
+
+    emit_bench_json(
+        "facade_batch",
+        {
+            "graph": "grid(32, 2)",
+            "trials": TRIALS,
+            "rounds": ROUNDS,
+            "serial_ms": round(serial_t * 1e3, 3),
+            "batched_ms": round(batched_t * 1e3, 3),
+            "speedup": round(speedup, 3),
+            "bar": 3.0,
+        },
+    )
     raise SystemExit(0 if speedup >= 3.0 else 1)

@@ -1,0 +1,127 @@
+"""CI smoke: two real ``sweep work`` OS processes drain one campaign.
+
+The multi-worker acceptance contract, proven with genuinely separate
+processes coordinating only through the shared store directory::
+
+    PYTHONPATH=src python ci/smoke_dispatch.py [STORE_DIR]
+
+Two ``cobra-experiments sweep work DEMO_grid2x2`` workers are launched
+concurrently against one store.  Afterward:
+
+* the campaign is complete and ``sweep fsck`` exits 0 (clean store);
+* every stored cell's values are **identical** to an uninterrupted
+  single-worker ``Campaign.run()`` reference (content-derived seeds —
+  worker placement cannot matter);
+* ``sweep compact`` prunes the claim ledger and the store stays clean.
+
+Runnable locally and testable (``tests/test_ci_smokes.py``).  Exits
+non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+SWEEP = "DEMO_grid2x2"
+SEED = 0
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        f"{REPO_SRC}{os.pathsep}{env['PYTHONPATH']}"
+        if env.get("PYTHONPATH")
+        else str(REPO_SRC)
+    )
+    return env
+
+
+def _sweep_cli(*args: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments", "sweep", *args],
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _wait(proc: subprocess.Popen, what: str) -> str:
+    out, _ = proc.communicate(timeout=300)
+    print(f"--- {what} (exit {proc.returncode}) ---")
+    print(out, end="")
+    assert proc.returncode == 0, f"{what} failed with exit {proc.returncode}"
+    return out
+
+
+def main(store_dir: str) -> int:
+    """Run the dispatch smoke against *store_dir*.
+
+    Parameters
+    ----------
+    store_dir : str
+        Shared store directory the two workers drain.
+
+    Returns
+    -------
+    int
+        0 on success (assertions abort otherwise).
+    """
+    from repro.store import Campaign, ResultStore, fsck
+    from repro.store.sweeps import build_sweep
+
+    (spec,) = build_sweep(SWEEP, seed=SEED)
+    cells = spec.expand()
+    assert len(cells) == 4
+
+    # uninterrupted single-worker reference, in memory
+    reference = ResultStore()
+    Campaign(spec, reference).run()
+
+    # two concurrent OS-process workers drain the shared store; --wait
+    # keeps each alive until every cell is stored by *someone*
+    workers = [
+        _sweep_cli(
+            "work", SWEEP, "--store", store_dir, "--seed", str(SEED),
+            "--owner", f"smoke-w{i}", "--wait",
+        )
+        for i in range(2)
+    ]
+    outputs = [_wait(proc, f"worker {i}") for i, proc in enumerate(workers)]
+
+    # between them the workers computed every cell exactly once
+    # (bar a benign lease-expiry recompute, impossible at this TTL)
+    ran_total = sum(int(out.split("ran ")[1].split(",")[0]) for out in outputs)
+    assert ran_total == len(cells), f"workers ran {ran_total} cells, not {len(cells)}"
+
+    # fsck via the CLI: clean store is exit 0
+    _wait(_sweep_cli("fsck", "--store", store_dir), "fsck")
+
+    # value-for-value identical to the single-worker reference
+    store = ResultStore(store_dir)
+    for cell in cells:
+        record = store.get(cell)
+        assert record is not None, f"cell {cell.hash[:12]} missing after drain"
+        a = record["result"]["values"]
+        b = reference.get(cell)["result"]["values"]
+        assert a == b, f"cell {cell.hash[:12]} diverged across workers"
+
+    # compaction prunes the ledger and the store stays clean
+    _wait(_sweep_cli("compact", "--store", store_dir), "compact")
+    report = fsck(ResultStore(store_dir))
+    assert report.clean and report.cells == len(cells), report.summary()
+    print("dispatch smoke: 2-worker drain value-identical, fsck clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_SRC))
+    if len(sys.argv) > 1:
+        raise SystemExit(main(sys.argv[1]))
+    with tempfile.TemporaryDirectory() as tmp:
+        raise SystemExit(main(f"{tmp}/store"))

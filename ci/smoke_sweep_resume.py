@@ -1,0 +1,86 @@
+"""CI smoke: sweep-store interrupt/resume contract, end to end on disk.
+
+Extracted from the old inline ``ci.yml`` heredoc so it is runnable
+locally and testable (``tests/test_ci_smokes.py``)::
+
+    PYTHONPATH=src python ci/smoke_sweep_resume.py [STORE_DIR]
+
+The contract it proves, on a real disk store: interrupt a 2x2 campaign
+after 2 cells, resume it in a fresh store handle and observe only the
+missing cells run, repeat the completed campaign and observe **zero**
+computation, and check the resumed values match an uninterrupted
+in-memory reference run seed-for-seed.
+
+Exits non-zero (assertion) on any violation.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+if __name__ == "__main__":  # runnable without PYTHONPATH fiddling
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.store import Campaign, ResultStore, SweepSpec
+
+
+def build_spec() -> SweepSpec:
+    """The 2x2 smoke campaign (4 cells, seconds of work)."""
+    return SweepSpec(
+        name="ci-smoke",
+        process="cobra",
+        graph="grid",
+        graph_grid={"n": [6, 8], "d": [2]},
+        params_grid={"k": [1, 2]},
+        trials=3,
+    )
+
+
+def main(store_dir: str) -> int:
+    """Run the interrupt/resume smoke against *store_dir*.
+
+    Parameters
+    ----------
+    store_dir : str
+        Directory for the durable store (created on first write).
+
+    Returns
+    -------
+    int
+        0 on success (assertions abort otherwise).
+    """
+    spec = build_spec()
+    cells = spec.expand()
+    assert len(cells) == 4
+
+    # interrupted campaign: 2 cells, then killed
+    first = Campaign(spec, ResultStore(store_dir)).run(max_cells=2)
+    assert len(first.ran) == 2 and len(first.pending) == 2, first
+
+    # resume in a fresh handle: only the missing cells run
+    resumed = Campaign(spec, ResultStore(store_dir)).run()
+    assert len(resumed.ran) == 2 and len(resumed.cached) == 2, resumed
+
+    # completed sweep: the repeat pass is cache-only
+    repeat = Campaign(spec, ResultStore(store_dir)).run()
+    assert repeat.ran == [] and len(repeat.cached) == 4, repeat
+
+    # seed-for-seed parity with an uninterrupted in-memory run
+    reference = ResultStore()
+    Campaign(spec, reference).run()
+    disk = ResultStore(store_dir)
+    for cell in cells:
+        a = disk.get(cell)["result"]["values"]
+        b = reference.get(cell)["result"]["values"]
+        assert a == b, f"resumed cell {cell.hash[:12]} diverged"
+    print("sweep store smoke: interrupt/resume OK, repeat pass cache-only")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1:
+        raise SystemExit(main(sys.argv[1]))
+    with tempfile.TemporaryDirectory() as tmp:
+        raise SystemExit(main(f"{tmp}/store"))

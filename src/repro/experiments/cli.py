@@ -9,9 +9,12 @@ Usage::
     cobra-experiments run all --scale full --processes 4
     cobra-experiments run T3_grid --json > t3.json
     cobra-experiments sweep list
-    cobra-experiments sweep run T3_grid --store results/ [--max-cells N]
+    cobra-experiments sweep run T3_grid --store results/ [--max-cells N] [--workers 4]
     cobra-experiments sweep status T3_grid --store results/
     cobra-experiments sweep show T3_grid --store results/
+    cobra-experiments sweep work T3_grid --store results/ [--ttl 900]
+    cobra-experiments sweep fsck --store results/
+    cobra-experiments sweep compact --store results/
 
 Each run prints the experiment's tables and findings; ``run all``
 iterates the whole registry (this is how EXPERIMENTS.md numbers were
@@ -24,7 +27,14 @@ The ``sweep`` subcommands drive the registered sweep declarations
 store**: ``sweep run`` computes only the cells the store is missing
 (kill it any time; re-running resumes exactly where it stopped),
 ``sweep status`` counts stored vs pending cells, and ``sweep show``
-tabulates the stored results.  See ``docs/sweeps.md``.
+tabulates the stored results.  ``sweep work`` runs one lease/claim
+dispatch worker against a shared store — start as many as you like,
+on as many machines as see the directory; they coordinate through the
+claim ledger and their combined output is value-for-value identical
+to a single ``sweep run``.  ``sweep fsck`` verifies store integrity
+(re-hash keys, torn lines, orphaned records, stale leases) and
+``sweep compact`` drops superseded last-write-wins duplicates and
+prunes the ledger.  See ``docs/sweeps.md``.
 """
 
 from __future__ import annotations
@@ -73,6 +83,7 @@ def main(argv: list[str] | None = None) -> int:
         ("run", "run a sweep's pending cells (resumable; cached cells skip)"),
         ("status", "count stored vs pending cells of a sweep"),
         ("show", "tabulate a sweep's stored results"),
+        ("work", "drain a sweep as one lease/claim dispatch worker"),
     ):
         p = sweep_sub.add_parser(cmd, help=help_text)
         p.add_argument("name", help="registered sweep name (see 'sweep list')")
@@ -82,7 +93,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         p.add_argument("--scale", choices=("quick", "full"), default="quick")
         p.add_argument("--seed", type=int, default=0)
-        if cmd == "run":
+        if cmd in ("run", "work"):
             p.add_argument(
                 "--shards", type=int, default=None, metavar="K",
                 help="run each cell on the sharded executor "
@@ -95,6 +106,41 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument(
                 "--max-cells", type=int, default=None, metavar="N",
                 help="stop after computing N cells (incremental mode)",
+            )
+        if cmd == "run":
+            p.add_argument(
+                "--workers", type=int, default=None, metavar="W",
+                help="spawn W local dispatch workers draining the sweep "
+                "concurrently (value-for-value identical to W=1)",
+            )
+        if cmd == "work":
+            p.add_argument(
+                "--owner", default=None, metavar="ID",
+                help="worker id in the claim ledger (default: host-pid-rand)",
+            )
+            p.add_argument(
+                "--ttl", type=float, default=None, metavar="SECONDS",
+                help="lease time-to-live; crashed workers' cells become "
+                "reclaimable after this long (default 900)",
+            )
+            p.add_argument(
+                "--wait", action="store_true",
+                help="poll instead of exiting while other workers hold the "
+                "remaining leases",
+            )
+    for cmd, help_text in (
+        ("fsck", "verify store integrity (hashes, torn lines, leases)"),
+        ("compact", "drop superseded duplicates, prune the claim ledger"),
+    ):
+        p = sweep_sub.add_parser(cmd, help=help_text)
+        p.add_argument(
+            "--store", required=True, metavar="DIR",
+            help="result-store directory to check",
+        )
+        if cmd == "compact":
+            p.add_argument(
+                "--force", action="store_true",
+                help="compact even with live leases in the ledger",
             )
     args = parser.parse_args(argv)
 
@@ -157,8 +203,45 @@ def _sweep_main(args: argparse.Namespace) -> int:
             print(f"{name:18s} {len(specs):3d} spec(s), {cells:4d} cells at quick scale")
         return 0
 
+    if args.sweep_command == "fsck":
+        from ..store import fsck
+
+        report = fsck(ResultStore(args.store))
+        print(report.summary())
+        return 0 if report.clean else 1
+
+    if args.sweep_command == "compact":
+        from ..store import compact
+
+        try:
+            report = compact(ResultStore(args.store), force=args.force)
+        except RuntimeError as exc:
+            print(f"compact refused: {exc}", file=sys.stderr)
+            return 1
+        print(report.summary())
+        return 0
+
     specs = build_sweep(args.name, scale=args.scale, seed=args.seed)
     store = ResultStore(args.store)
+
+    if args.sweep_command == "work":
+        from ..store import dispatch
+
+        report = dispatch.drain(
+            specs,
+            store,
+            owner=args.owner,
+            ttl=args.ttl if args.ttl is not None else dispatch.DEFAULT_TTL,
+            max_cells=args.max_cells,
+            shards=args.shards,
+            max_workers=args.max_workers,
+            wait=args.wait,
+        )
+        print(
+            f"worker {report.owner}: ran {len(report.ran)}, "
+            f"cached {len(report.cached)}, deferred {len(report.deferred)}"
+        )
+        return 0
 
     if args.sweep_command == "status":
         total = done = 0
@@ -173,10 +256,14 @@ def _sweep_main(args: argparse.Namespace) -> int:
 
     if args.sweep_command == "run":
         budget = args.max_cells
+        if args.workers is not None and args.workers > 1 and budget is not None:
+            print("--workers and --max-cells are mutually exclusive", file=sys.stderr)
+            return 2
         ran = cached = pending = 0
         for spec in specs:
             campaign = Campaign(
-                spec, store, shards=args.shards, max_workers=args.max_workers
+                spec, store, shards=args.shards, max_workers=args.max_workers,
+                workers=args.workers,
             )
             report = campaign.run(max_cells=budget)
             ran += len(report.ran)

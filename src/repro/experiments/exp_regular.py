@@ -8,6 +8,13 @@ The simple-random-walk hitting exponent on the cycle is 2 — the
 separation Theorem 15 buys.  (The bound is far from tight on
 expander-like regular graphs, where hitting is polylogarithmic; the
 claim under test is the upper bound's validity, not tightness.)
+
+The Monte-Carlo surface is the registered ``T15_regular`` sweep
+(:mod:`repro.store.sweeps`): one hit-metric campaign per family, each
+cell targeting the ``"farthest"`` rule (the BFS-farthest vertex from
+0, resolved against the built graph).  The deterministic columns —
+the ``n^{2-1/δ}`` bound and the exact random-walk hitting time — are
+computed here, next to the stored means.
 """
 
 from __future__ import annotations
@@ -16,51 +23,42 @@ import numpy as np
 
 from ..analysis import Table, fit_power_law
 from ..core import thm15_regular_hitting
-from ..graphs import Graph, bfs_distances, circulant, cycle_graph, random_regular
-from ..sim.facade import run_batch
-from ..sim.rng import spawn_seeds
+from ..store import Campaign, ResultStore
+from ..store.sweeps import build_sweep, t15_families
 from ..walks import rw_exact_hitting_times
 from .registry import ExperimentResult, register
-
-_NS = {
-    "quick": [32, 64, 128],
-    "full": [32, 64, 128, 256, 512],
-}
-_TRIALS = {"quick": 8, "full": 20}
-
-
-def _farthest(g: Graph, source: int = 0) -> int:
-    dist = bfs_distances(g, source)
-    return int(np.argmax(dist))
 
 
 @register("T15_regular", "Thm 15: δ-regular cobra hitting is O(n^{2-1/δ})")
 def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
-    trials = _TRIALS[scale]
-    seeds = spawn_seeds(seed, 64)
-    si = iter(seeds)
-    families = {
-        "cycle (δ=2)": (2, lambda n, s: cycle_graph(n)),
-        "circulant±{1,2} (δ=4)": (4, lambda n, s: circulant(n, [1, 2])),
-        "random 3-regular": (3, lambda n, s: random_regular(n, 3, seed=s)),
-    }
+    store = ResultStore()
+    campaigns = {}
+    for spec in build_sweep("T15_regular", scale=scale, seed=seed):
+        campaigns[spec.name] = campaign = Campaign(spec, store)
+        campaign.run()
+
     tables: list[Table] = []
     findings: dict[str, float] = {}
-    for label, (delta, make) in families.items():
+    for key_name, label, delta, _builder, _extra in t15_families(seed):
+        campaign = campaigns[f"T15_regular/{key_name}"]
         table = Table(
             ["n", "cobra hit (far pair)", "bound n^{2-1/δ}", "hit/bound", "rw hit exact"],
             title=f"T15 {label}",
         )
         ns, hits = [], []
-        for n in _NS[scale]:
-            g = make(n, next(si))
-            target = _farthest(g)
-            # batched metric="hit" engine: all trials race in one frontier
-            mean = run_batch(
-                g, "cobra", metric="hit", target=target, trials=trials, seed=next(si)
-            ).mean
+        # walk the cells in expansion order (the ascending n-ladder):
+        # the stored mean rides the record, the deterministic columns
+        # rebuild the cell's graph and farthest-pair target
+        for cell in campaign.cells:
+            record = store.get(cell)
+            mean = record["result"]["mean"]
+            n = dict(cell.graph_params)["n"]
+            g = cell.build_graph()
+            target = cell.resolve_target(g)
             bound = thm15_regular_hitting(n, delta)
-            rw_hit = float(rw_exact_hitting_times(g, target)[0]) if n <= 512 else np.nan
+            rw_hit = (
+                float(rw_exact_hitting_times(g, target)[0]) if n <= 512 else np.nan
+            )
             ns.append(n)
             hits.append(mean)
             table.add_row([n, mean, bound, mean / bound, rw_hit])

@@ -8,6 +8,13 @@ sweep ``n`` and check ``cover / (n ln n)`` flattens to a constant, and
 that push gossip sits in the same ``Θ(n log n)`` class (its hub also
 pushes one message per round) — i.e. the conjectured universal
 ``O(n log n)`` matches the star's lower bound.
+
+The Monte-Carlo surface is the registered ``STAR_lb`` sweep
+(:mod:`repro.store.sweeps`): this runner drives its two campaigns
+(cobra cover, push spread) through an ephemeral store and tabulates
+``Campaign.frame()`` — point ``sweep run STAR_lb --store DIR`` (or any
+number of ``sweep work`` dispatch workers) at a directory to make the
+same cells durable.
 """
 
 from __future__ import annotations
@@ -15,30 +22,31 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import Table, fit_power_law
-from ..graphs import star_graph
-from ..sim.facade import run_batch
-from ..sim.rng import spawn_seeds
+from ..store import Campaign, ResultStore
+from ..store.sweeps import build_sweep
 from .registry import ExperimentResult, register
-
-_NS = {"quick": [64, 128, 256, 512], "full": [64, 128, 256, 512, 1024, 2048]}
-_TRIALS = {"quick": 5, "full": 12}
 
 
 @register("STAR_lb", "Conclusion: star graph cobra cover is Ω(n log n)")
 def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
-    trials = _TRIALS[scale]
-    seeds = spawn_seeds(seed, 2 * len(_NS[scale]))
-    si = iter(seeds)
+    store = ResultStore()
+    campaigns = {}
+    for spec in build_sweep("STAR_lb", scale=scale, seed=seed):
+        campaigns[spec.name] = campaign = Campaign(spec, store)
+        campaign.run()
+
+    cobra = campaigns["STAR_lb/cobra"].frame().sort_by("g_n")
+    push_by_n = {
+        row["g_n"]: row["mean"] for row in campaigns["STAR_lb/push"].frame()
+    }
     table = Table(
         ["n", "cobra cover", "cover/(n·ln n)", "push rounds", "push/(n·ln n)"],
         title="STAR coupon-collector lower bound",
     )
     ns, covers = [], []
-    for n in _NS[scale]:
-        g = star_graph(n)
-        # both sweeps ride the vectorized batched engines via run_batch
-        mean = run_batch(g, "cobra", trials=trials, seed=next(si)).mean
-        push = run_batch(g, "push", trials=max(3, trials // 2), seed=next(si)).mean
+    for row in cobra:
+        n, mean = row["g_n"], row["mean"]
+        push = push_by_n[n]
         ns.append(n)
         covers.append(mean)
         nl = n * np.log(n)

@@ -5,7 +5,11 @@ The layer above :mod:`repro.sim`: declare a sweep once
 :class:`ResultStore`, and query the accumulated results as a
 :class:`Frame`.  Identical simulation work is computed exactly once —
 re-running a completed sweep is pure cache hits, and an interrupted
-campaign resumes seed-for-seed.  See ``docs/sweeps.md``.
+campaign resumes seed-for-seed.  Any number of worker processes can
+drain one disk-backed store concurrently through the lease/claim
+dispatcher (:mod:`repro.store.dispatch`; ``Campaign(workers=N)`` or
+the ``sweep work`` CLI), with ``fsck``/``compact`` for store hygiene.
+See ``docs/sweeps.md``.
 
 >>> from repro.store import Campaign, ResultStore, SweepSpec
 >>> spec = SweepSpec(
@@ -17,7 +21,17 @@ campaign resumes seed-for-seed.  See ``docs/sweeps.md``.
 >>> store.frame(process="cobra").column("mean")  # doctest: +SKIP
 """
 
-from .campaign import Campaign, CampaignReport, CampaignStatus
+from .campaign import Campaign, CampaignReport, CampaignStatus, run_cell
+from .dispatch import (
+    ClaimLedger,
+    CompactReport,
+    FsckReport,
+    Lease,
+    WorkerReport,
+    compact,
+    drain,
+    fsck,
+)
 from .spec import (
     STORE_SCHEMA_VERSION,
     RunKey,
@@ -25,7 +39,7 @@ from .spec import (
     SweepSpec,
     canonical_json,
 )
-from .store import Frame, ResultStore, record_row
+from .store import Frame, ResultStore, parse_record, record_row
 from .sweeps import build_sweep, register_sweep, sweep_names
 
 __all__ = [
@@ -37,9 +51,19 @@ __all__ = [
     "ResultStore",
     "Frame",
     "record_row",
+    "parse_record",
     "Campaign",
     "CampaignReport",
     "CampaignStatus",
+    "run_cell",
+    "ClaimLedger",
+    "Lease",
+    "WorkerReport",
+    "drain",
+    "FsckReport",
+    "fsck",
+    "CompactReport",
+    "compact",
     "register_sweep",
     "build_sweep",
     "sweep_names",

@@ -15,20 +15,25 @@ multiprocessing pool, or the placement-independent sharded executor
 exactly as any other caller would.  Per-cell provenance (sweep name,
 engine used, seed entropy, wall time, graph name) is recorded next to
 the result.
+
+``Campaign(workers=N)`` instead spawns N local worker processes that
+drain the same sweep concurrently through the lease/claim dispatcher
+(:mod:`repro.store.dispatch`) — value-for-value identical to a
+single-process ``run()``, because per-cell seeds are content-derived.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Mapping
 
 from ..sim.facade import run_batch
 from ..sim.processes import get_process
 from .spec import RunKey, SweepSpec
 from .store import Frame, ResultStore, record_row
 
-__all__ = ["Campaign", "CampaignReport", "CampaignStatus"]
+__all__ = ["Campaign", "CampaignReport", "CampaignStatus", "run_cell"]
 
 
 @dataclass(frozen=True)
@@ -109,6 +114,82 @@ def _engine_label(process: str, metric: str, shards: int | None) -> str:
     return path
 
 
+def run_cell(
+    key: RunKey,
+    store: ResultStore,
+    *,
+    sweep: str,
+    shards: int | None = None,
+    max_workers: int | None = None,
+    graph_cache: dict[tuple, Any] | None = None,
+    extra_provenance: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Compute one cell through ``run_batch`` and store it with provenance.
+
+    The one execution path for a cell, shared by :class:`Campaign` and
+    by the dispatch workers (:mod:`repro.store.dispatch`): the cell's
+    seed stream is content-derived (``[root, H(cell)]``), so **who**
+    computes a cell never changes its values — an N-worker drain is
+    value-for-value identical to a single ``Campaign.run()``.
+
+    Parameters
+    ----------
+    key : RunKey
+        The cell to compute.
+    store : ResultStore
+        Where the record lands (a locked single-line append).
+    sweep : str
+        Sweep name recorded as provenance.
+    shards : int, optional
+        Forwarded to ``run_batch(shards=)``.
+    max_workers : int, optional
+        Forwarded with *shards*.
+    graph_cache : dict, optional
+        ``(builder, params) -> Graph`` cache shared across cells of one
+        runner.
+    extra_provenance : Mapping, optional
+        Extra provenance fields (e.g. the dispatch worker's owner id).
+
+    Returns
+    -------
+    dict
+        The record as stored.
+    """
+    if graph_cache is None:
+        graph_cache = {}
+    gkey = (key.graph_builder, key.graph_params)
+    if gkey not in graph_cache:
+        graph_cache[gkey] = key.build_graph()
+    graph = graph_cache[gkey]
+    target = key.resolve_target(graph)
+    t0 = time.perf_counter()
+    summary = run_batch(
+        graph,
+        key.process,
+        trials=key.trials,
+        metric=key.metric,
+        target=target,
+        seed=key.seed_sequence(),
+        max_steps=key.max_steps,
+        shards=shards,
+        max_workers=max_workers,
+        **dict(key.params),
+    )
+    wall = time.perf_counter() - t0
+    provenance = {
+        "sweep": sweep,
+        "engine": _engine_label(key.process, key.metric, shards),
+        "wall_time_s": round(wall, 6),
+        "seed_entropy": key.seed_entropy(),
+        "graph_name": graph.name,
+        "graph_n": int(graph.n),
+        "created_unix": round(time.time(), 3),
+    }
+    if extra_provenance:
+        provenance.update(extra_provenance)
+    return store.put(key, summary, provenance)
+
+
 class Campaign:
     """Run one sweep against one store, cache-aware and resumable.
 
@@ -125,6 +206,13 @@ class Campaign:
         placement-independent sharded executor).
     max_workers : int, optional
         Forwarded with *shards*.
+    workers : int, optional
+        Spawn this many local worker processes that drain the sweep
+        concurrently through the lease/claim dispatcher
+        (:mod:`repro.store.dispatch`).  Requires a disk-backed store
+        (the claim ledger lives beside the shards).  Values are
+        identical to a single-process ``run()`` — per-cell seeds are
+        content-derived, so worker placement cannot matter.
     """
 
     def __init__(
@@ -134,11 +222,18 @@ class Campaign:
         *,
         shards: int | None = None,
         max_workers: int | None = None,
+        workers: int | None = None,
     ) -> None:
         self.spec = spec
         self.store = store if store is not None else ResultStore()
         self.shards = shards
         self.max_workers = max_workers
+        self.workers = workers
+        if workers is not None and workers > 1 and self.store.root is None:
+            raise ValueError(
+                "Campaign(workers=N) needs a disk-backed store (the claim "
+                "ledger lives beside the shards); pass ResultStore(path)"
+            )
         self._cells: list[RunKey] | None = None
 
     @property
@@ -207,6 +302,14 @@ class Campaign:
         CampaignReport
             Hashes ran / cached / left pending.
         """
+        if self.workers is not None and self.workers > 1:
+            if max_cells is not None or on_cell is not None:
+                raise ValueError(
+                    "max_cells/on_cell are per-process hooks; they are not "
+                    "supported with Campaign(workers=N) — use "
+                    "repro.store.dispatch.drain directly for finer control"
+                )
+            return self._run_pool()
         report = CampaignReport(sweep=self.spec.name)
         graph_cache: dict[tuple, Any] = {}
         for key in self.cells:
@@ -225,34 +328,52 @@ class Campaign:
                 on_cell(key, record, False)
         return report
 
-    def _run_cell(self, key: RunKey, graph_cache: dict) -> dict[str, Any]:
-        """Compute one cell and store it with provenance."""
-        gkey = (key.graph_builder, key.graph_params)
-        if gkey not in graph_cache:
-            graph_cache[gkey] = key.build_graph()
-        graph = graph_cache[gkey]
-        target = key.resolve_target(graph)
-        t0 = time.perf_counter()
-        summary = run_batch(
-            graph,
-            key.process,
-            trials=key.trials,
-            metric=key.metric,
-            target=target,
-            seed=key.seed_sequence(),
-            max_steps=key.max_steps,
+    def _run_pool(self) -> CampaignReport:
+        """Drain the sweep with a local pool of dispatch workers.
+
+        Each worker process opens its own store handle and claims
+        cells through the shared ledger; this process only aggregates
+        their reports.  See ``docs/sweeps.md`` ("Multi-worker
+        dispatch").
+        """
+        from ..sim.montecarlo import _pool_context
+        from .dispatch import pool_worker, worker_payloads
+
+        assert self.workers is not None and self.store.root is not None
+        self.store.refresh()
+        report = CampaignReport(sweep=self.spec.name)
+        report.cached = [k.hash for k in self.cells if self.store.has(k)]
+        payloads = worker_payloads(
+            self.spec,
+            self.store.root,
+            workers=self.workers,
             shards=self.shards,
             max_workers=self.max_workers,
-            **dict(key.params),
         )
-        wall = time.perf_counter() - t0
-        provenance = {
-            "sweep": self.spec.name,
-            "engine": _engine_label(key.process, key.metric, self.shards),
-            "wall_time_s": round(wall, 6),
-            "seed_entropy": key.seed_entropy(),
-            "graph_name": graph.name,
-            "graph_n": int(graph.n),
-            "created_unix": round(time.time(), 3),
-        }
-        return self.store.put(key, summary, provenance)
+        with _pool_context().Pool(processes=self.workers) as pool:
+            worker_reports = pool.map(pool_worker, payloads)
+        ran = {h for wr in worker_reports for h in wr.ran}
+        self.store.refresh()
+        for key in self.cells:
+            if key.hash in report.cached:
+                continue
+            if key.hash in ran:
+                report.ran.append(key.hash)
+            elif self.store.has(key):
+                # committed by a worker whose report line we cannot see
+                # (reclaimed lease overlap) — still ran this call
+                report.ran.append(key.hash)
+            else:
+                report.pending.append(key.hash)
+        return report
+
+    def _run_cell(self, key: RunKey, graph_cache: dict) -> dict[str, Any]:
+        """Compute one cell and store it with provenance."""
+        return run_cell(
+            key,
+            self.store,
+            sweep=self.spec.name,
+            shards=self.shards,
+            max_workers=self.max_workers,
+            graph_cache=graph_cache,
+        )

@@ -1,0 +1,894 @@
+"""Multi-worker sweep dispatch: lease/claim over a shared result store.
+
+PR 4 made a sweep cell's content hash its identity; this module makes
+that hash a **work-item id**.  Any number of worker processes point at
+one disk-backed :class:`~repro.store.store.ResultStore` and call
+:func:`drain`: each worker repeatedly *claims* one pending cell in an
+append-only JSONL ledger (``claims.jsonl``, beside the shards),
+executes it through the exact same
+:func:`~repro.store.campaign.run_cell` path a single-process
+:class:`~repro.store.campaign.Campaign` uses, commits the record with
+the store's merge-safe locked append, and *releases* the claim.
+
+The protocol, in full:
+
+* a **claim** is one ledger line ``{"op": "claim", "hash", "owner",
+  "expires_unix", "ts"}``; it is acquired while holding an exclusive
+  ``flock`` on the ledger (read the active leases, append the claim),
+  so two workers can never both win one cell;
+* a **release** (``op: "done"`` after a commit, ``op: "abandon"`` on
+  failure) clears the lease; replay order decides — the latest record
+  per hash wins;
+* every lease carries a **TTL**.  An expired lease is simply
+  reclaimable: a worker that crashed mid-cell costs nothing but time.
+  If the original worker *was* merely slow and finishes anyway, both
+  workers commit **identical** records — cell seeds derive from
+  ``[root, H(cell)]``, not from the worker — and last-write-wins
+  resolves the benign duplicate (``sweep compact`` trims it later).
+
+Because execution, seeding, and the stored schema are all shared with
+``Campaign``, an N-worker drain is **value-for-value identical** to an
+uninterrupted single-worker ``Campaign.run()`` — pinned by
+``tests/store/test_dispatch.py`` and the CI dispatch smoke.
+
+Store hygiene lives here too: :func:`fsck` re-hashes every stored key,
+flags torn lines, misplaced records, and stale leases; :func:`compact`
+rewrites shards keeping only the live last-write-wins record per cell
+and prunes the ledger.  CLI: ``sweep work`` / ``sweep fsck`` /
+``sweep compact``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import socket
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from .campaign import run_cell
+from .locking import append_line, locked
+from .spec import RunKey, SweepSpec, canonical_json
+from .store import ResultStore, parse_record
+
+__all__ = [
+    "DEFAULT_TTL",
+    "Lease",
+    "ClaimLedger",
+    "WorkerReport",
+    "drain",
+    "FsckReport",
+    "fsck",
+    "CompactReport",
+    "compact",
+]
+
+#: ledger file name, beside ``meta.json`` and ``shards/``
+CLAIMS_FILE = "claims.jsonl"
+
+#: default lease TTL (seconds) — generous against slow cells; a crashed
+#: worker's cells become reclaimable after this long
+DEFAULT_TTL = 900.0
+
+_CLAIM_OPS = ("claim", "done", "abandon")
+
+
+def default_owner() -> str:
+    """A worker id unique across hosts and processes.
+
+    Returns
+    -------
+    str
+        ``host-pid-xxxxxx`` — readable in ledgers and fsck reports.
+    """
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One cell's active claim, as replayed from the ledger.
+
+    Attributes
+    ----------
+    hash : str
+        The claimed cell's content hash (the work-item id).
+    owner : str
+        Worker id that holds the lease.
+    expires_unix : float
+        Absolute expiry time; past it the lease is reclaimable.
+    """
+
+    hash: str
+    owner: str
+    expires_unix: float
+
+    def expired(self, now: float) -> bool:
+        """Whether the lease has outlived its TTL at time *now*."""
+        return now >= self.expires_unix
+
+
+class ClaimLedger:
+    """The append-only claim ledger of one store directory.
+
+    All mutation is line appends; all decisions replay the whole file.
+    The ledger is small (two lines per cell per drain) and claims are
+    rare next to cell execution, so replay cost is irrelevant — what
+    matters is that acquisition holds one exclusive ``flock`` across
+    *read + append*, making "check it is free, then claim it" atomic
+    against every other worker on the filesystem.
+
+    Parameters
+    ----------
+    root : str or Path
+        The store directory (the ledger is ``root/claims.jsonl``).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.path = self.root / CLAIMS_FILE
+
+    # -- replay ---------------------------------------------------------
+    @staticmethod
+    def _parse(text: str) -> list[dict[str, Any]]:
+        records = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail — same tolerance as shards
+            if (
+                isinstance(record, dict)
+                and record.get("op") in _CLAIM_OPS
+                and isinstance(record.get("hash"), str)
+                and isinstance(record.get("owner"), str)
+            ):
+                records.append(record)
+        return records
+
+    def records(self) -> list[dict[str, Any]]:
+        """All valid ledger records, in append order (torn lines skipped).
+
+        Returns
+        -------
+        list of dict
+            ``{"op", "hash", "owner", "expires_unix", "ts"}`` records.
+        """
+        if not self.path.exists():
+            return []
+        return self._parse(self.path.read_text(encoding="utf-8"))
+
+    @staticmethod
+    def _replay(records: Iterable[Mapping[str, Any]]) -> dict[str, Lease]:
+        """Final lease state per hash: claims set, releases clear."""
+        state: dict[str, Lease] = {}
+        for record in records:
+            h = record["hash"]
+            if record["op"] == "claim":
+                state[h] = Lease(
+                    hash=h,
+                    owner=record["owner"],
+                    expires_unix=float(record.get("expires_unix", 0.0)),
+                )
+            else:  # done / abandon
+                state.pop(h, None)
+        return state
+
+    def leases(self) -> dict[str, Lease]:
+        """Unreleased leases, expired ones included.
+
+        Returns
+        -------
+        dict
+            hash → :class:`Lease` for every claim without a later
+            release — **including** expired ones (fsck wants those;
+            claim acquisition filters them itself via
+            :meth:`Lease.expired`).
+        """
+        return self._replay(self.records())
+
+    def active(self, now: float | None = None) -> dict[str, Lease]:
+        """Live (unexpired, unreleased) leases.
+
+        Parameters
+        ----------
+        now : float, optional
+            Clock override (tests); defaults to ``time.time()``.
+
+        Returns
+        -------
+        dict
+            hash → :class:`Lease` for every lease still excluding
+            other workers.
+        """
+        now = time.time() if now is None else now
+        return {
+            h: lease
+            for h, lease in self.leases().items()
+            if not lease.expired(now)
+        }
+
+    # -- mutation -------------------------------------------------------
+    def try_claim(
+        self,
+        hashes: Sequence[str],
+        *,
+        owner: str,
+        ttl: float = DEFAULT_TTL,
+        limit: int | None = 1,
+        now: float | None = None,
+    ) -> list[str]:
+        """Atomically claim up to *limit* of *hashes* for *owner*.
+
+        Holds the ledger lock across read-replay-append: a hash is won
+        only if no live lease covers it, and the claim line is on disk
+        before the lock drops — the next contender replays it.
+
+        Parameters
+        ----------
+        hashes : sequence of str
+            Candidate cell hashes, in the caller's preference order.
+        owner : str
+            The claiming worker's id.
+        ttl : float
+            Lease lifetime in seconds.
+        limit : int or None
+            Claim at most this many (default 1 — one cell at a time
+            maximises overlap between workers); ``None`` = all free.
+        now : float, optional
+            Clock override (tests).
+
+        Returns
+        -------
+        list of str
+            The hashes won, in *hashes* order (may be empty).
+        """
+        t = time.time() if now is None else now
+        won: list[str] = []
+        with locked(self.path) as handle:
+            handle.seek(0)
+            state = self._replay(self._parse(handle.read()))
+            for h in hashes:
+                if limit is not None and len(won) >= limit:
+                    break
+                lease = state.get(h)
+                if lease is not None and not lease.expired(t):
+                    continue
+                won.append(h)
+                handle.write(
+                    json.dumps(
+                        {
+                            "op": "claim",
+                            "hash": h,
+                            "owner": owner,
+                            "expires_unix": round(t + ttl, 3),
+                            "ts": round(t, 3),
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+        return won
+
+    def release(self, h: str, *, owner: str, op: str = "done") -> None:
+        """Append a release for *h* (``done`` on success, ``abandon`` else).
+
+        Parameters
+        ----------
+        h : str
+            The cell hash being released.
+        owner : str
+            The releasing worker's id (provenance; replay does not
+            check it — the claim lock already guaranteed exclusivity).
+        op : str
+            ``"done"`` or ``"abandon"``.
+        """
+        if op not in ("done", "abandon"):
+            raise ValueError(f"release op must be done/abandon, got {op!r}")
+        append_line(
+            self.path,
+            json.dumps(
+                {
+                    "op": op,
+                    "hash": h,
+                    "owner": owner,
+                    "ts": round(time.time(), 3),
+                },
+                sort_keys=True,
+            ),
+        )
+
+
+@dataclass
+class WorkerReport:
+    """What one :func:`drain` call did.
+
+    Attributes
+    ----------
+    owner : str
+        The worker's id.
+    ran : list of str
+        Hashes this worker claimed, computed, and committed.
+    cached : list of str
+        Hashes found already stored when first encountered.
+    deferred : list of str
+        Hashes left to others: leased elsewhere when this worker gave
+        up (``wait=False``), or beyond its ``max_cells`` budget.
+    """
+
+    owner: str
+    ran: list[str] = field(default_factory=list)
+    cached: list[str] = field(default_factory=list)
+    deferred: list[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every cell this worker saw ended up stored."""
+        return not self.deferred
+
+
+def drain(
+    specs: SweepSpec | Sequence[SweepSpec],
+    store: ResultStore,
+    *,
+    owner: str | None = None,
+    ttl: float = DEFAULT_TTL,
+    max_cells: int | None = None,
+    shards: int | None = None,
+    max_workers: int | None = None,
+    wait: bool = False,
+    poll_s: float = 0.05,
+    on_cell: Callable[[RunKey, dict[str, Any], bool], None] | None = None,
+) -> WorkerReport:
+    """Drain a sweep's pending cells as one dispatch worker.
+
+    The worker loop: refresh the store view → find pending cells →
+    claim **one** through the ledger → run it via
+    :func:`~repro.store.campaign.run_cell` (content-derived seeds, so
+    results are identical no matter which worker computes a cell) →
+    locked-append the record → release the claim → repeat.  The loop
+    ends when nothing is pending, or — with ``wait=False`` — when every
+    pending cell is leased to someone else.
+
+    Parameters
+    ----------
+    specs : SweepSpec or sequence of SweepSpec
+        The campaign(s) to drain; cells are deduplicated by hash
+        across specs, in expansion order.
+    store : ResultStore
+        A **disk-backed** store shared by all workers.
+    owner : str, optional
+        Worker id for the ledger (default :func:`default_owner`).
+    ttl : float
+        Lease TTL in seconds; make it comfortably longer than the
+        slowest cell, or a slow cell gets benignly recomputed.
+    max_cells : int, optional
+        Stop after computing this many cells (the CLI's incremental
+        mode); cached cells don't count.
+    shards : int, optional
+        Forwarded to ``run_batch(shards=)`` per cell.
+    max_workers : int, optional
+        Forwarded with *shards*.
+    wait : bool
+        When pending cells are all leased elsewhere: ``False`` (default)
+        returns with them in ``deferred``; ``True`` polls until they
+        are stored or their leases expire (what
+        ``Campaign(workers=N)`` pool members use, so the pool returns
+        only when the sweep is complete).
+    poll_s : float
+        Sleep between polls when *wait* is set.
+    on_cell : callable, optional
+        ``on_cell(key, record, cached)`` after every stored cell this
+        worker observed (progress reporting).
+
+    Returns
+    -------
+    WorkerReport
+        Hashes ran / cached / deferred by this worker.
+    """
+    if store.root is None:
+        raise ValueError(
+            "dispatch needs a disk-backed store (the claim ledger lives "
+            "beside the shards); pass ResultStore(path)"
+        )
+    spec_list = [specs] if isinstance(specs, SweepSpec) else list(specs)
+    if not spec_list:
+        raise ValueError("drain needs at least one SweepSpec")
+    owner = owner if owner is not None else default_owner()
+    ledger = ClaimLedger(store.root)
+    report = WorkerReport(owner=owner)
+
+    # dedup cells across specs, remembering the first declaring sweep
+    # (provenance only — the hash is the identity)
+    cells: dict[str, RunKey] = {}
+    sweep_of: dict[str, str] = {}
+    for spec in spec_list:
+        for key in spec.expand():
+            if key.hash not in cells:
+                cells[key.hash] = key
+                sweep_of[key.hash] = spec.name
+
+    graph_cache: dict[tuple, Any] = {}
+    seen_cached: set[str] = set()
+    while True:
+        store.refresh()
+        pending: list[RunKey] = []
+        for h, key in cells.items():
+            if h in report.ran or h in seen_cached:
+                continue
+            record = store.get(key)
+            if record is not None:
+                seen_cached.add(h)
+                report.cached.append(h)
+                if on_cell is not None:
+                    on_cell(key, record, True)
+                continue
+            pending.append(key)
+        if not pending:
+            break
+        if max_cells is not None and len(report.ran) >= max_cells:
+            report.deferred.extend(k.hash for k in pending)
+            break
+        won = ledger.try_claim(
+            [k.hash for k in pending], owner=owner, ttl=ttl, limit=1
+        )
+        if not won:
+            # every pending cell is leased to another live worker
+            if wait:
+                time.sleep(poll_s)
+                continue
+            report.deferred.extend(k.hash for k in pending)
+            break
+        (h,) = won
+        key = cells[h]
+        # close the claim/commit race: another worker may have committed
+        # this cell after our pending scan and released its lease before
+        # our claim.  A commit is durably on disk before its release, so
+        # re-reading the store *after* winning the claim is decisive.
+        store.refresh()
+        record = store.get(key)
+        if record is not None:
+            ledger.release(h, owner=owner, op="done")
+            seen_cached.add(h)
+            report.cached.append(h)
+            if on_cell is not None:
+                on_cell(key, record, True)
+            continue
+        try:
+            record = run_cell(
+                key,
+                store,
+                sweep=sweep_of[h],
+                shards=shards,
+                max_workers=max_workers,
+                graph_cache=graph_cache,
+                extra_provenance={"worker": owner},
+            )
+        except BaseException:
+            ledger.release(h, owner=owner, op="abandon")
+            raise
+        ledger.release(h, owner=owner, op="done")
+        report.ran.append(h)
+        if on_cell is not None:
+            on_cell(key, record, False)
+    return report
+
+
+# ----------------------------------------------------------------------
+# the Campaign(workers=N) local pool plumbing
+# ----------------------------------------------------------------------
+
+def worker_payloads(
+    spec: SweepSpec,
+    root: str | Path,
+    *,
+    workers: int,
+    ttl: float = DEFAULT_TTL,
+    shards: int | None = None,
+    max_workers: int | None = None,
+) -> list[tuple]:
+    """Picklable per-worker argument tuples for :func:`pool_worker`.
+
+    Parameters
+    ----------
+    spec : SweepSpec
+        The sweep every pool member drains.
+    root : str or Path
+        The shared store directory.
+    workers : int
+        Pool width (one payload per worker).
+    ttl : float
+        Lease TTL handed to each worker.
+    shards : int, optional
+        Forwarded to ``run_batch(shards=)`` per cell.
+    max_workers : int, optional
+        Forwarded with *shards*.
+
+    Returns
+    -------
+    list of tuple
+        One ``(spec, root, owner, ttl, shards, max_workers)`` each.
+    """
+    return [
+        (spec, str(root), f"{default_owner()}-w{i}", ttl, shards, max_workers)
+        for i in range(workers)
+    ]
+
+
+def pool_worker(payload: tuple) -> WorkerReport:
+    """Entry point of one ``Campaign(workers=N)`` pool process.
+
+    Opens a fresh store handle on the shared directory and drains with
+    ``wait=True`` so the pool's ``map`` returns only once every cell of
+    the sweep is stored (by *some* worker).
+
+    Parameters
+    ----------
+    payload : tuple
+        One element of :func:`worker_payloads`.
+
+    Returns
+    -------
+    WorkerReport
+        This worker's share of the drain.
+    """
+    spec, root, owner, ttl, shards, max_workers = payload
+    return drain(
+        spec,
+        ResultStore(root),
+        owner=owner,
+        ttl=ttl,
+        shards=shards,
+        max_workers=max_workers,
+        wait=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# fsck — integrity check
+# ----------------------------------------------------------------------
+
+@dataclass
+class FsckReport:
+    """What ``sweep fsck`` found in one store directory.
+
+    Integrity findings (any of these ⇒ not :attr:`clean`):
+
+    Attributes
+    ----------
+    corrupt_lines : dict of str → int
+        Shard name → number of unparseable (torn) lines.
+    hash_mismatches : list of str
+        Stored hashes whose key payload re-hashes to something else
+        (bit rot, hand edits).
+    misplaced : list of (str, str)
+        ``(shard, hash)`` records filed in a shard whose prefix does
+        not match their hash (orphaned records).
+    stale_leases : list of Lease
+        Claims that expired without a release — a worker died there.
+
+    Hygiene findings (legal, compaction candidates, still clean):
+
+    Attributes
+    ----------
+    duplicates : dict of str → int
+        hash → record count, for cells stored more than once
+        (last-write-wins; ``sweep compact`` trims them).
+    live_leases : list of Lease
+        Unexpired claims — workers are (or very recently were) active.
+
+    Attributes
+    ----------
+    records : int
+        Valid records seen (including duplicates).
+    cells : int
+        Distinct cell hashes.
+    """
+
+    records: int = 0
+    cells: int = 0
+    corrupt_lines: dict[str, int] = field(default_factory=dict)
+    hash_mismatches: list[str] = field(default_factory=list)
+    misplaced: list[tuple[str, str]] = field(default_factory=list)
+    duplicates: dict[str, int] = field(default_factory=dict)
+    stale_leases: list[Lease] = field(default_factory=list)
+    live_leases: list[Lease] = field(default_factory=list)
+
+    @property
+    def errors(self) -> int:
+        """Count of integrity findings (0 for a healthy store)."""
+        return (
+            sum(self.corrupt_lines.values())
+            + len(self.hash_mismatches)
+            + len(self.misplaced)
+            + len(self.stale_leases)
+        )
+
+    @property
+    def clean(self) -> bool:
+        """No torn lines, bad hashes, orphans, or dead workers."""
+        return self.errors == 0
+
+    def summary(self) -> str:
+        """One human-readable line per finding class.
+
+        Returns
+        -------
+        str
+            The ``sweep fsck`` CLI output.
+        """
+        lines = [
+            f"records            {self.records} ({self.cells} distinct cells)",
+            f"corrupt lines      {sum(self.corrupt_lines.values())}"
+            + (f"  in {sorted(self.corrupt_lines)}" if self.corrupt_lines else ""),
+            f"hash mismatches    {len(self.hash_mismatches)}",
+            f"misplaced records  {len(self.misplaced)}",
+            f"duplicate cells    {len(self.duplicates)} (last-write-wins; "
+            "'sweep compact' trims)",
+            f"stale leases       {len(self.stale_leases)}"
+            + (
+                "  owners: "
+                + ", ".join(sorted({ls.owner for ls in self.stale_leases}))
+                if self.stale_leases
+                else ""
+            ),
+            f"live leases        {len(self.live_leases)}",
+            f"verdict            {'clean' if self.clean else 'NOT CLEAN'}",
+        ]
+        return "\n".join(lines)
+
+
+def fsck(store: ResultStore, *, now: float | None = None) -> FsckReport:
+    """Re-verify every record and lease of a disk-backed store.
+
+    Reads the raw shard files (never the store's cache): each line must
+    parse, its ``key`` payload must re-hash (SHA-256 of the canonical
+    JSON) to the stored ``hash``, and the hash must belong in the shard
+    file that holds it.  The claim ledger is replayed for leases that
+    expired without a release.
+
+    Parameters
+    ----------
+    store : ResultStore
+        A disk-backed store (memory stores have nothing to check).
+    now : float, optional
+        Clock override for lease expiry (tests).
+
+    Returns
+    -------
+    FsckReport
+        Findings; ``report.clean`` is the CLI's exit status.
+    """
+    if store.root is None:
+        raise ValueError("fsck needs a disk-backed store")
+    now = time.time() if now is None else now
+    report = FsckReport()
+    counts: dict[str, int] = {}
+    for path in store.shard_paths():
+        prefix = path.stem
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = parse_record(line)
+            except ValueError:
+                report.corrupt_lines[prefix] = report.corrupt_lines.get(prefix, 0) + 1
+                continue
+            h = record["hash"]
+            report.records += 1
+            counts[h] = counts.get(h, 0) + 1
+            recomputed = hashlib.sha256(
+                canonical_json(record["key"]).encode()
+            ).hexdigest()
+            if recomputed != h:
+                report.hash_mismatches.append(h)
+            if not h.startswith(prefix):
+                report.misplaced.append((prefix, h))
+    report.cells = len(counts)
+    report.duplicates = {h: c for h, c in counts.items() if c > 1}
+    for lease in ClaimLedger(store.root).leases().values():
+        if lease.expired(now):
+            report.stale_leases.append(lease)
+        else:
+            report.live_leases.append(lease)
+    return report
+
+
+# ----------------------------------------------------------------------
+# compaction — drop superseded duplicates, reroute orphans, prune leases
+# ----------------------------------------------------------------------
+
+@dataclass
+class CompactReport:
+    """What ``sweep compact`` rewrote.
+
+    Attributes
+    ----------
+    records_in : int
+        Valid records before compaction (duplicates included).
+    records_out : int
+        Live records after (one per cell).
+    duplicates_dropped : int
+        Superseded last-write-wins records removed.
+    corrupt_dropped : int
+        Torn lines removed.
+    relocated : int
+        Misplaced records rewritten into their correct shard.
+    claims_dropped : int
+        Ledger records pruned (everything but live leases).
+    """
+
+    records_in: int = 0
+    records_out: int = 0
+    duplicates_dropped: int = 0
+    corrupt_dropped: int = 0
+    relocated: int = 0
+    claims_dropped: int = 0
+
+    @property
+    def removed(self) -> int:
+        """Total shard lines dropped."""
+        return self.duplicates_dropped + self.corrupt_dropped
+
+    def summary(self) -> str:
+        """One human-readable line per rewrite class.
+
+        Returns
+        -------
+        str
+            The ``sweep compact`` CLI output.
+        """
+        return "\n".join(
+            [
+                f"records            {self.records_in} -> {self.records_out}",
+                f"duplicates dropped {self.duplicates_dropped}",
+                f"corrupt dropped    {self.corrupt_dropped}",
+                f"relocated          {self.relocated}",
+                f"claims pruned      {self.claims_dropped}",
+            ]
+        )
+
+
+def compact(
+    store: ResultStore, *, force: bool = False, now: float | None = None
+) -> CompactReport:
+    """Rewrite the store keeping one live record per cell.
+
+    Per shard: drop torn lines, keep the **last** record per hash
+    (exactly the load path's last-write-wins resolution, so the
+    surviving values are identical to what reads already saw), and
+    file misplaced records into the shard their hash names.  Each
+    shard is rewritten **in place while holding the same ``flock``
+    the merge-safe writer appends under**, so a concurrent commit
+    either lands before the rewrite (and is kept) or blocks until the
+    rewrite finishes (and appends to the compacted file) — a
+    committed record can never be lost to compaction, even to writers
+    that hold no lease (a plain ``Campaign.run()``).  A crash *mid-*
+    rewrite can tear the shard being written, which the load path
+    already tolerates (the affected cells re-run; ``fsck`` flags it).
+    Shards left with no records stay as empty files.  The claim
+    ledger is rewritten (under its own lock) keeping only live
+    leases — done/abandoned/expired claims drop.
+
+    Compaction is still an *offline* operation in intent: it refuses
+    to run while live leases exist (a leased cell's commit would
+    interleave with the rewrite — safely, but the report would be
+    stale), unless *force* is set.
+
+    Parameters
+    ----------
+    store : ResultStore
+        A disk-backed store.
+    force : bool
+        Compact even with live leases (you know the workers are gone).
+    now : float, optional
+        Clock override for lease expiry (tests).
+
+    Returns
+    -------
+    CompactReport
+        What was dropped, kept, and relocated.
+    """
+    if store.root is None:
+        raise ValueError("compact needs a disk-backed store")
+    now = time.time() if now is None else now
+    ledger = ClaimLedger(store.root)
+    live = {
+        h: lease
+        for h, lease in ledger.leases().items()
+        if not lease.expired(now)
+    }
+    if live and not force:
+        raise RuntimeError(
+            f"store has {len(live)} live lease(s) — workers may still be "
+            "running; wait for them (or pass force=True / --force)"
+        )
+    report = CompactReport()
+
+    # phase 1 — per shard, under its writer lock: drop torn lines,
+    # dedup in line order (last write wins, as the load path resolves),
+    # pull out strays whose hash belongs elsewhere, rewrite in place
+    strays: dict[str, str] = {}
+    kept_total = 0
+    for path in store.shard_paths():
+        with locked(path) as handle:
+            handle.seek(0)
+            keep: dict[str, str] = {}
+            for line in handle.read().splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    record = parse_record(line)
+                except ValueError:
+                    report.corrupt_dropped += 1
+                    continue
+                report.records_in += 1
+                h = record["hash"]
+                serialised = json.dumps(record, sort_keys=True)
+                if h.startswith(path.stem):
+                    if h in keep:
+                        report.duplicates_dropped += 1
+                    keep[h] = serialised
+                else:
+                    report.relocated += 1
+                    if h in strays:
+                        report.duplicates_dropped += 1
+                    strays[h] = serialised
+            handle.truncate(0)
+            # "a+" mode: every write lands at EOF, which truncate just
+            # moved to 0 — the rewrite fills the same inode appenders
+            # are blocked on
+            for h in sorted(keep):
+                handle.write(keep[h] + "\n")
+            kept_total += len(keep)
+
+    # phase 2 — refile each stray into the shard its hash names (under
+    # that shard's lock); if the target already holds the cell, the
+    # in-place copy wins and the stray drops as one more duplicate —
+    # value-irrelevant either way, duplicate records of a cell carry
+    # identical values (content-derived seeds)
+    shard_dir = store.root / "shards"
+    for h in sorted(strays):
+        target = shard_dir / f"{h[:2]}.jsonl"
+        with locked(target) as handle:
+            handle.seek(0)
+            present = False
+            for line in handle.read().splitlines():
+                try:
+                    present = present or parse_record(line)["hash"] == h
+                except ValueError:
+                    continue
+            if present:
+                report.duplicates_dropped += 1
+                report.relocated -= 1
+            else:
+                handle.write(strays[h] + "\n")
+                kept_total += 1
+    report.records_out = kept_total
+
+    # phase 3 — prune the ledger down to live leases, under its lock
+    if ledger.path.exists():
+        with locked(ledger.path) as handle:
+            handle.seek(0)
+            records = ledger._parse(handle.read())
+            state = ledger._replay(records)
+            keep_lines = [
+                json.dumps(r, sort_keys=True)
+                for r in records
+                if r["op"] == "claim"
+                and r["hash"] in state
+                and not state[r["hash"]].expired(now)
+            ]
+            report.claims_dropped = len(records) - len(keep_lines)
+            handle.truncate(0)
+            for line in keep_lines:
+                handle.write(line + "\n")
+
+    store.refresh()
+    return report

@@ -1,0 +1,99 @@
+"""Advisory file locking for multi-process store writers.
+
+Everything the dispatch layer guarantees reduces to two primitives on
+a shared filesystem:
+
+* :func:`locked` — hold an exclusive ``flock`` on a file for a
+  read-modify-append critical section (the claim ledger's atomic
+  "read the active leases, then claim" step);
+* :func:`append_line` — append one self-contained JSONL line under an
+  exclusive lock, so concurrent writers interleave *whole records*
+  and never interleave bytes (the merge-safe shard writer).
+
+``flock`` is advisory: correctness requires every writer to go through
+these helpers, which :class:`~repro.store.store.ResultStore` and
+:class:`~repro.store.dispatch.ClaimLedger` do.  On platforms without
+``fcntl`` (Windows) the helpers degrade to unlocked appends — the
+single-writer story of PR 4 — which is still torn-write tolerant.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from pathlib import Path
+from typing import IO, Iterator
+
+try:  # POSIX; absent on Windows
+    import fcntl
+except ImportError:  # pragma: no cover - exercised only off-POSIX
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["locked", "append_line"]
+
+
+def _acquire(handle: IO[str]) -> None:
+    if fcntl is not None:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+
+
+def _release(handle: IO[str]) -> None:
+    if fcntl is not None:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+@contextlib.contextmanager
+def locked(path: str | Path) -> Iterator[IO[str]]:
+    """Exclusive advisory lock on *path* for a read+append critical section.
+
+    The file is created (empty) if missing and opened ``a+`` — reads
+    see the full current contents after a ``seek(0)``, writes always
+    land at the end — and the ``flock`` is held until the ``with``
+    block exits, so a read-decide-append sequence inside the block is
+    atomic against every other :func:`locked`/:func:`append_line` user
+    of the same path.
+
+    Parameters
+    ----------
+    path : str or Path
+        File to lock (parent directories are created).
+
+    Yields
+    ------
+    IO[str]
+        The locked ``a+`` handle.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a+", encoding="utf-8") as handle:
+        _acquire(handle)
+        try:
+            yield handle
+        finally:
+            handle.flush()
+            _release(handle)
+
+
+def append_line(path: str | Path, line: str) -> None:
+    """Append one line to *path* under an exclusive lock.
+
+    One call writes one complete ``line + "\\n"`` while holding the
+    lock, so concurrent appenders serialize at record granularity: a
+    reader may see a *torn tail* (a crash mid-write) but never two
+    writers' bytes interleaved.
+
+    Parameters
+    ----------
+    path : str or Path
+        File to append to (created, with parents, if missing).
+    line : str
+        The record text, without a trailing newline.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        _acquire(handle)
+        try:
+            handle.write(line + "\n")
+            handle.flush()
+        finally:
+            _release(handle)

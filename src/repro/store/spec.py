@@ -51,7 +51,7 @@ __all__ = [
 STORE_SCHEMA_VERSION = 1
 
 #: named target rules resolved against the built graph
-_TARGET_RULES = ("last", "center")
+_TARGET_RULES = ("last", "center", "farthest")
 
 _SCALAR_TYPES = (bool, int, float, str, type(None))
 
@@ -90,6 +90,27 @@ def _check_scalar_params(params: Mapping[str, Any], what: str) -> dict[str, Any]
             )
         out[name] = value
     return out
+
+
+def _normalise_graph_value(axis: str, value: Any) -> Any:
+    """Validate one graph-grid value: a scalar, or a tuple of scalars.
+
+    Graph builders legitimately take short lists (``circulant``'s
+    offsets), so graph axes — unlike process parameters — may carry a
+    sequence of scalars.  Sequences normalise to tuples (hashable, so
+    ``RunKey`` stays a frozen value and graph caches can key on it)
+    and serialise back to JSON lists in :meth:`RunKey.payload`.
+    """
+    if isinstance(value, (list, tuple)):
+        if len(value) == 0:
+            raise ValueError(f"graph_grid {axis!r} sequence value is empty")
+        return tuple(
+            _check_scalar_params({axis: item}, "graph_grid sequence item")[axis]
+            for item in value
+        )
+    # scalar path: same validation (and numpy-scalar normalisation) as
+    # process parameters
+    return _check_scalar_params({axis: value}, "graph_grid")[axis]
 
 
 @dataclass(frozen=True)
@@ -141,14 +162,16 @@ class RunKey:
         Resolved metric (``cover``/``spread``/``hit``/``coalesce``/``min``).
     graph_builder : str
         Name of a graph constructor in :mod:`repro.graphs`.
-    graph_params : tuple of (str, scalar) pairs
-        Sorted builder keyword arguments.
+    graph_params : tuple of (str, value) pairs
+        Sorted builder keyword arguments; a value is a scalar or a
+        tuple of scalars (e.g. ``circulant`` offsets), serialised as a
+        JSON list.
     params : tuple of (str, scalar) pairs
         Sorted process parameters forwarded to ``run_batch``.
     target : int or str or None
         Hit/controller target: a vertex id or a named rule (``"last"``
-        = ``n - 1``, ``"center"`` = ``n // 2``) resolved against the
-        built graph.
+        = ``n - 1``, ``"center"`` = ``n // 2``, ``"farthest"`` = the
+        BFS-farthest vertex from 0) resolved against the built graph.
     trials : int
         Monte-Carlo trial count.
     max_steps : int or None
@@ -175,7 +198,12 @@ class RunKey:
             "metric": self.metric,
             "graph": {
                 "builder": self.graph_builder,
-                "params": dict(self.graph_params),
+                # tuple values (sequence-valued builder args) serialise
+                # as JSON lists
+                "params": {
+                    name: list(value) if isinstance(value, tuple) else value
+                    for name, value in self.graph_params
+                },
             },
             "params": dict(self.params),
             "target": self.target,
@@ -216,7 +244,11 @@ class RunKey:
                 f"unknown graph builder {self.graph_builder!r} "
                 "(must name a constructor in repro.graphs)"
             )
-        return builder(**dict(self.graph_params))
+        kwargs = {
+            name: list(value) if isinstance(value, tuple) else value
+            for name, value in self.graph_params
+        }
+        return builder(**kwargs)
 
     def resolve_target(self, graph: Graph) -> int | None:
         """Resolve the declarative target against the built graph.
@@ -239,6 +271,12 @@ class RunKey:
                 return graph.n - 1
             if self.target == "center":
                 return graph.n // 2
+            if self.target == "farthest":
+                # the BFS-farthest vertex from the canonical start 0 —
+                # the "far pair" the hitting-time experiments measure
+                from ..graphs.checks import bfs_distances
+
+                return int(np.argmax(bfs_distances(graph, 0)))
             raise ValueError(
                 f"unknown target rule {self.target!r}; use an int or one of "
                 f"{_TARGET_RULES}"
@@ -264,9 +302,10 @@ class SweepSpec:
         Graph builder name in :mod:`repro.graphs` (``"grid"``,
         ``"kary_tree"``, ``"random_regular"``, …).
     graph_grid : Mapping[str, Sequence]
-        One axis per builder keyword: each value is the list of scalar
-        values to sweep.  The cross-product over all axes (sorted by
-        axis name) is the sweep's graph ladder.
+        One axis per builder keyword: each value is the list of values
+        to sweep — scalars, or short sequences of scalars for builders
+        that take one (``circulant`` offsets).  The cross-product over
+        all axes (sorted by axis name) is the sweep's graph ladder.
     params_grid : Mapping[str, Sequence]
         Same, for process parameters (``k``, ``delta``, ``walkers``…).
     metric : str or None
@@ -316,7 +355,10 @@ class SweepSpec:
                 if len(values) == 0:
                     raise ValueError(f"{grid_name} axis {axis!r} is empty")
                 for value in values:
-                    _check_scalar_params({axis: value}, grid_name)
+                    if grid_name == "graph_grid":
+                        _normalise_graph_value(axis, value)
+                    else:
+                        _check_scalar_params({axis: value}, grid_name)
         overlap = set(self.graph_grid) & set(self.params_grid)
         if overlap:
             # not ambiguous for execution (builders vs run_batch), but a
@@ -373,7 +415,10 @@ class SweepSpec:
                     process=self.process,
                     metric=metric,
                     graph_builder=self.graph,
-                    graph_params=tuple(zip(g_axes, g_combo)),
+                    graph_params=tuple(
+                        (axis, _normalise_graph_value(axis, value))
+                        for axis, value in zip(g_axes, g_combo)
+                    ),
                     params=tuple(sorted(params.items())),
                     target=self.target,
                     trials=self.trials,

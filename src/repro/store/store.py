@@ -24,7 +24,11 @@ touch one small file.  Shards are append-only and lines are
 self-contained, which makes the store crash-tolerant by construction —
 a record torn by an interrupted write fails to parse, is skipped (with
 a warning) at load time, and its cell simply re-runs.  Duplicate
-hashes are last-write-wins.
+hashes are last-write-wins.  Appends go through an advisory per-shard
+``flock`` (:mod:`repro.store.locking`) writing one whole record per
+lock hold, so any number of worker processes — the
+:mod:`repro.store.dispatch` layer — can commit into one store
+concurrently without interleaving bytes (the merge-safe writer).
 
 ``root=None`` gives a memory-only store with the same API (what the
 migrated experiments use for their ephemeral sweeps).
@@ -47,11 +51,51 @@ from typing import Any, Iterator, Mapping, Sequence
 import numpy as np
 
 from ..sim.montecarlo import TrialSummary
+from .locking import append_line
 from .spec import STORE_SCHEMA_VERSION, RunKey, canonical_json
 
-__all__ = ["ResultStore", "Frame", "record_row"]
+__all__ = ["ResultStore", "Frame", "record_row", "parse_record"]
 
 _RESULT_FIELDS = ("values", "mean", "std", "median", "ci95_half_width", "failures")
+
+
+def parse_record(line: str) -> dict[str, Any]:
+    """Parse and validate one shard line, raising on anything torn.
+
+    The one definition of "a valid record" — shared by the load path
+    (which skips invalid lines with a warning) and by ``sweep fsck``
+    (which reports them).
+
+    Parameters
+    ----------
+    line : str
+        One line of a shard file.
+
+    Returns
+    -------
+    dict
+        The record (``hash``/``key``/``result``/``provenance``).
+
+    Raises
+    ------
+    ValueError
+        If the line is not valid JSON or lacks required fields.
+    """
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"unparseable record line: {exc}") from exc
+    if not isinstance(record, dict):
+        raise ValueError("record line is not a JSON object")
+    if not all(k in record for k in ("hash", "key", "result")):
+        raise ValueError("missing record fields")
+    if not isinstance(record["hash"], str) or len(record["hash"]) < 2:
+        raise ValueError("record hash is not a hex string")
+    if not isinstance(record["result"], dict) or any(
+        f not in record["result"] for f in _RESULT_FIELDS
+    ):
+        raise ValueError("missing result fields")
+    return record
 
 
 def _summary_payload(summary: TrialSummary) -> dict[str, Any]:
@@ -306,12 +350,8 @@ class ResultStore:
                 if not line:
                     continue
                 try:
-                    record = json.loads(line)
-                    if not all(k in record for k in ("hash", "key", "result")):
-                        raise ValueError("missing record fields")
-                    if any(f not in record["result"] for f in _RESULT_FIELDS):
-                        raise ValueError("missing result fields")
-                except (ValueError, TypeError, KeyError):
+                    record = parse_record(line)
+                except ValueError:
                     bad += 1
                     continue
                 self._cache[record["hash"]] = record
@@ -398,18 +438,58 @@ class ResultStore:
             "provenance": dict(provenance or {}),
         }
         if self.root is not None:
-            path = self._shard_path(key.hash[:2])
-            path.parent.mkdir(parents=True, exist_ok=True)
-            meta_path = self.root / "meta.json"
-            if not meta_path.exists():
-                meta_path.write_text(
-                    canonical_json({"schema": STORE_SCHEMA_VERSION}) + "\n",
-                    encoding="utf-8",
-                )
-            with path.open("a", encoding="utf-8") as fh:
-                fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._ensure_meta()
+            # merge-safe append: one whole record per locked write, so
+            # any number of worker processes can commit concurrently
+            append_line(
+                self._shard_path(key.hash[:2]), json.dumps(record, sort_keys=True)
+            )
         self._cache[key.hash] = record
         return record
+
+    def _ensure_meta(self) -> None:
+        """Create ``meta.json`` exactly once, racing writers tolerated."""
+        assert self.root is not None
+        meta_path = self.root / "meta.json"
+        if meta_path.exists():
+            return
+        meta_path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            with meta_path.open("x", encoding="utf-8") as fh:
+                fh.write(canonical_json({"schema": STORE_SCHEMA_VERSION}) + "\n")
+        except FileExistsError:  # another worker won the race — same bytes
+            pass
+
+    def refresh(self) -> None:
+        """Let later lookups see records appended by other processes.
+
+        Drops the shard-was-loaded bookkeeping so the next *miss*
+        re-reads its shard from disk.  Cached records are kept: the
+        store is content-addressed, so a hash→record binding can only
+        ever appear, never change — which keeps a dispatch worker's
+        per-round refresh O(pending shards), not O(all records).  A
+        no-op for memory-only stores (there is no disk to re-read).
+        """
+        if self.root is None:
+            return
+        self._loaded_shards.clear()
+        self._all_loaded = False
+
+    def shard_paths(self) -> list[Path]:
+        """Existing shard files, sorted by name (``[]`` for memory stores).
+
+        Returns
+        -------
+        list of Path
+            One path per ``shards/*.jsonl`` file — the raw material of
+            ``sweep fsck`` and ``sweep compact``.
+        """
+        if self.root is None:
+            return []
+        shard_dir = self.root / "shards"
+        if not shard_dir.is_dir():
+            return []
+        return sorted(shard_dir.glob("*.jsonl"))
 
     def __len__(self) -> int:
         self._load_all()

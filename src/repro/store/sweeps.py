@@ -1,8 +1,8 @@
 """Registered sweep declarations — the campaigns behind the experiments.
 
 The migrated experiments (``T3_grid``, ``TREES_kary``, ``KCOBRA_k``,
-``BASE_compare``) no longer hand-roll sweep loops: each is a **sweep
-builder** here — a function of ``(scale, seed)`` returning the list of
+``BASE_compare``, ``STAR_lb``, ``T15_regular``) no longer hand-roll
+sweep loops: each is a **sweep builder** here — a function of ``(scale, seed)`` returning the list of
 :class:`~repro.store.spec.SweepSpec` declarations whose cells are the
 experiment's whole Monte-Carlo surface.  The experiment runners expand
 these through a :class:`~repro.store.campaign.Campaign` and read their
@@ -13,6 +13,8 @@ store.
 ``BRW_minima`` sweeps the new ``branching_minima`` process — the
 Addario-Berry–Reed n'th-generation minimum on the ℤ-line — purely
 through the store (there is no legacy experiment for it).
+``DEMO_grid2x2`` is the four-cell sweep the multi-worker dispatch
+docs, tests, and CI smoke drain.
 
 Multiple specs per name are the norm: a sweep name is an experiment's
 worth of campaigns (one spec per process arm or per graph family),
@@ -267,6 +269,97 @@ def _base_compare(scale: str, seed: int) -> list[SweepSpec]:
 
 
 register_sweep("BASE_compare", _base_compare)
+
+
+STAR_NS = {"quick": [64, 128, 256, 512], "full": [64, 128, 256, 512, 1024, 2048]}
+STAR_TRIALS = {"quick": 5, "full": 12}
+
+
+def _star_lb(scale: str, seed: int) -> list[SweepSpec]:
+    policy = SeedPolicy(root=seed)
+    trials = STAR_TRIALS[scale]
+    return [
+        SweepSpec(
+            name="STAR_lb/cobra",
+            process="cobra",
+            graph="star_graph",
+            graph_grid={"n": STAR_NS[scale]},
+            trials=trials,
+            seed=policy,
+        ),
+        SweepSpec(
+            name="STAR_lb/push",
+            process="push",
+            graph="star_graph",
+            graph_grid={"n": STAR_NS[scale]},
+            trials=max(3, trials // 2),
+            seed=policy,
+        ),
+    ]
+
+
+register_sweep("STAR_lb", _star_lb)
+
+
+T15_NS = {"quick": [32, 64, 128], "full": [32, 64, 128, 256, 512]}
+T15_TRIALS = {"quick": 8, "full": 20}
+
+
+def t15_families(seed: int) -> list[tuple[str, str, int, str, dict]]:
+    """The T15 δ-regular families: ``(key, label, delta, builder, extra_grid)``.
+
+    ``key`` names the per-family spec (``T15_regular/<key>``); ``label``
+    is the historical table title whose first token keys the findings.
+    The circulant family exercises the sequence-valued graph axis
+    (offsets ``(1, 2)``); the random-regular family pins its builder
+    seed so the graph ladder is part of the cell content.
+    """
+    return [
+        ("cycle", "cycle (δ=2)", 2, "cycle_graph", {}),
+        ("circulant", "circulant±{1,2} (δ=4)", 4, "circulant", {"offsets": [(1, 2)]}),
+        ("random3", "random 3-regular", 3, "random_regular", {"d": [3], "seed": [seed]}),
+    ]
+
+
+def _t15_regular(scale: str, seed: int) -> list[SweepSpec]:
+    policy = SeedPolicy(root=seed)
+    return [
+        SweepSpec(
+            name=f"T15_regular/{key}",
+            process="cobra",
+            graph=builder,
+            graph_grid={"n": T15_NS[scale], **extra},
+            metric="hit",
+            target="farthest",
+            trials=T15_TRIALS[scale],
+            seed=policy,
+        )
+        for key, _label, _delta, builder, extra in t15_families(seed)
+    ]
+
+
+register_sweep("T15_regular", _t15_regular)
+
+
+def _demo_grid2x2(scale: str, seed: int) -> list[SweepSpec]:
+    # deliberately tiny and scale-independent: the sweep the dispatch
+    # docs, tests, and the CI multi-worker smoke drain (seconds of work,
+    # 4 cells — enough for two workers to genuinely interleave)
+    del scale
+    return [
+        SweepSpec(
+            name="DEMO_grid2x2",
+            process="cobra",
+            graph="grid",
+            graph_grid={"n": [6, 8], "d": [2]},
+            params_grid={"k": [1, 2]},
+            trials=3,
+            seed=SeedPolicy(root=seed),
+        )
+    ]
+
+
+register_sweep("DEMO_grid2x2", _demo_grid2x2)
 
 
 BRW_LINES = {"quick": [129], "full": [257, 513]}

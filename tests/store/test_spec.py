@@ -165,3 +165,65 @@ class TestRunKey:
         )
         with pytest.raises(ValueError, match="builder"):
             key.build_graph()
+
+    def test_farthest_target_rule(self):
+        # on a cycle the BFS-farthest vertex from 0 is the antipode
+        key = RunKey(
+            process="cobra", metric="hit", graph_builder="cycle_graph",
+            graph_params=(("n", 12),), target="farthest",
+        )
+        assert key.resolve_target(key.build_graph()) == 6
+        # on a path it is the far end
+        path = RunKey(
+            process="cobra", metric="hit", graph_builder="path_graph",
+            graph_params=(("n", 9),), target="farthest",
+        )
+        assert path.resolve_target(path.build_graph()) == 8
+
+
+class TestSequenceGraphValues:
+    def test_sequence_axis_expands_builds_and_hashes(self):
+        spec = make_spec(
+            graph="circulant",
+            graph_grid={"n": [16, 24], "offsets": [(1, 2)]},
+            params_grid={},
+        )
+        cells = spec.expand()
+        assert len(cells) == 2
+        for cell in cells:
+            assert dict(cell.graph_params)["offsets"] == (1, 2)
+            g = cell.build_graph()
+            assert g.n == dict(cell.graph_params)["n"]
+        # payload serialises the tuple as a JSON list
+        assert cells[0].payload()["graph"]["params"]["offsets"] == [1, 2]
+
+    def test_list_and_tuple_values_are_the_same_cell(self):
+        as_tuple = make_spec(
+            graph="circulant", graph_grid={"n": [16], "offsets": [(1, 2)]},
+            params_grid={},
+        ).expand()
+        as_list = make_spec(
+            graph="circulant", graph_grid={"n": [16], "offsets": [[1, 2]]},
+            params_grid={},
+        ).expand()
+        assert [c.hash for c in as_tuple] == [c.hash for c in as_list]
+
+    def test_sequence_content_changes_the_hash(self):
+        a = make_spec(
+            graph="circulant", graph_grid={"n": [16], "offsets": [(1, 2)]},
+            params_grid={},
+        ).expand()[0]
+        b = make_spec(
+            graph="circulant", graph_grid={"n": [16], "offsets": [(1, 3)]},
+            params_grid={},
+        ).expand()[0]
+        assert a.hash != b.hash
+
+    def test_bad_sequence_values_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            make_spec(graph_grid={"n": [()], "d": [2]})
+        with pytest.raises(ValueError, match="scalar"):
+            make_spec(graph_grid={"n": [({},)], "d": [2]})
+        # process params stay scalar-only
+        with pytest.raises(ValueError, match="scalar"):
+            make_spec(params_grid={"k": [(1, 2)]})

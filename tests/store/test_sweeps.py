@@ -5,7 +5,16 @@ import pytest
 from repro.store import build_sweep, sweep_names
 from repro.store.sweeps import base_compare_graphs
 
-EXPECTED_SWEEPS = {"BASE_compare", "BRW_minima", "KCOBRA_k", "T3_grid", "TREES_kary"}
+EXPECTED_SWEEPS = {
+    "BASE_compare",
+    "BRW_minima",
+    "DEMO_grid2x2",
+    "KCOBRA_k",
+    "STAR_lb",
+    "T15_regular",
+    "T3_grid",
+    "TREES_kary",
+}
 
 
 class TestRegistry:
@@ -66,6 +75,43 @@ class TestBaseCompare:
         ]
         for _label, _builder, params, n in graphs:
             assert n >= 24 and params
+
+
+class TestT15Regular:
+    def test_families_and_targets(self):
+        specs = build_sweep("T15_regular", seed=3)
+        assert [s.name for s in specs] == [
+            "T15_regular/cycle", "T15_regular/circulant", "T15_regular/random3",
+        ]
+        for spec in specs:
+            assert spec.metric == "hit" and spec.target == "farthest"
+        # the circulant family rides the sequence-valued graph axis
+        circ = specs[1].expand()[0]
+        assert dict(circ.graph_params)["offsets"] == (1, 2)
+        # the random-regular builder seed is pinned into the cells
+        rand = specs[2].expand()[0]
+        assert dict(rand.graph_params)["seed"] == 3
+
+    def test_farthest_resolves_to_the_antipode_on_the_cycle(self):
+        cell = build_sweep("T15_regular")[0].expand()[0]
+        g = cell.build_graph()
+        assert cell.resolve_target(g) == g.n // 2
+
+
+class TestStarLb:
+    def test_two_arms_share_the_ladder(self):
+        cobra, push = build_sweep("STAR_lb", seed=1)
+        assert cobra.process == "cobra" and push.process == "push"
+        assert cobra.graph_grid["n"] == push.graph_grid["n"]
+        assert push.trials <= cobra.trials
+
+
+class TestDemoGrid2x2:
+    def test_four_cells_scale_independent(self):
+        (quick,) = build_sweep("DEMO_grid2x2")
+        (full,) = build_sweep("DEMO_grid2x2", scale="full")
+        assert len(quick.expand()) == 4
+        assert [c.hash for c in quick.expand()] == [c.hash for c in full.expand()]
 
 
 class TestBrwMinima:

@@ -1,0 +1,76 @@
+"""The extracted CI smoke scripts are runnable and honest.
+
+`ci/smoke_sweep_resume.py` and `ci/smoke_dispatch.py` used to be
+inline YAML heredocs; as modules they are importable, run here against
+temp stores, and can no longer drift from the library without a test
+failure.  The benchmark JSON emitter is pinned alongside (CI uploads
+its output as build artifacts).
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def load_script(relpath: str):
+    """Import a non-package script (ci/, benchmarks/) as a module."""
+    path = REPO / relpath
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    # registration makes dataclasses/pickling inside the script happy
+    sys.modules[path.stem] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSweepResumeSmoke:
+    def test_passes_against_a_temp_store(self, tmp_path):
+        smoke = load_script("ci/smoke_sweep_resume.py")
+        assert smoke.main(str(tmp_path / "store")) == 0
+
+    def test_spec_is_the_2x2_campaign(self):
+        smoke = load_script("ci/smoke_sweep_resume.py")
+        assert len(smoke.build_spec().expand()) == 4
+
+
+class TestDispatchSmoke:
+    def test_two_process_drain_passes(self, tmp_path):
+        smoke = load_script("ci/smoke_dispatch.py")
+        assert smoke.main(str(tmp_path / "store")) == 0
+
+    def test_sweep_is_registered(self):
+        from repro.store import sweep_names
+
+        smoke = load_script("ci/smoke_dispatch.py")
+        assert smoke.SWEEP in sweep_names()
+
+
+class TestBenchEmit:
+    def test_writes_schema_stamped_json(self, tmp_path):
+        emit = load_script("benchmarks/_emit.py")
+        path = emit.emit_bench_json(
+            "unit", {"speedup": 3.5}, out_dir=str(tmp_path)
+        )
+        assert path.name == "BENCH_unit.json"
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert doc["bench"] == "unit" and doc["schema"] == 1
+        assert doc["speedup"] == 3.5 and doc["created_unix"] > 0
+
+    def test_respects_bench_out_env(self, tmp_path, monkeypatch):
+        emit = load_script("benchmarks/_emit.py")
+        monkeypatch.setenv("BENCH_OUT", str(tmp_path / "out"))
+        path = emit.emit_bench_json("env", {})
+        assert path.parent == tmp_path / "out"
+
+
+@pytest.mark.parametrize(
+    "script", ["ci/smoke_sweep_resume.py", "ci/smoke_dispatch.py"]
+)
+def test_ci_workflow_runs_the_extracted_scripts(script):
+    ci = (REPO / ".github" / "workflows" / "ci.yml").read_text(encoding="utf-8")
+    assert script in ci, f"ci.yml no longer runs {script}"

@@ -118,6 +118,30 @@ class TestSweepsPage:
         ):
             assert anchor in sweeps_md, f"sweeps.md lost its {anchor!r} section"
 
+    def test_covers_the_dispatch_contracts(self, sweeps_md):
+        for anchor in (
+            "Multi-worker dispatch",
+            "lease protocol",
+            "claims.jsonl",
+            "Worker lifecycle",
+            "value-for-value identical",
+            "fsck and compaction",
+            "sweep work",
+            "sweep fsck",
+            "sweep compact",
+            "Campaign(workers=N)",
+            "expires_unix",
+        ):
+            assert anchor in sweeps_md, f"sweeps.md lost its {anchor!r} section"
+
+    def test_lease_ops_match_the_code(self, sweeps_md):
+        from repro.store.dispatch import _CLAIM_OPS
+
+        for op in _CLAIM_OPS:
+            assert f'"op": "{op}"' in sweeps_md, (
+                f"sweeps.md does not document ledger op {op!r}"
+            )
+
     def test_schema_table_matches_sweepspec_fields(self, sweeps_md):
         import dataclasses
 
