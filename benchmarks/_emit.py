@@ -44,7 +44,8 @@ def emit_bench_json(name: str, payload: dict, out_dir: str | None = None) -> Pat
     doc = {
         "bench": name,
         "schema": 1,
-        "created_unix": round(time.time(), 3),
+        # provenance stamp on a build artifact — never hashed or seeded
+        "created_unix": round(time.time(), 3),  # repro-lint: disable=RPL103
         "python": platform.python_version(),
         "machine": platform.machine(),
         **payload,

@@ -14,6 +14,7 @@ import pytest
 from repro.core import cobra_step, cobra_step_reference
 from repro.core.walt import walt_step_positions
 from repro.graphs import grid, random_regular, sample_uniform_neighbors
+from repro.sim.rng import resolve_rng
 from repro.walks import rw_cover_trials
 
 SEED = 7
@@ -31,18 +32,18 @@ def grid2d():
 
 class TestSamplingKernels:
     def test_sample_uniform_neighbors_throughput(self, benchmark, expander):
-        rng = np.random.default_rng(SEED)
+        rng = resolve_rng(SEED)
         frontier = np.arange(expander.n, dtype=np.int64)
         benchmark(lambda: sample_uniform_neighbors(expander, frontier, rng))
 
     def test_cobra_step_full_frontier(self, benchmark, expander):
-        rng = np.random.default_rng(SEED)
+        rng = resolve_rng(SEED)
         active = np.arange(expander.n, dtype=np.int64)
         scratch = np.zeros(expander.n, dtype=bool)
         benchmark(lambda: cobra_step(expander, active, 2, rng, scratch=scratch))
 
     def test_walt_step_throughput(self, benchmark, expander):
-        rng = np.random.default_rng(SEED)
+        rng = resolve_rng(SEED)
         positions = rng.integers(0, expander.n, size=expander.n // 2)
         benchmark(lambda: walt_step_positions(expander, positions, rng))
 
@@ -53,12 +54,12 @@ class TestAblationVectorizedVsReference:
     FRONTIER = 512
 
     def test_vectorized(self, benchmark, expander):
-        rng = np.random.default_rng(SEED)
+        rng = resolve_rng(SEED)
         active = np.arange(self.FRONTIER, dtype=np.int64)
         benchmark(lambda: cobra_step(expander, active, 2, rng))
 
     def test_reference(self, benchmark, expander):
-        rng = np.random.default_rng(SEED)
+        rng = resolve_rng(SEED)
         active = set(range(self.FRONTIER))
         benchmark(lambda: cobra_step_reference(expander, active, 2, rng))
 
@@ -76,7 +77,7 @@ class TestAblationCoalescing:
         return sample_uniform_neighbors(g, np.repeat(frontier, 2), rng)
 
     def test_scatter_dense(self, benchmark, expander):
-        rng = np.random.default_rng(SEED)
+        rng = resolve_rng(SEED)
         picks = self._draws(expander, expander.n // 2, rng)
         mask = np.zeros(expander.n, dtype=bool)
 
@@ -88,12 +89,12 @@ class TestAblationCoalescing:
         benchmark(scatter)
 
     def test_unique_dense(self, benchmark, expander):
-        rng = np.random.default_rng(SEED)
+        rng = resolve_rng(SEED)
         picks = self._draws(expander, expander.n // 2, rng)
         benchmark(lambda: np.unique(picks))
 
     def test_scatter_sparse(self, benchmark, expander):
-        rng = np.random.default_rng(SEED)
+        rng = resolve_rng(SEED)
         picks = self._draws(expander, 64, rng)
         mask = np.zeros(expander.n, dtype=bool)
 
@@ -105,7 +106,7 @@ class TestAblationCoalescing:
         benchmark(scatter)
 
     def test_unique_sparse(self, benchmark, expander):
-        rng = np.random.default_rng(SEED)
+        rng = resolve_rng(SEED)
         picks = self._draws(expander, 64, rng)
         benchmark(lambda: np.unique(picks))
 

@@ -13,8 +13,6 @@ microbenchmarks and the DESIGN.md ablations.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.experiments import get
 
 SEED = 2016

@@ -22,8 +22,6 @@ Usage::
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis import Table
 from repro.core import CobraWalk
 from repro.graphs import chung_lu_powerlaw, largest_component, random_geometric

@@ -16,7 +16,7 @@ import numpy as np
 from repro import run_batch
 from repro.analysis import Table, fit_power_law
 from repro.core import CobraWalk
-from repro.graphs import grid, grid_coords
+from repro.graphs import grid
 
 
 def render_frame(first_activation: np.ndarray, n: int, t: int) -> str:

@@ -17,8 +17,6 @@ Usage::
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis import Table, fit_power_law
 from repro.core import cobra_cover_time, thm20_general_cover
 from repro.graphs import barbell, lollipop

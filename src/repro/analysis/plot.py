@@ -7,7 +7,7 @@ as plain text so they survive logs, CI output, and EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 

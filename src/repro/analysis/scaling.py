@@ -9,7 +9,7 @@ the theorem's.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 

@@ -8,7 +8,7 @@ delegates to :func:`repro.sim.montecarlo.summarize_trials`.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -6,7 +6,8 @@ object renders aligned ASCII (terminal) and markdown (EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 import numpy as np
 

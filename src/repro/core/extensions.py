@@ -27,7 +27,7 @@ time degrading smoothly as ``E[k] → 1`` (the random-walk limit).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 import numpy as np
 

@@ -19,7 +19,7 @@ import warnings
 import numpy as np
 
 from ..graphs.base import Graph
-from ..sim.rng import SeedLike, spawn_seeds
+from ..sim.rng import SeedLike, resolve_rng, spawn_seeds
 
 __all__ = [
     "cobra_cover_trials",
@@ -123,7 +123,7 @@ def max_hitting_time_estimate(
 
     n = graph.n
     seeds = spawn_seeds(seed, 2)
-    rng = np.random.default_rng(seeds[0])
+    rng = resolve_rng(seeds[0])
     if pairs is None and n <= 40:
         pair_list = [(u, v) for u in range(n) for v in range(n) if u != v]
     else:

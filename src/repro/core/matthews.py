@@ -14,7 +14,7 @@ import numpy as np
 
 from ..graphs.base import Graph
 from ..sim.rng import SeedLike, spawn_seeds
-from .bounds import harmonic_number, matthews_cover_bound
+from .bounds import matthews_cover_bound
 from .hitting import max_hitting_time_estimate
 
 __all__ = ["MatthewsCheck", "matthews_check"]

@@ -15,6 +15,7 @@ Usage::
     cobra-experiments sweep work T3_grid --store results/ [--ttl 900]
     cobra-experiments sweep fsck --store results/
     cobra-experiments sweep compact --store results/
+    cobra-experiments lint [PATH ...] [--format json] [--contracts]
 
 Each run prints the experiment's tables and findings; ``run all``
 iterates the whole registry (this is how EXPERIMENTS.md numbers were
@@ -35,6 +36,11 @@ to a single ``sweep run``.  ``sweep fsck`` verifies store integrity
 (re-hash keys, torn lines, orphaned records, stale leases) and
 ``sweep compact`` drops superseded last-write-wins duplicates and
 prunes the ledger.  See ``docs/sweeps.md``.
+
+``lint`` runs the determinism & contract linter (:mod:`repro.lint`)
+— the same pass as ``python -m repro.lint`` — over the given paths
+(default: ``src benchmarks examples ci`` where present).  See
+``docs/static-analysis.md``.
 """
 
 from __future__ import annotations
@@ -142,7 +148,25 @@ def main(argv: list[str] | None = None) -> int:
                 "--force", action="store_true",
                 help="compact even with live leases in the ledger",
             )
+    lintp = sub.add_parser(
+        "lint", help="run the determinism & contract linter (repro.lint)"
+    )
+    lintp.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files/directories to lint (default: src benchmarks examples ci)",
+    )
+    lintp.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    lintp.add_argument(
+        "--contracts", action="store_true",
+        help="also run the import-time contract audit",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "lint":
+        return _lint_main(args)
 
     if args.command == "sweep":
         return _sweep_main(args)
@@ -189,6 +213,21 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(dump, sys.stdout, indent=2, sort_keys=True)
         print()
     return 0
+
+
+def _lint_main(args: argparse.Namespace) -> int:
+    """Run :mod:`repro.lint` with the experiments CLI's defaults."""
+    from pathlib import Path
+
+    from ..lint.cli import main as lint_main
+
+    paths = args.paths or [
+        p for p in ("src", "benchmarks", "examples", "ci") if Path(p).is_dir()
+    ]
+    argv = [*paths, "--format", args.format]
+    if args.contracts:
+        argv.append("--contracts")
+    return lint_main(argv)
 
 
 def _sweep_main(args: argparse.Namespace) -> int:

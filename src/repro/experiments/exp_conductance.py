@@ -14,7 +14,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import Table, fit_constant_to_shape
-from ..core import thm8_conductance_cover
 from ..graphs import Graph, cycle_graph, hypercube, random_regular, torus
 from ..sim.facade import run_batch
 from ..sim.rng import spawn_seeds

@@ -10,7 +10,7 @@ bench per experiment id).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 from ..analysis.tables import Table
 

@@ -14,7 +14,7 @@ loop, contiguous access, preallocated outputs).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 
 import numpy as np
 

@@ -8,7 +8,7 @@ these slow paths.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -107,7 +107,6 @@ def from_networkx(g, *, name: str | None = None) -> Graph:
     sortable, otherwise in iteration order.  Directed graphs are
     rejected; convert explicitly first.
     """
-    import networkx as nx
 
     if g.is_directed():
         raise ValueError("from_networkx expects an undirected graph")

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Graph
-from .builders import csr_from_sorted_edges, from_edge_list
+from .builders import from_edge_list
 from .checks import is_connected
 from ..sim.rng import SeedLike, resolve_rng
 

@@ -1,0 +1,42 @@
+"""repro.lint — the determinism & contract linter.
+
+Everything the sweep store guarantees (content-addressed dedup,
+seed-for-seed resume, multi-worker value parity) rests on invariants
+that live *outside* any one function: every engine draws randomness
+through the ``[root, H(cell)]`` seed discipline, nothing reads the
+wall clock in a keyed path, every store write goes through the flock
+primitives.  This package makes those invariants machine-checked:
+
+* :mod:`repro.lint.rules` — the ``RPL###`` rule registry (AST passes
+  over one file each, with per-line/per-file suppressions);
+* :mod:`repro.lint.runner` — file collection + suppression filtering;
+* :mod:`repro.lint.contracts` — the import-time contract audit over
+  the live process/sweep registries and docs anchors;
+* :mod:`repro.lint.cli` — ``python -m repro.lint`` (also mounted as
+  the ``lint`` verb on the experiments CLI).
+
+See ``docs/static-analysis.md`` for the rule table and the rationale
+behind each invariant.
+"""
+
+from __future__ import annotations
+
+from .contracts import DOC_ANCHORS, run_contract_audit
+from .rules import ERROR, WARNING, Finding, Rule, all_rules, get_rule, register_rule
+from .runner import collect_files, lint_file, lint_source, run_paths
+
+__all__ = [
+    "DOC_ANCHORS",
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+    "collect_files",
+    "lint_file",
+    "lint_source",
+    "run_paths",
+    "run_contract_audit",
+]

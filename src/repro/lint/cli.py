@@ -1,0 +1,153 @@
+"""``python -m repro.lint`` — the determinism & contract linter CLI.
+
+Usage::
+
+    python -m repro.lint src benchmarks examples ci
+    python -m repro.lint src --format=json
+    python -m repro.lint src benchmarks --contracts
+    python -m repro.lint --explain RPL100
+    python -m repro.lint --list
+
+Exit status: **1** when any error-severity finding survives
+suppression, **0** otherwise (warnings are reported but never fail),
+**2** for usage errors.  ``--format=json`` emits one document::
+
+    {"findings": [...], "errors": N, "warnings": N}
+
+whose ``findings`` entries round-trip through
+:meth:`repro.lint.Finding.from_dict`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from typing import IO
+
+from .rules import ERROR, Finding, RULES, WARNING, all_rules, get_rule
+from .runner import run_paths
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Statically enforce the determinism invariants the sweep "
+            "store depends on (see docs/static-analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (recursively)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--explain", metavar="RPL###", default=None,
+        help="print a rule's invariant and its fix, then exit",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_rules",
+        help="list every registered rule, then exit",
+    )
+    parser.add_argument(
+        "--contracts", action="store_true",
+        help="also run the import-time contract audit "
+        "(sweep expansion, engine protocol, docs anchors)",
+    )
+    return parser
+
+
+def _explain(rule_id: str, out: IO[str]) -> int:
+    try:
+        rule = get_rule(rule_id.upper())
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"{rule.id} [{rule.severity}] {rule.title}", file=out)
+    print(file=out)
+    print(f"Invariant: {rule.invariant}", file=out)
+    print(file=out)
+    print(f"Fix: {rule.fix}", file=out)
+    return 0
+
+
+def _render(findings: list[Finding], fmt: str, out: IO[str]) -> None:
+    errors = sum(1 for f in findings if f.severity == ERROR)
+    warnings = sum(1 for f in findings if f.severity == WARNING)
+    if fmt == "json":
+        json.dump(
+            {
+                "findings": [f.to_dict() for f in findings],
+                "errors": errors,
+                "warnings": warnings,
+            },
+            out,
+            indent=2,
+            sort_keys=True,
+        )
+        out.write("\n")
+        return
+    for finding in findings:
+        print(finding.render(), file=out)
+    if findings:
+        print(file=out)
+    print(f"repro-lint: {errors} error(s), {warnings} warning(s)", file=out)
+
+
+def main(argv: Sequence[str] | None = None, out: IO[str] | None = None) -> int:
+    """Run the linter CLI.
+
+    Parameters
+    ----------
+    argv : sequence of str, optional
+        Arguments (defaults to ``sys.argv[1:]``).
+    out : IO[str], optional
+        Output stream (defaults to stdout) — injectable for tests.
+
+    Returns
+    -------
+    int
+        Process exit status (0 clean, 1 errors found, 2 usage error).
+    """
+    stream = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+
+    if args.explain is not None:
+        return _explain(args.explain, stream)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.severity:7s}  {rule.title}", file=stream)
+        return 0
+
+    if not args.paths and not args.contracts:
+        print(
+            "repro-lint: nothing to do (pass paths, --contracts, "
+            "--explain, or --list)",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        findings = run_paths(args.paths) if args.paths else []
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    if args.contracts:
+        from .contracts import run_contract_audit
+
+        findings = findings + run_contract_audit()
+
+    _render(findings, args.format, stream)
+    return 1 if any(f.severity == ERROR for f in findings) else 0
+
+
+#: ids the CLI treats as known — re-exported for the docs test
+KNOWN_RULE_IDS = tuple(sorted(RULES))

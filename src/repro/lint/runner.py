@@ -1,0 +1,157 @@
+"""Collect files, run every rule, apply suppressions.
+
+The runner is deliberately boring: deterministic file order (sorted
+walk), one parse per file, every registered rule over every file (rules
+scope themselves by path), findings filtered through the file's
+suppression directives, unused directives reported as RPL000.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+
+from .rules import ERROR, Finding, FileContext, Rule, all_rules
+from .suppressions import parse_suppressions
+
+__all__ = ["collect_files", "lint_source", "lint_file", "run_paths"]
+
+#: directories never descended into
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache", ".mypy_cache"})
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand *paths* into a sorted list of ``.py`` files.
+
+    Parameters
+    ----------
+    paths : sequence of str or Path
+        Files and/or directories; directories are walked recursively.
+
+    Returns
+    -------
+    list of Path
+        Sorted, de-duplicated Python files.
+
+    Raises
+    ------
+    FileNotFoundError
+        If a named path does not exist.
+    """
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_dir():
+            files.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not _SKIP_DIRS.intersection(candidate.parts)
+            )
+        else:
+            files.add(path)
+    return sorted(files)
+
+
+def lint_source(
+    source: str, path: str, rules: Iterable[Rule] | None = None
+) -> list[Finding]:
+    """Lint one file's text (the unit the fixture tests drive).
+
+    Parameters
+    ----------
+    source : str
+        File contents.
+    path : str
+        Path used for rule scoping and reporting (POSIX-style
+        substrings such as ``repro/store/`` select the scoped rules).
+    rules : iterable of Rule, optional
+        Rules to run; defaults to the full registry.
+
+    Returns
+    -------
+    list of Finding
+        Findings surviving suppression, plus RPL000 for unused
+        directives and RPL010 for parse failures, sorted by position.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="RPL010",
+                severity=ERROR,
+                path=path,
+                line=exc.lineno or 0,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path=path, tree=tree, source=source)
+    suppressions = parse_suppressions(source)
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        for finding in rule.run(ctx):
+            if not suppressions.suppresses(finding.rule, finding.line):
+                findings.append(finding)
+    for line, rule_id in suppressions.unused():
+        findings.append(
+            Finding(
+                rule="RPL000",
+                severity=ERROR,
+                path=path,
+                line=line,
+                col=0,
+                message=(
+                    f"suppression of {rule_id} matched no finding; delete "
+                    "the stale directive"
+                ),
+            )
+        )
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path: str | Path, rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Lint one file from disk (see :func:`lint_source`).
+
+    Parameters
+    ----------
+    path : str or Path
+        File to read and lint.
+    rules : iterable of Rule, optional
+        Rules to run; defaults to the full registry.
+
+    Returns
+    -------
+    list of Finding
+        The file's findings.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, Path(path).as_posix(), rules)
+
+
+def run_paths(
+    paths: Sequence[str | Path], rules: Iterable[Rule] | None = None
+) -> list[Finding]:
+    """Lint every Python file under *paths*.
+
+    Parameters
+    ----------
+    paths : sequence of str or Path
+        Files/directories to lint.
+    rules : iterable of Rule, optional
+        Rules to run; defaults to the full registry.
+
+    Returns
+    -------
+    list of Finding
+        All findings, in file order.
+    """
+    rule_list = list(rules) if rules is not None else None
+    findings: list[Finding] = []
+    for path in collect_files(paths):
+        findings.extend(lint_file(path, rule_list))
+    return findings

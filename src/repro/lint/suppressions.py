@@ -1,0 +1,117 @@
+"""Suppression comments: ``# repro-lint: disable=RPL###``.
+
+Two scopes:
+
+* ``# repro-lint: disable=RPL103`` on the line of the flagged node
+  suppresses matching findings **on that line** (the line the finding
+  reports, i.e. where the offending statement starts);
+* ``# repro-lint: disable-file=RPL103`` anywhere in the file
+  suppresses the rule for the **whole file**.
+
+Both accept a comma-separated id list.  Every directive must earn its
+keep: a suppression that matches no finding is itself reported as
+**RPL000** (unused suppression), so stale exemptions cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable-file|disable)\s*=\s*"
+    r"(?P<ids>RPL\d+(?:\s*,\s*RPL\d+)*)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed directives of one file plus usage bookkeeping.
+
+    Attributes
+    ----------
+    by_line : dict[int, set[str]]
+        Line number → rule ids suppressed on that line.
+    by_file : dict[str, int]
+        Rule id → line number of its ``disable-file`` directive.
+    used : set[tuple[int, str]]
+        ``(directive line, rule id)`` pairs that suppressed a finding;
+        filled in by the runner.
+    """
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    by_file: dict[str, int] = field(default_factory=dict)
+    used: set[tuple[int, str]] = field(default_factory=set)
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        """Whether a finding of *rule_id* at *line* is suppressed.
+
+        Marks the matching directive used (for the RPL000 audit).
+        """
+        if rule_id in self.by_line.get(line, ()):
+            self.used.add((line, rule_id))
+            return True
+        if rule_id in self.by_file:
+            self.used.add((self.by_file[rule_id], rule_id))
+            return True
+        return False
+
+    def unused(self) -> list[tuple[int, str]]:
+        """``(line, rule id)`` of every directive that matched nothing."""
+        declared = {
+            (line, rule_id)
+            for line, ids in self.by_line.items()
+            for rule_id in ids
+        }
+        declared.update((line, rule_id) for rule_id, line in self.by_file.items())
+        return sorted(declared - self.used)
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every directive from *source* comments.
+
+    Parameters
+    ----------
+    source : str
+        The file text.
+
+    Returns
+    -------
+    Suppressions
+        Parsed line- and file-scope directives.
+    """
+    supp = Suppressions()
+    for line_no, comment in _iter_comments(source):
+        match = _DIRECTIVE.search(comment)
+        if match is None:
+            continue
+        ids = [part.strip() for part in match.group("ids").split(",")]
+        if match.group("scope") == "disable-file":
+            for rule_id in ids:
+                supp.by_file.setdefault(rule_id, line_no)
+        else:
+            supp.by_line.setdefault(line_no, set()).update(ids)
+    return supp
+
+
+def _iter_comments(source: str) -> list[tuple[int, str]]:
+    """``(line, text)`` for every comment token (tokenize-accurate, so
+    directive-looking text inside string literals is ignored)."""
+    try:
+        return [
+            (tok.start[0], tok.string)
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline)
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # unparseable tail: fall back to a line scan (the runner reports
+        # the syntax error separately via RPL010)
+        return [
+            (i, line[line.index("#"):])
+            for i, line in enumerate(source.splitlines(), start=1)
+            if "#" in line
+        ]

@@ -10,7 +10,8 @@ the processes into a class hierarchy.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol, runtime_checkable
+from collections.abc import Callable
+from typing import Protocol, runtime_checkable
 
 __all__ = ["SteppingProcess", "run_process"]
 

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import multiprocessing as mp
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 

@@ -15,7 +15,8 @@ descriptors, not live state).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Union
+from collections.abc import Sequence
+from typing import Union
 
 import numpy as np
 

@@ -13,7 +13,7 @@ import numpy as np
 
 from ..graphs.base import Graph
 from .matrices import transition_matrix
-from .stationary import stationary_distribution, total_variation
+from .stationary import stationary_distribution
 
 __all__ = [
     "mixing_time_tv",

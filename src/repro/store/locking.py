@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import contextlib
 from pathlib import Path
-from typing import IO, Iterator
+from collections.abc import Iterator
+from typing import IO
 
 try:  # POSIX; absent on Windows
     import fcntl
@@ -31,14 +32,19 @@ except ImportError:  # pragma: no cover - exercised only off-POSIX
 __all__ = ["locked", "append_line"]
 
 
-def _acquire(handle: IO[str]) -> None:
+@contextlib.contextmanager
+def _flocked(handle: IO[str]) -> Iterator[IO[str]]:
+    """Hold ``LOCK_EX`` on *handle* for the block; the release (after a
+    flush, so other lockers read complete records) is in a ``finally``
+    — no code path exits the block still holding the lock."""
     if fcntl is not None:
         fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
-
-
-def _release(handle: IO[str]) -> None:
-    if fcntl is not None:
-        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+    try:
+        yield handle
+    finally:
+        handle.flush()
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 
 @contextlib.contextmanager
@@ -65,12 +71,8 @@ def locked(path: str | Path) -> Iterator[IO[str]]:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("a+", encoding="utf-8") as handle:
-        _acquire(handle)
-        try:
+        with _flocked(handle):
             yield handle
-        finally:
-            handle.flush()
-            _release(handle)
 
 
 def append_line(path: str | Path, line: str) -> None:
@@ -91,9 +93,5 @@ def append_line(path: str | Path, line: str) -> None:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("a", encoding="utf-8") as handle:
-        _acquire(handle)
-        try:
+        with _flocked(handle):
             handle.write(line + "\n")
-            handle.flush()
-        finally:
-            _release(handle)

@@ -23,7 +23,7 @@ sharing one store so overlapping cells are computed once.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from .spec import SeedPolicy, SweepSpec
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..graphs.base import Graph, sample_uniform_neighbors
+from ..graphs.base import Graph
 from ..sim.rng import SeedLike, resolve_rng
 from ._shims import warn_deprecated
 

@@ -12,12 +12,10 @@ stay fast in pure numpy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from ..graphs.base import Graph, sample_uniform_neighbors
-from ..sim.rng import SeedLike, resolve_rng, spawn_seeds
+from ..sim.rng import SeedLike, resolve_rng
 from ._shims import warn_deprecated
 
 __all__ = [

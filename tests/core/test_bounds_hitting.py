@@ -23,7 +23,7 @@ from repro.core import (
     thm20_general_hitting,
     walt_dominates_cobra_report,
 )
-from repro.graphs import complete_graph, cycle_graph, grid, hypercube, star_graph
+from repro.graphs import complete_graph, cycle_graph, grid, hypercube
 
 
 class TestBoundFormulas:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import WaltProcess, walt_cover_time, walt_step_positions
-from repro.graphs import complete_graph, cycle_graph, grid, random_regular
+from repro.graphs import complete_graph, cycle_graph, random_regular
 
 
 class TestWaltStep:

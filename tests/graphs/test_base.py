@@ -99,8 +99,6 @@ class TestGraphAccessors:
         assert len(small_cycle) == 12
 
     def test_networkx_roundtrip(self, any_graph):
-        import networkx as nx
-
         from repro.graphs import from_networkx
 
         nxg = any_graph.to_networkx()

@@ -4,13 +4,11 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.graphs import (
-    Graph,
     bfs_distances,
     circulant,
     connected_components,
     cycle_graph,
     from_edge_list,
-    grid,
     grid_coords,
     grid_vertex,
     is_connected,

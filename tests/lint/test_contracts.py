@@ -1,0 +1,106 @@
+"""The import-time contract audit (RPL200/201/202).
+
+Positive direction: the live registries and the committed docs must
+audit clean — this is the same check CI runs via ``--contracts``.
+Negative direction: injected broken specs / a stripped docs tree must
+produce the right findings.
+"""
+
+from pathlib import Path
+
+from repro.lint.contracts import (
+    DOC_ANCHORS,
+    audit_docs,
+    audit_process_engines,
+    audit_sweeps,
+    run_contract_audit,
+)
+from repro.sim.processes import ProcessSpec
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+class TestLiveRegistriesAuditClean:
+    def test_every_registered_sweep_expands(self):
+        assert audit_sweeps() == []
+
+    def test_every_registered_engine_binds_the_protocol(self):
+        assert audit_process_engines() == []
+
+    def test_committed_docs_resolve_every_anchor(self):
+        assert audit_docs(REPO) == []
+
+    def test_full_audit_is_clean(self):
+        assert run_contract_audit(REPO) == []
+
+
+class TestEngineAuditNegative:
+    def test_factory_missing_protocol_keywords_is_flagged(self):
+        def bad_factory(graph):  # no start/seed/target
+            return None
+
+        spec = ProcessSpec(
+            name="broken",
+            factory=bad_factory,
+            capabilities=frozenset({"cover"}),
+            default_metric="cover",
+            default_budget=10,
+            batch_cover=lambda *, trials, start, seed, max_steps: None,
+        )
+        findings = audit_process_engines([spec])
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.rule == "RPL201"
+        assert "factory" in finding.message
+        assert "process:broken" in finding.path
+
+    def test_batch_engine_missing_keywords_is_flagged(self):
+        spec = ProcessSpec(
+            name="broken",
+            factory=lambda *, start, seed, target=None: None,
+            capabilities=frozenset({"cover"}),
+            default_metric="cover",
+            default_budget=10,
+            batch_cover=lambda trials: None,  # cannot bind start/seed/max_steps
+        )
+        findings = audit_process_engines([spec])
+        assert [f.rule for f in findings] == ["RPL201"]
+        assert "batch_cover" in findings[0].message
+
+    def test_var_keyword_engines_pass(self):
+        spec = ProcessSpec(
+            name="kwargs-ok",
+            factory=lambda **kwargs: None,
+            capabilities=frozenset({"cover", "hit"}),
+            default_metric="cover",
+            default_budget=10,
+            batch_cover=lambda **kwargs: None,
+            batch_hit=lambda **kwargs: None,
+        )
+        assert audit_process_engines([spec]) == []
+
+
+class TestDocsAuditNegative:
+    def test_missing_page_is_flagged(self, tmp_path):
+        findings = audit_docs(tmp_path)
+        flagged_pages = {f.path for f in findings}
+        assert flagged_pages == set(DOC_ANCHORS)
+        assert all(f.rule == "RPL202" for f in findings)
+
+    def test_missing_anchor_is_flagged_by_name(self, tmp_path):
+        page = tmp_path / "docs" / "static-analysis.md"
+        page.parent.mkdir(parents=True)
+        anchors = DOC_ANCHORS["docs/static-analysis.md"]
+        page.write_text("\n".join(anchors[:-1]), encoding="utf-8")
+        findings = [
+            f for f in audit_docs(tmp_path) if f.path == "docs/static-analysis.md"
+        ]
+        assert len(findings) == 1
+        assert anchors[-1] in findings[0].message
+
+
+class TestAnchorHygiene:
+    def test_anchor_lists_are_non_empty_and_unique(self):
+        for page, anchors in DOC_ANCHORS.items():
+            assert anchors, page
+            assert len(anchors) == len(set(anchors)), page

@@ -1,0 +1,99 @@
+"""Suppression directives: line scope, file scope, and the RPL000 audit."""
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.suppressions import parse_suppressions
+
+PATH = "examples/demo.py"
+
+
+def lint(source: str):
+    return lint_source(textwrap.dedent(source), PATH)
+
+
+class TestParsing:
+    def test_line_and_file_scopes(self):
+        supp = parse_suppressions(
+            "x = 1  # repro-lint: disable=RPL100\n"
+            "# repro-lint: disable-file=RPL103\n"
+        )
+        assert supp.by_line == {1: {"RPL100"}}
+        assert supp.by_file == {"RPL103": 2}
+
+    def test_comma_separated_ids(self):
+        supp = parse_suppressions("x = 1  # repro-lint: disable=RPL100, RPL102\n")
+        assert supp.by_line == {1: {"RPL100", "RPL102"}}
+
+    def test_directive_inside_string_literal_is_ignored(self):
+        supp = parse_suppressions('text = "# repro-lint: disable=RPL100"\n')
+        assert not supp.by_line and not supp.by_file
+
+
+class TestLineSuppression:
+    def test_same_line_directive_silences_the_finding(self):
+        found = lint(
+            """\
+            import numpy as np
+            np.random.seed(0)  # repro-lint: disable=RPL100
+            """
+        )
+        assert found == []
+
+    def test_directive_on_another_line_does_not_apply(self):
+        found = lint(
+            """\
+            import numpy as np  # repro-lint: disable=RPL100
+            np.random.seed(0)
+            """
+        )
+        rules = {f.rule for f in found}
+        # the violation still fires AND the misplaced directive is stale
+        assert rules == {"RPL100", "RPL000"}
+
+    def test_directive_for_a_different_rule_does_not_apply(self):
+        found = lint(
+            """\
+            import numpy as np
+            np.random.seed(0)  # repro-lint: disable=RPL103
+            """
+        )
+        assert {f.rule for f in found} == {"RPL100", "RPL000"}
+
+
+class TestFileSuppression:
+    def test_disable_file_silences_every_occurrence(self):
+        found = lint(
+            """\
+            # repro-lint: disable-file=RPL100
+            import numpy as np
+            np.random.seed(0)
+            np.random.seed(1)
+            """
+        )
+        assert found == []
+
+
+class TestUnusedSuppressionAudit:
+    def test_stale_directive_is_an_error(self):
+        found = lint("x = 1  # repro-lint: disable=RPL100\n")
+        (finding,) = found
+        assert finding.rule == "RPL000"
+        assert finding.severity == "error"
+        assert finding.line == 1
+        assert "RPL100" in finding.message
+
+    def test_stale_disable_file_is_an_error(self):
+        found = lint("# repro-lint: disable-file=RPL110\nx = 1\n")
+        (finding,) = found
+        assert finding.rule == "RPL000"
+
+    def test_used_directive_is_not_reported(self):
+        found = lint(
+            """\
+            import numpy as np
+            np.random.seed(0)  # repro-lint: disable=RPL100
+            x = 1
+            """
+        )
+        assert not [f for f in found if f.rule == "RPL000"]

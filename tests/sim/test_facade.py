@@ -19,7 +19,6 @@ from repro.sim import (
     ProcessSpec,
     RunResult,
     SteppingProcess,
-    all_processes,
     batched_cobra_cover_trials,
     get_default_processes,
     get_process,

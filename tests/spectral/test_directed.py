@@ -13,7 +13,6 @@ from repro.spectral import (
     directed_cheeger_exact,
     directed_laplacian_lambda1,
     evolve,
-    stationary_of_chain,
     walt_pair_cheeger_lower_bound,
 )
 from repro.spectral.matrices import transition_matrix

@@ -8,7 +8,6 @@ from repro.graphs import (
     cycle_graph,
     from_edge_list,
     hypercube,
-    path_graph,
     star_graph,
 )
 from repro.spectral import (

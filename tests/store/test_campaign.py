@@ -8,7 +8,6 @@ campaign resumed in a fresh process state is seed-for-seed identical
 to an uninterrupted one.
 """
 
-import numpy as np
 import pytest
 
 import repro.store.campaign as campaign_mod

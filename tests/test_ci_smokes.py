@@ -74,3 +74,46 @@ class TestBenchEmit:
 def test_ci_workflow_runs_the_extracted_scripts(script):
     ci = (REPO / ".github" / "workflows" / "ci.yml").read_text(encoding="utf-8")
     assert script in ci, f"ci.yml no longer runs {script}"
+
+
+class TestStaticJob:
+    """Pin the `static` CI job's commands so they cannot silently rot."""
+
+    @pytest.fixture(scope="class")
+    def ci_yaml(self) -> str:
+        return (REPO / ".github" / "workflows" / "ci.yml").read_text(
+            encoding="utf-8"
+        )
+
+    def test_has_a_static_job(self, ci_yaml):
+        assert "\n  static:\n" in ci_yaml
+
+    def test_runs_the_in_tree_linter_with_contracts(self, ci_yaml):
+        assert "python -m repro.lint src benchmarks examples ci --contracts" in ci_yaml
+
+    def test_runs_ruff_repo_wide(self, ci_yaml):
+        assert "ruff check src benchmarks examples ci tests" in ci_yaml
+
+    def test_keeps_the_docstring_gate(self, ci_yaml):
+        # the D1/D417 gate over the facade layer predates the static job
+        # and must survive it (tests/test_docstrings.py mirrors it offline)
+        assert "--select D1,D417" in ci_yaml
+        for module in (
+            "src/repro/sim/facade.py",
+            "src/repro/sim/batch.py",
+            "src/repro/sim/processes.py",
+        ):
+            assert module in ci_yaml
+
+    def test_runs_mypy_on_the_strict_surface(self, ci_yaml):
+        assert "mypy --config-file mypy.ini" in ci_yaml
+        for target in (
+            "src/repro/sim/rng.py",
+            "src/repro/store/spec.py",
+            "src/repro/lint",
+        ):
+            assert target in ci_yaml, f"mypy no longer checks {target}"
+
+    def test_mypy_is_pinned_in_ci_requirements(self):
+        reqs = (REPO / "ci" / "requirements.txt").read_text(encoding="utf-8")
+        assert "mypy" in reqs and "ruff" in reqs

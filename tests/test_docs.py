@@ -12,6 +12,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.lint.contracts import DOC_ANCHORS
 from repro.sim import all_processes
 
 DOCS = Path(__file__).resolve().parent.parent / "docs"
@@ -74,65 +75,63 @@ class TestProcessesPage:
         assert len(m.group(1)) > 20, f"reference for {spec.name} looks empty"
 
 
-class TestArchitecturePage:
-    def test_exists_and_covers_the_contracts(self):
-        text = (DOCS / "architecture.md").read_text(encoding="utf-8")
-        for anchor in (
-            "Layer map",
-            "flat-frontier",
-            "Engine selection",
-            "seed-spawning",
-            "shards",
-            "batch_cover",
-            "batch_hit",
-            "The sweep store",
-            "content-addressed",
-        ):
-            assert anchor in text, f"architecture.md lost its {anchor!r} section"
+class TestAnchoredPages:
+    """Anchor coverage for every page ``DOC_ANCHORS`` names.
+
+    The anchor lists live in :mod:`repro.lint.contracts` — the single
+    source of truth shared with the linter's RPL202 contract audit, so
+    CI's ``repro.lint --contracts`` and this test can never drift.
+    """
+
+    @pytest.mark.parametrize("page", sorted(DOC_ANCHORS))
+    def test_page_exists_and_covers_the_contracts(self, page):
+        text = (DOCS.parent / page).read_text(encoding="utf-8")
+        for anchor in DOC_ANCHORS[page]:
+            assert anchor in text, f"{page} lost its {anchor!r} section"
 
     def test_readme_links_the_docs_pages(self):
         readme = (DOCS.parent / "README.md").read_text(encoding="utf-8")
         assert "docs/architecture.md" in readme
         assert "docs/processes.md" in readme
         assert "docs/sweeps.md" in readme
+        assert "docs/static-analysis.md" in readme
+
+
+class TestStaticAnalysisPage:
+    @pytest.fixture(scope="class")
+    def static_md(self) -> str:
+        return (DOCS / "static-analysis.md").read_text(encoding="utf-8")
+
+    def test_rule_table_matches_the_live_registry(self, static_md):
+        from repro.lint import all_rules
+
+        for rule in all_rules():
+            assert f"`{rule.id}`" in static_md, (
+                f"static-analysis.md rule table is missing {rule.id}"
+            )
+            assert rule.severity in static_md
+            assert rule.title in static_md, (
+                f"static-analysis.md does not state {rule.id}'s title "
+                f"({rule.title!r})"
+            )
+
+    def test_no_stale_rule_ids_documented(self, static_md):
+        import re as _re
+
+        from repro.lint import all_rules
+
+        documented = set(_re.findall(r"`(RPL\d+)`", static_md))
+        registered = {rule.id for rule in all_rules()}
+        assert documented == registered, (
+            f"stale ids documented: {sorted(documented - registered)}; "
+            f"undocumented ids: {sorted(registered - documented)}"
+        )
 
 
 class TestSweepsPage:
     @pytest.fixture(scope="class")
     def sweeps_md(self) -> str:
         return (DOCS / "sweeps.md").read_text(encoding="utf-8")
-
-    def test_covers_the_store_contracts(self, sweeps_md):
-        for anchor in (
-            "SweepSpec schema",
-            "Content addressing",
-            "Seed policy",
-            "Store layout",
-            "resume",
-            "shards/",
-            "Campaigns",
-            "Query API",
-            "sweep run",
-            "sweep status",
-            "sweep show",
-        ):
-            assert anchor in sweeps_md, f"sweeps.md lost its {anchor!r} section"
-
-    def test_covers_the_dispatch_contracts(self, sweeps_md):
-        for anchor in (
-            "Multi-worker dispatch",
-            "lease protocol",
-            "claims.jsonl",
-            "Worker lifecycle",
-            "value-for-value identical",
-            "fsck and compaction",
-            "sweep work",
-            "sweep fsck",
-            "sweep compact",
-            "Campaign(workers=N)",
-            "expires_unix",
-        ):
-            assert anchor in sweeps_md, f"sweeps.md lost its {anchor!r} section"
 
     def test_lease_ops_match_the_code(self, sweeps_md):
         from repro.store.dispatch import _CLAIM_OPS
