@@ -1,0 +1,132 @@
+"""Benchmark: implicit-oracle throughput and memory footprint.
+
+Two measurements per arithmetic topology (torus / hypercube /
+circulant / kronecker):
+
+* **sampling throughput** — `sample_one` draws/second over a full-size
+  frontier (the hot kernel every flat-frontier engine rides);
+* **end-to-end cover** — one `run_batch` cobra cover cell (vectorized
+  engine, budget-capped at scale), wall-clock plus the process
+  peak-RSS growth it caused.
+
+At full scale the torus is 10⁶ vertices and the hypercube 2²⁰ — sizes
+whose CSR edge arrays would never be built here; the peak-RSS column
+is the proof.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_implicit.py [--quick]
+
+emitting ``BENCH_implicit.json`` (throughput + peak-RSS per case).
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import time
+
+import numpy as np
+
+from repro.graphs import (
+    circulant_oracle,
+    hypercube_oracle,
+    kronecker_oracle,
+    torus_oracle,
+)
+from repro.sim.facade import run_batch
+from repro.sim.rng import resolve_rng
+
+SEED = 2016
+TRIALS = 2
+ROUNDS = 3
+
+#: (label, builder, full params, quick params)
+CASES = [
+    ("torus", torus_oracle, {"n": 999, "d": 2}, {"n": 99, "d": 2}),
+    ("hypercube", hypercube_oracle, {"dim": 20}, {"dim": 13}),
+    ("circulant", circulant_oracle, {"n": 1_000_001, "offsets": (1, 2, 5)},
+     {"n": 10_001, "offsets": (1, 2, 5)}),
+    ("kronecker", kronecker_oracle,
+     {"base": (0, 1, 1, 1, 0, 1, 1, 1, 0), "power": 12},
+     {"base": (0, 1, 1, 1, 0, 1, 1, 1, 0), "power": 8}),
+]
+MAX_STEPS = {"full": 256, "quick": 64}
+
+
+def _peak_rss_mb() -> float:
+    """The process peak RSS in MiB (``ru_maxrss`` is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def measure_case(label: str, oracle, max_steps: int) -> dict:
+    """Measure one topology: sampling draws/s and a cover-cell run."""
+    rng = resolve_rng(SEED)
+    frontier = np.arange(oracle.n, dtype=np.int64)
+    oracle.sample_one(frontier[: min(oracle.n, 1024)], rng)  # warm-up
+    best = float("inf")
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        oracle.sample_one(frontier, rng)
+        best = min(best, time.perf_counter() - t0)
+    draws_per_s = oracle.n / best
+
+    rss0 = _peak_rss_mb()
+    t0 = time.perf_counter()
+    summary = run_batch(
+        oracle,
+        "cobra",
+        trials=TRIALS,
+        seed=SEED,
+        max_steps=max_steps,
+        strategy="vectorized",
+    )
+    cover_s = time.perf_counter() - t0
+    return {
+        "topology": label,
+        "n": int(oracle.n),
+        "draws_per_s": round(draws_per_s),
+        "cover_ms": round(cover_s * 1e3, 3),
+        "cover_max_steps": max_steps,
+        "cover_failures": int(summary.failures),
+        "cover_rss_growth_mb": round(_peak_rss_mb() - rss0, 2),
+    }
+
+
+def run_cases(scale: str) -> list[dict]:
+    """Measure every registered case at *scale* (``quick``/``full``)."""
+    results = []
+    for label, builder, full_params, quick_params in CASES:
+        oracle = builder(**(quick_params if scale == "quick" else full_params))
+        results.append(measure_case(label, oracle, MAX_STEPS[scale]))
+    return results
+
+
+def test_quick_cases_run_and_report():
+    results = run_cases("quick")
+    assert len(results) == len(CASES)
+    for case in results:
+        assert case["draws_per_s"] > 0 and case["cover_ms"] > 0
+
+
+if __name__ == "__main__":
+    scale = "quick" if "--quick" in sys.argv[1:] else "full"
+    results = run_cases(scale)
+    for case in results:
+        print(
+            f"{case['topology']:>10}  n={case['n']:>8}  "
+            f"{case['draws_per_s'] / 1e6:7.1f} Mdraws/s  "
+            f"cover {case['cover_ms']:9.1f} ms "
+            f"(+{case['cover_rss_growth_mb']:.1f} MB RSS)"
+        )
+    from _emit import emit_bench_json
+
+    emit_bench_json(
+        "implicit",
+        {
+            "scale": scale,
+            "trials": TRIALS,
+            "rounds": ROUNDS,
+            "peak_rss_mb": round(_peak_rss_mb(), 2),
+            "cases": results,
+        },
+    )
+    raise SystemExit(0)

@@ -1,0 +1,109 @@
+"""CI smoke: a million-vertex torus cover cell under a memory budget.
+
+The implicit-topology acceptance contract, end to end::
+
+    PYTHONPATH=src python ci/smoke_implicit_budget.py
+
+The full-scale ``SCALE_torus_vs_hypercube/torus`` cell — cobra cover
+on a 10⁶-vertex torus served by ``torus_oracle`` — is driven through
+a real ``Campaign``/``run_batch`` and must:
+
+* **materialise zero CSR graphs**: ``Graph.__init__`` is counted for
+  the duration of the run, and any construction fails the smoke (the
+  whole point of the oracle layer is that no edge arrays ever exist);
+* stay under a **peak-RSS ceiling**: the process high-water growth
+  across the run must be below ``RSS_CEILING_MB`` (generous against
+  the ~70 MB the cell actually needs, fatal for anything that
+  allocates per-edge or dense per-trial state);
+* **complete through the store**: the cell records a summary whose
+  per-trial cover times are NaN — coverage cannot finish inside the
+  deliberately small step budget; the cell measures footprint, and a
+  budget-exhausted trial is the documented outcome, not an error.
+
+Runnable locally and testable (``tests/test_ci_smokes.py``).  Exits
+non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import math
+import resource
+import sys
+from pathlib import Path
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+SWEEP = "SCALE_torus_vs_hypercube"
+SEED = 0
+RSS_CEILING_MB = 500.0
+
+
+def _peak_rss_mb() -> float:
+    """The process peak RSS in MiB (``ru_maxrss`` is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def main() -> int:
+    """Run the memory-budget smoke.
+
+    Returns
+    -------
+    int
+        0 on success (assertions abort otherwise).
+    """
+    from repro.graphs.base import Graph
+    from repro.store import Campaign, ResultStore
+    from repro.store.sweeps import build_sweep
+
+    spec = next(
+        s
+        for s in build_sweep(SWEEP, scale="full", seed=SEED)
+        if s.name.endswith("/torus")
+    )
+    (cell,) = spec.expand()
+
+    constructed: list[str] = []
+    original_init = Graph.__init__
+
+    def counting_init(self, *args, **kwargs):
+        constructed.append(type(self).__name__)
+        return original_init(self, *args, **kwargs)
+
+    rss_before = _peak_rss_mb()
+    store = ResultStore()
+    Graph.__init__ = counting_init  # type: ignore[method-assign]
+    try:
+        report = Campaign(spec, store).run()
+    finally:
+        Graph.__init__ = original_init  # type: ignore[method-assign]
+    rss_growth = _peak_rss_mb() - rss_before
+
+    assert report.complete and len(report.ran) == 1, report
+    record = store.get(cell)
+    assert record is not None, "cell missing after the campaign run"
+    prov = record["provenance"]
+    assert prov["graph_n"] == 1_000_000, prov
+    assert prov["graph_kind"] == "torus", prov
+    assert not constructed, (
+        f"the oracle cell materialised CSR graph(s): {constructed} — "
+        "edge arrays must never be allocated on the implicit path"
+    )
+    assert rss_growth <= RSS_CEILING_MB, (
+        f"peak RSS grew {rss_growth:.1f} MB over the cell run "
+        f"(ceiling {RSS_CEILING_MB} MB)"
+    )
+    values = record["result"]["values"]
+    assert len(values) == spec.trials and all(math.isnan(v) for v in values), (
+        "expected every trial to exhaust the deliberately small budget "
+        f"(NaN cover times); got {values}"
+    )
+    print(
+        f"implicit budget smoke: 10^6-vertex torus cell ran with 0 CSR "
+        f"graphs, peak-RSS growth {rss_growth:.1f} MB "
+        f"(ceiling {RSS_CEILING_MB:.0f} MB)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_SRC))
+    raise SystemExit(main())

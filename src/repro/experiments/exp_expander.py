@@ -7,6 +7,12 @@ over a geometric ladder, fit the *power-law* exponent (it must be
 ``log² n`` shape constant.  The simple-random-walk baseline on the
 same graphs needs ``Θ(n log n)`` — the separation the paper's
 information-dissemination story rests on.
+
+The Monte-Carlo surface is the registered ``C9_expander`` sweep
+(:mod:`repro.store.sweeps`): a cobra campaign over the full ladder and
+a simple-walk campaign over the sizes where the baseline is still
+cheap, both on the same seeded random-regular graphs (the builder seed
+is a graph axis, so the ladder is part of each cell's content hash).
 """
 
 from __future__ import annotations
@@ -14,46 +20,41 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import Table, ascii_plot, fit_constant_to_shape, fit_power_law
-from ..graphs import random_regular
-from ..sim.facade import run_batch
-from ..sim.rng import spawn_seeds
+from ..store import Campaign, ResultStore
+from ..store.sweeps import build_sweep
 from .registry import ExperimentResult, register
-
-_NS = {"quick": [128, 256, 512, 1024], "full": [128, 256, 512, 1024, 2048, 4096]}
-_TRIALS = {"quick": 5, "full": 15}
-_RW_LIMIT = {"quick": 512, "full": 2048}
 
 
 @register("C9_expander", "Cor 9: bounded-degree expander cover is O(log^2 n) whp")
 def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
-    trials = _TRIALS[scale]
-    seeds = spawn_seeds(seed, 3 * len(_NS[scale]))
-    si = iter(seeds)
+    store = ResultStore()
+    campaigns = {}
+    for spec in build_sweep("C9_expander", scale=scale, seed=seed):
+        campaigns[spec.name] = campaign = Campaign(spec, store)
+        campaign.run()
+
+    # the rw baseline keyed by n (absent beyond its vertex cap)
+    rw_mean = {
+        row["g_n"]: row["mean"] for row in campaigns["C9_expander/rw"].frame()
+    }
     table = Table(
         ["n", "cobra cover", "±95%", "cover/log²n", "rw cover", "rw/(n·log n)"],
         title="C9 random 8-regular expanders",
     )
     ns, covers = [], []
-    for n in _NS[scale]:
-        g = random_regular(n, 8, seed=next(si))
-        s = run_batch(g, "cobra", trials=trials, seed=next(si))
+    for row in campaigns["C9_expander/cobra"].frame():
+        n = row["g_n"]
+        rw = rw_mean.get(n, np.nan)
         ns.append(n)
-        covers.append(s.mean)
-        rw_mean = np.nan
-        if n <= _RW_LIMIT[scale]:
-            rw_mean = run_batch(
-                g, "simple", trials=max(3, trials // 2), seed=next(si)
-            ).mean
-        else:
-            next(si)
+        covers.append(row["mean"])
         table.add_row(
             [
                 n,
-                s.mean,
-                s.ci95_half_width,
-                s.mean / np.log(n) ** 2,
-                rw_mean,
-                rw_mean / (n * np.log(n)) if np.isfinite(rw_mean) else np.nan,
+                row["mean"],
+                row["ci95_half_width"],
+                row["mean"] / np.log(n) ** 2,
+                rw,
+                rw / (n * np.log(n)) if np.isfinite(rw) else np.nan,
             ]
         )
     power = fit_power_law(ns, covers)

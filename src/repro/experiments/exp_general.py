@@ -8,6 +8,13 @@ small n, exact farthest-pair hitting time via linear solve as a
 certified Ω(n³)-growth proxy throughout), fit both exponents, and
 check: cobra exponent < 2.75 < 3 ≈ RW exponent.  Barbell rows give a
 second trap-style witness.
+
+The Monte-Carlo surface is the registered ``T20_general`` sweep
+(:mod:`repro.store.sweeps`): per witness, one cobra campaign over the
+ladder plus one single-cell simple-walk campaign per small size (the
+cubic 60·n³ budget is per-n, so each size is its own spec).  The
+deterministic certificate — the exact random-walk hitting time by
+linear solve — is computed here, next to the stored means.
 """
 
 from __future__ import annotations
@@ -16,25 +23,28 @@ import numpy as np
 
 from ..analysis import Table, fit_power_law
 from ..core import thm20_general_cover
-from ..graphs import barbell, lollipop
-from ..sim.facade import run_batch
-from ..sim.rng import spawn_seeds
+from ..store import Campaign, ResultStore
+from ..store.sweeps import T20_WITNESSES, build_sweep
 from ..walks import rw_exact_hitting_times
 from .registry import ExperimentResult, register
-
-_NS = {"quick": [24, 48, 96], "full": [24, 48, 96, 192, 384]}
-_TRIALS = {"quick": 6, "full": 15}
-_RW_SIM_LIMIT = {"quick": 48, "full": 96}
 
 
 @register("T20_general", "Thm 20: general-graph cobra cover O(n^{11/4} log n) beats RW Θ(n^3)")
 def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
-    trials = _TRIALS[scale]
-    seeds = spawn_seeds(seed, 64)
-    si = iter(seeds)
+    store = ResultStore()
+    specs = build_sweep("T20_general", scale=scale, seed=seed)
+    for spec in specs:
+        Campaign(spec, store).run()
+
     tables: list[Table] = []
     findings: dict[str, float] = {}
-    for label, make in (("lollipop", lollipop), ("barbell", barbell)):
+    frame = store.frame()
+    for witness in T20_WITNESSES:
+        cobra_rows = frame.filter(sweep=f"T20_general/{witness}/cobra")
+        rw_sim = {
+            row["g_n"]: row["mean"]
+            for row in frame.filter(sweep=f"T20_general/{witness}/rw")
+        }
         table = Table(
             [
                 "n",
@@ -43,29 +53,28 @@ def run(*, scale: str = "quick", seed: int = 0) -> ExperimentResult:
                 "rw hmax exact",
                 "rw cover sim",
             ],
-            title=f"T20 {label} (RW worst-case witness)",
+            title=f"T20 {witness} (RW worst-case witness)",
         )
         ns, cobra, rw_hmax = [], [], []
-        for n in _NS[scale]:
+        # witness graphs are small: rebuild each for the exact-hitting
+        # certificate (a deterministic linear solve, not Monte Carlo)
+        import repro.graphs as graphs_mod
+
+        make = getattr(graphs_mod, witness)
+        for row in cobra_rows.sort_by("g_n"):
+            n = row["g_n"]
             g = make(n)
-            c_mean = run_batch(g, "cobra", trials=trials, seed=next(si)).mean
-            # exact RW hitting to the path end: the Θ(n³) certificate
             h = float(rw_exact_hitting_times(g, g.n - 1).max())
-            rw_sim = np.nan
-            if n <= _RW_SIM_LIMIT[scale]:
-                rw_sim = run_batch(
-                    g, "simple", trials=3, seed=next(si), max_steps=60 * n**3
-                ).mean
-            else:
-                next(si)
             ns.append(n)
-            cobra.append(c_mean)
+            cobra.append(row["mean"])
             rw_hmax.append(h)
-            table.add_row([n, c_mean, thm20_general_cover(n), h, rw_sim])
+            table.add_row(
+                [n, row["mean"], thm20_general_cover(n), h, rw_sim.get(n, np.nan)]
+            )
         cobra_fit = fit_power_law(ns, cobra)
         rw_fit = fit_power_law(ns, rw_hmax)
-        findings[f"{label}_cobra_exponent"] = cobra_fit.exponent
-        findings[f"{label}_rw_exponent"] = rw_fit.exponent
+        findings[f"{witness}_cobra_exponent"] = cobra_fit.exponent
+        findings[f"{witness}_rw_exponent"] = rw_fit.exponent
         table.add_row(
             ["fit", f"n^{cobra_fit.exponent:.3f}", "n^2.75·log", f"n^{rw_fit.exponent:.3f}", ""]
         )

@@ -13,9 +13,13 @@ contracts static text cannot:
   engines; ``start``/``seed``/``target`` for factories);
 * **RPL202** — every docs anchor ``tests/test_docs.py`` expects
   resolves in the committed docs pages (:data:`DOC_ANCHORS` is the
-  single source of truth the test suite imports).
+  single source of truth the test suite imports);
+* **RPL203** — every registered implicit topology
+  (:data:`repro.graphs.implicit.IMPLICIT_TOPOLOGIES`) binds the full
+  ``NeighborOracle`` protocol and round-trips through the store's
+  graph axes (``RunKey.build_graph`` reconstructs the same oracle).
 
-All three are cheap (no simulation runs) and emit the same
+All four are cheap (no simulation runs) and emit the same
 :class:`~repro.lint.rules.Finding` records as the AST pass, so the CLI
 merges them with ``--contracts``.
 """
@@ -34,6 +38,7 @@ __all__ = [
     "audit_sweeps",
     "audit_process_engines",
     "audit_docs",
+    "audit_implicit_oracles",
     "run_contract_audit",
 ]
 
@@ -44,6 +49,9 @@ DOC_ANCHORS: dict[str, tuple[str, ...]] = {
     "docs/architecture.md": (
         "Layer map",
         "flat-frontier",
+        "Implicit topologies",
+        "NeighborOracle",
+        "bit-packed",
         "Engine selection",
         "seed-spawning",
         "shards",
@@ -77,6 +85,8 @@ DOC_ANCHORS: dict[str, tuple[str, ...]] = {
         "sweep compact",
         "Campaign(workers=N)",
         "expires_unix",
+        "Implicit topologies",
+        "graph_kind",
     ),
     "docs/static-analysis.md": (
         "Rule table",
@@ -234,8 +244,119 @@ def audit_docs(root: str | Path | None = None) -> list[Finding]:
     return findings
 
 
+#: the vectorized sampling protocol every oracle must bind (RPL203)
+_ORACLE_PROTOCOL = (
+    "degree",
+    "neighbor_at",
+    "sample_one",
+    "sample_neighbors",
+    "all_neighbors",
+)
+
+
+def audit_implicit_oracles() -> list[Finding]:
+    """RPL203: registered implicit topologies bind the oracle protocol.
+
+    For every entry of
+    :data:`repro.graphs.implicit.IMPLICIT_TOPOLOGIES` — ``name ->
+    (builder, small example params)`` — build the example instance and
+    check (a) the full ``NeighborOracle`` surface is bound (``n``,
+    ``kind``, ``min_degree``/``max_degree`` and the vectorized sampling
+    methods), and (b) the topology round-trips through the store's
+    graph axes: a :class:`~repro.store.spec.RunKey` naming the builder
+    reconstructs an oracle of the same size and kind, so sweep cells
+    over implicit graphs are (re)producible from their content hash.
+
+    Returns
+    -------
+    list of Finding
+        One finding per broken topology.
+    """
+    from ..graphs.implicit import IMPLICIT_TOPOLOGIES, NeighborOracle
+    from ..store.spec import RunKey
+
+    findings: list[Finding] = []
+    for name, (builder_name, params) in sorted(IMPLICIT_TOPOLOGIES.items()):
+        where = f"implicit:{name}"
+        try:
+            import repro.graphs as graphs_mod
+
+            builder = getattr(graphs_mod, builder_name, None)
+            if builder is None or not callable(builder):
+                findings.append(
+                    _finding(
+                        "RPL203",
+                        where,
+                        f"builder {builder_name!r} is not exported by "
+                        "repro.graphs (RunKey.build_graph cannot resolve it)",
+                    )
+                )
+                continue
+            oracle = builder(**params)
+            if not isinstance(oracle, NeighborOracle):
+                findings.append(
+                    _finding(
+                        "RPL203",
+                        where,
+                        f"builder {builder_name!r} returned "
+                        f"{type(oracle).__name__}, not a NeighborOracle",
+                    )
+                )
+                continue
+            missing = [
+                attr
+                for attr in _ORACLE_PROTOCOL
+                if not callable(getattr(oracle, attr, None))
+            ]
+            for attr in ("n", "kind", "min_degree", "max_degree"):
+                if not hasattr(oracle, attr):
+                    missing.append(attr)
+            if missing:
+                findings.append(
+                    _finding(
+                        "RPL203",
+                        where,
+                        f"oracle does not bind protocol member(s) {missing}",
+                    )
+                )
+                continue
+            key = RunKey(
+                process="cobra",
+                metric="cover",
+                graph_builder=builder_name,
+                graph_params=tuple(
+                    (k, tuple(v) if isinstance(v, (list, tuple)) else v)
+                    for k, v in sorted(params.items())
+                ),
+            )
+            rebuilt = key.build_graph()
+            if (
+                getattr(rebuilt, "n", None) != oracle.n
+                or getattr(rebuilt, "kind", None) != oracle.kind
+            ):
+                findings.append(
+                    _finding(
+                        "RPL203",
+                        where,
+                        "RunKey.build_graph does not round-trip the topology "
+                        f"(got n={getattr(rebuilt, 'n', None)}, "
+                        f"kind={getattr(rebuilt, 'kind', None)!r}; expected "
+                        f"n={oracle.n}, kind={oracle.kind!r})",
+                    )
+                )
+        except Exception as exc:  # noqa: BLE001 - audit reports, never raises
+            findings.append(
+                _finding(
+                    "RPL203",
+                    where,
+                    f"build/round-trip failed: {type(exc).__name__}: {exc}",
+                )
+            )
+    return findings
+
+
 def run_contract_audit(root: str | Path | None = None) -> list[Finding]:
-    """Run all three audits (the CLI's ``--contracts`` entry point).
+    """Run all four audits (the CLI's ``--contracts`` entry point).
 
     Parameters
     ----------
@@ -245,6 +366,11 @@ def run_contract_audit(root: str | Path | None = None) -> list[Finding]:
     Returns
     -------
     list of Finding
-        Concatenated RPL200/RPL201/RPL202 findings.
+        Concatenated RPL200/RPL201/RPL202/RPL203 findings.
     """
-    return audit_sweeps() + audit_process_engines() + audit_docs(root)
+    return (
+        audit_sweeps()
+        + audit_process_engines()
+        + audit_docs(root)
+        + audit_implicit_oracles()
+    )

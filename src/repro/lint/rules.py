@@ -27,6 +27,7 @@ RPL130    error     public functions in gated API modules are annotated
 RPL200    error     every registered sweep expands (contract audit)
 RPL201    error     batch engines/factories match the protocol (contract audit)
 RPL202    error     docs anchors the test suite expects resolve (contract audit)
+RPL203    error     implicit topologies bind the oracle protocol (contract audit)
 ========  ========  ==========================================================
 """
 
@@ -808,7 +809,7 @@ register_rule(
         title="hit capability without batch_hit engine (known gap)",
         invariant=(
             "ProcessSpecs declaring 'hit' should ship a batch_hit engine. "
-            "walt/parallel/branching/gossip still run metric='hit' "
+            "parallel/branching/gossip still run metric='hit' "
             "serially (ROADMAP item 4); this warning keeps the gap visible "
             "in every lint run without failing the build."
         ),
@@ -876,6 +877,29 @@ register_rule(
         fix=(
             "Restore the section the message names, or update DOC_ANCHORS "
             "(and the docs test) if the contract genuinely moved."
+        ),
+    )
+)
+
+register_rule(
+    Rule(
+        id="RPL203",
+        severity=ERROR,
+        title="implicit topology breaks the oracle contract (contract audit)",
+        invariant=(
+            "Every topology in repro.graphs.implicit.IMPLICIT_TOPOLOGIES "
+            "builds a NeighborOracle binding the full vectorized protocol "
+            "(n/kind/min_degree/max_degree, degree/neighbor_at/sample_one/"
+            "sample_neighbors/all_neighbors) and round-trips through the "
+            "store's graph axes: a RunKey naming the builder reconstructs "
+            "an oracle of the same size and kind. A topology that fails "
+            "either half produces sweep cells that cannot be (re)produced "
+            "from their content hash."
+        ),
+        fix=(
+            "Subclass NeighborOracle (repro/graphs/implicit.py), export "
+            "the builder from repro.graphs, and register the topology with "
+            "small example params in IMPLICIT_TOPOLOGIES."
         ),
     )
 )

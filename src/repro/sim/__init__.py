@@ -14,6 +14,7 @@ from .batch import (
     batched_lazy_hit_trials,
     batched_parallel_walks_cover_trials,
     batched_walt_cover_trials,
+    batched_walt_hit_trials,
     batched_walt_positions_at,
 )
 from .engine import SteppingProcess, run_process
@@ -66,6 +67,7 @@ __all__ = [
     "batched_lazy_hit_trials",
     "batched_parallel_walks_cover_trials",
     "batched_walt_cover_trials",
+    "batched_walt_hit_trials",
     "batched_walt_positions_at",
     "TrialSummary",
     "run_trials",

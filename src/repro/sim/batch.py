@@ -11,6 +11,14 @@ amortized across trials).
 (:func:`repro.walks.simple.rw_cover_trials` plays the same role for
 the simple walk.)
 
+Every engine samples through the :class:`repro.graphs.implicit.
+NeighborOracle` contract rather than reaching into CSR arrays: a CSR
+:class:`~repro.graphs.base.Graph` wraps in the bit-identical adapter
+(``as_oracle``), while arithmetic oracles (torus, hypercube,
+circulant, Kronecker) answer the same three questions — vertex count,
+degrees, neighbor draws — without ever materialising edges, which is
+what lets a million-vertex cover cell run in megabytes.
+
 One engine per process family, all on the same flat-frontier idiom:
 
 * :func:`batched_cobra_cover_trials` / :func:`batched_cobra_hit_trials`
@@ -21,10 +29,11 @@ One engine per process family, all on the same flat-frontier idiom:
   still change the state ever draw);
 * :func:`batched_parallel_walks_cover_trials` — ``trials × walkers``
   independent walkers advanced by one batched neighbor draw per step;
-* :func:`batched_walt_cover_trials` — Walt's per-vertex pebble groups
-  found sort-free by duplicate-scatter on the flat ``trial*n + vertex``
-  key (groups never span trials), replacing the serial kernel's
-  per-trial lexsort;
+* :func:`batched_walt_cover_trials` / :func:`batched_walt_hit_trials`
+  — Walt's per-vertex pebble groups found sort-free by
+  duplicate-scatter on the flat ``trial*n + vertex`` key (groups never
+  span trials), replacing the serial kernel's per-trial lexsort;
+  stopped at full coverage or first pebble arrival at a target;
 * :func:`batched_lazy_cover_trials` — the hold-probability variant of
   the simple-walk engine, run as a time-change: the move chain rides
   the simple-walk engine and the holds are reconstructed as one
@@ -62,12 +71,22 @@ Hot-path notes (measured on the benchmark machine, not guessed):
 * index arrays stay ``int64`` end to end — numpy silently converts
   any other integer dtype to ``intp`` per fancy-indexing call, which
   doubles the cost of the scatter;
-* per-flat-id ``start``/``degree``/``base``/``row`` lookup tables are
-  tiled per trial (a few hundred KB — cache resident) so the hot loop
-  needs no modulo/divide;
-* all per-step temporaries live in a preallocated buffer pool
-  (``take(..., out=)``, in-place ufuncs) — at these sizes allocator
-  traffic is a measurable fraction of a step;
+* flat ids decompose arithmetically (``v = front % n``,
+  ``base = front - v``) against one **size-n** degree table shared by
+  all trials — the old per-flat-id tables tiled
+  ``start``/``degree``/``base``/``row`` per trial, an ``O(trials·n)``
+  allocation that capped scaling long before the edge arrays did;
+* per-``(trial, vertex)`` visited state is **bit-packed** at scale
+  (:class:`repro.sim.bitmask.BitMask`, ``n/8`` bytes per trial, via
+  the :func:`~repro.sim.bitmask.visited_mask` factory — small runs
+  keep a plain boolean backend, skipping the packing arithmetic where
+  the whole mask fits in 1 MB anyway) and cover counts stream from
+  each step's freshly set bits — the dense boolean ledgers this
+  replaces were the last unconditional ``O(trials·n)`` byte arrays on
+  the cover path;
+* per-step temporaries live in a grow-on-demand buffer pool
+  (``take(..., out=)``, in-place ufuncs) sized by the *observed*
+  frontier, never preallocated at ``trials·n``;
 * for ``k == 2`` both neighbor draws come from one uniform variate
   (``i = ⌊u·d⌋``; the leftover fraction is itself uniform).  The
   split is exact in floating point — ``u·d`` never rounds up to ``d``
@@ -79,14 +98,20 @@ Hot-path notes (measured on the benchmark machine, not guessed):
 Batched runs are distributionally identical to serial runs (the same
 process, one interleaved RNG stream) but not seed-for-seed identical
 to per-trial streams; use the facade's ``strategy="serial"`` when you
-need bit-exact parity with the legacy per-process helpers.
+need bit-exact parity with the legacy per-process helpers.  On CSR
+input the oracle adapter reproduces the pre-oracle engines'
+streams bit for bit, and each arithmetic oracle is seed-for-seed
+identical to the adapter over its materialised graph
+(``tests/graphs/test_implicit.py``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..graphs.base import Graph, sample_uniform_neighbors
+from ..graphs.base import Graph
+from ..graphs.implicit import NeighborOracle, as_oracle
+from .bitmask import visited_mask
 from .rng import SeedLike, resolve_rng
 
 __all__ = [
@@ -101,39 +126,67 @@ __all__ = [
     "batched_lazy_hit_trials",
     "batched_parallel_walks_cover_trials",
     "batched_walt_cover_trials",
+    "batched_walt_hit_trials",
     "batched_walt_positions_at",
 ]
 
-
-def _tiled_tables(graph: Graph, a: int, ftype=np.float64):
-    """Per-flat-id ``start``/``degree``/``base``/``row`` lookup tables
-    for *a* trials (gathers from these replace int64 divides in the
-    hot loops)."""
-    ptr_s = np.tile(graph.indptr[:-1], a)
-    deg_s = np.tile(graph.degrees.astype(ftype), a)
-    base_s = np.repeat(np.arange(a, dtype=np.int64) * graph.n, graph.n)
-    row_s = np.repeat(np.arange(a, dtype=np.int64), graph.n)
-    return ptr_s, deg_s, base_s, row_s
+GraphLike = Graph | NeighborOracle
 
 
-def _validated_start(graph: Graph, start) -> np.ndarray:
+def _degree_table(oracle: NeighborOracle, ftype=np.float64) -> np.ndarray:
+    """Size-``n`` per-vertex degree table in the engine's float width.
+
+    Shared by every trial: the hot loops gather from it after the
+    arithmetic flat-id decomposition ``v = front % n`` — the
+    trial-count-independent replacement for the old per-flat-id tiled
+    tables."""
+    return oracle.degree(np.arange(oracle.n, dtype=np.int64)).astype(ftype)
+
+
+class _BufferPool:
+    """Grow-on-demand named scratch buffers for the hot loops.
+
+    ``get(name, size, dtype)`` hands back a contiguous length-*size*
+    slice of a pooled array, reallocating (geometric growth) only when
+    the request outgrows the pool — so steady-state steps do zero
+    allocator traffic while nothing is ever preallocated at
+    ``trials · n``."""
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self) -> None:
+        self._bufs: dict[str, np.ndarray] = {}
+
+    def get(self, name: str, size: int, dtype) -> np.ndarray:
+        """A contiguous ``dtype[size]`` slice under *name*."""
+        buf = self._bufs.get(name)
+        if buf is None or buf.size < size or buf.dtype != np.dtype(dtype):
+            cap = size if buf is None or buf.dtype != np.dtype(dtype) else max(
+                size, 2 * buf.size
+            )
+            buf = np.empty(cap, dtype)
+            self._bufs[name] = buf
+        return buf[:size]
+
+
+def _validated_start(oracle: NeighborOracle, start) -> np.ndarray:
     """Facade-style ``start`` normalised to a unique sorted vertex array."""
     start_arr = np.unique(np.atleast_1d(np.asarray(start, dtype=np.int64)))
     if start_arr.size == 0:
         raise ValueError("need at least one start vertex")
-    if start_arr.min() < 0 or start_arr.max() >= graph.n:
+    if start_arr.min() < 0 or start_arr.max() >= oracle.n:
         raise ValueError("start vertex out of range")
     return start_arr
 
 
-def _check_samplable(graph: Graph, trials: int) -> None:
+def _check_samplable(oracle: NeighborOracle, trials: int) -> None:
     if trials < 1:
         raise ValueError("need at least one trial")
-    if graph.n and graph.min_degree <= 0:
+    if oracle.n and oracle.min_degree <= 0:
         raise ValueError("cannot sample a neighbor of an isolated vertex")
 
 
-def _cobra_ftype(graph: Graph, k: int) -> tuple[bool, type]:
+def _cobra_ftype(oracle: NeighborOracle, k: int) -> tuple[bool, type]:
     """``(pair, ftype)`` for the cobra engines' uniform draws: float32
     while the ``k == 2`` double-draw (degree ≤ 64) or the single-draw
     index (degree < 2^20) stays exact — see the module's hot-path
@@ -141,33 +194,34 @@ def _cobra_ftype(graph: Graph, k: int) -> tuple[bool, type]:
     never drift apart on the thresholds."""
     pair = k == 2
     if pair:
-        return pair, (np.float32 if graph.max_degree <= 64 else np.float64)
-    return pair, (np.float32 if graph.max_degree < (1 << 20) else np.float64)
+        return pair, (np.float32 if oracle.max_degree <= 64 else np.float64)
+    return pair, (np.float32 if oracle.max_degree < (1 << 20) else np.float64)
 
 
-def _scatter_cobra_draws(indices, starts, degs, vbase, k, pair, ftype, rng, scratch):
-    """Draw ``k`` uniform neighbors for every frontier id and scatter
-    their flat destinations into the boolean ``scratch`` mask — the
-    unbuffered step shared by the hit and trajectory engines (the
+def _scatter_cobra_draws(oracle, verts, degs, vbase, k, pair, ftype, rng, scratch):
+    """Draw ``k`` uniform neighbors for every frontier vertex and
+    scatter their flat destinations into the boolean ``scratch`` mask —
+    the unbuffered step shared by the hit and trajectory engines (the
     cover engine keeps its pooled-buffer variant of the same math).
+    *verts* are local vertex ids, *vbase* the per-id trial offsets.
     For ``k == 2`` both draws come from one uniform variate (module
     notes)."""
     if pair:
-        u = rng.random(starts.size, dtype=ftype)
+        u = rng.random(verts.size, dtype=ftype)
         u *= degs
         first = np.floor(u)
         u -= first
         u *= degs
-        scratch[indices[first.astype(np.int64) + starts] + vbase] = True
-        scratch[indices[u.astype(np.int64) + starts] + vbase] = True
+        scratch[oracle.neighbor_at(verts, first.astype(np.int64)) + vbase] = True
+        scratch[oracle.neighbor_at(verts, u.astype(np.int64)) + vbase] = True
     else:
-        u = rng.random((k, starts.size), dtype=ftype)
-        nbrs = indices.take(starts + (u * degs).astype(np.int64), mode="clip")
+        u = rng.random((k, verts.size), dtype=ftype)
+        nbrs = oracle.neighbor_at(verts[None, :], (u * degs).astype(np.int64))
         scratch[(vbase + nbrs).ravel()] = True
 
 
 def batched_cobra_cover_trials(
-    graph: Graph,
+    graph: GraphLike,
     *,
     trials: int,
     k: int = 2,
@@ -181,8 +235,8 @@ def batched_cobra_cover_trials(
 
     Parameters
     ----------
-    graph : Graph
-        Connected graph without isolated vertices.
+    graph : Graph or NeighborOracle
+        Connected graph without isolated vertices (CSR or implicit).
     trials : int
         Number of independent runs.
     k : int
@@ -203,11 +257,12 @@ def batched_cobra_cover_trials(
         exhaustion — the same contract as
         :func:`repro.core.hitting.cobra_cover_trials`.
     """
-    _check_samplable(graph, trials)
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
     if k < 1:
         raise ValueError(f"branching factor k must be >= 1, got {k}")
-    n = graph.n
-    start_arr = _validated_start(graph, start)
+    n = oracle.n
+    start_arr = _validated_start(oracle, start)
     if max_steps is None:
         from ..core.cobra import _default_budget
 
@@ -219,81 +274,63 @@ def batched_cobra_cover_trials(
         out[:] = 0.0
         return out
 
-    pair, ftype = _cobra_ftype(graph, k)
-    indices = graph.indices
+    pair, ftype = _cobra_ftype(oracle, k)
     nn = np.int64(n)
-
-    def _build_tables(a: int):
-        return _tiled_tables(graph, a, ftype)
+    deg_f = _degree_table(oracle, ftype)
 
     a = trials  # still-running trial count; `alive` maps rows -> trial ids
     alive = np.arange(trials)
-    ptr_s, deg_s, base_s, row_s = _build_tables(a)
-    covered = np.zeros(a * n, dtype=bool)
+    covered = visited_mask(a, n)
     front = (
         np.repeat(np.arange(a, dtype=np.int64) * n, start_arr.size)
         + np.tile(start_arr, a)
     )
-    covered[front] = True
+    covered.set_sorted_flat(front)
     count = np.full(a, start_arr.size, dtype=np.int64)
     scratch = np.zeros(a * n, dtype=bool)
 
-    # reusable per-step temporaries (frontier size never exceeds a*n)
-    cap = a * n
     # clearing the dedup mask: a fresh calloc beats an O(|front|)
     # scatter-reset while the mask is small (measured 0.4µs vs 8µs at
     # 35KB), but is an O(a*n) memset per step — switch to the scatter
     # reset once the mask outgrows cache
-    reset_by_scatter = cap > (1 << 21)
-    b_start = np.empty(cap, np.int64)
-    b_deg = np.empty(cap, ftype)
-    b_base = np.empty(cap, np.int64)
-    b_u = np.empty(cap, ftype)
-    b_first = np.empty(cap, ftype)
-    b_i1 = np.empty(cap, np.int64)
-    b_i2 = np.empty(cap, np.int64)
-    b_p1 = np.empty(cap, np.int64)
-    b_p2 = np.empty(cap, np.int64)
-    b_seen = np.empty(cap, bool)
+    reset_by_scatter = a * n > (1 << 21)
+    pool = _BufferPool()
 
     for t in range(1, max_steps + 1):
         F = front.size
-        starts = ptr_s.take(front, mode="clip", out=b_start[:F])
-        degs = deg_s.take(front, mode="clip", out=b_deg[:F])
-        base = base_s.take(front, mode="clip", out=b_base[:F])
+        v = np.remainder(front, nn, out=pool.get("v", F, np.int64))
+        base = np.subtract(front, v, out=pool.get("base", F, np.int64))
+        degs = deg_f.take(v, out=pool.get("deg", F, ftype))
         if pair:
-            u = rng.random(out=b_u[:F], dtype=ftype)
+            u = rng.random(out=pool.get("u", F, ftype), dtype=ftype)
             u *= degs
-            first = np.floor(u, out=b_first[:F])
+            first = np.floor(u, out=pool.get("first", F, ftype))
             u -= first  # leftover fraction: uniform again
             u *= degs
-            i1 = b_i1[:F]
+            i1 = pool.get("i1", F, np.int64)
             np.copyto(i1, first, casting="unsafe")  # trunc == floor (>= 0)
-            i1 += starts
-            i2 = b_i2[:F]
+            i2 = pool.get("i2", F, np.int64)
             np.copyto(i2, u, casting="unsafe")
-            i2 += starts
-            p1 = indices.take(i1, mode="clip", out=b_p1[:F])
+            p1 = oracle.neighbor_at(v, i1)
             p1 += base
-            p2 = indices.take(i2, mode="clip", out=b_p2[:F])
+            p2 = oracle.neighbor_at(v, i2)
             p2 += base
             scratch[p1] = True
             scratch[p2] = True
         else:
             u = rng.random((k, F), dtype=ftype)
-            nbrs = indices.take(starts + (u * degs).astype(np.int64), mode="clip")
+            nbrs = oracle.neighbor_at(v[None, :], (u * degs).astype(np.int64))
             scratch[(base + nbrs).ravel()] = True
         front = scratch.nonzero()[0]
         if reset_by_scatter:
             scratch[front] = False
         else:
             scratch = np.zeros(a * n, dtype=bool)
-        seen = covered.take(front, mode="clip", out=b_seen[: front.size])
-        np.logical_not(seen, out=seen)
-        fresh = front[seen]
+        # fused test+set: front is sorted unique (it's a nonzero()),
+        # and re-setting already-set bits is a no-op
+        fresh = front[covered.test_and_set_sorted(front)]
         if fresh.size:
-            covered[fresh] = True
-            count += np.bincount(row_s.take(fresh, mode="clip"), minlength=a)
+            count += np.bincount(fresh // nn, minlength=a)
             done = count == n
             if done.any():
                 out[alive[done]] = t
@@ -307,14 +344,14 @@ def batched_cobra_cover_trials(
                 keep_front = keep[rows]
                 remap = np.cumsum(keep) - 1
                 front = remap[rows[keep_front]] * n + front[keep_front] % nn
-                covered = np.ascontiguousarray(covered.reshape(-1, n)[keep]).reshape(-1)
-                ptr_s, deg_s, base_s, row_s = _build_tables(a)
+                covered.keep_rows(keep)
                 scratch = np.zeros(a * n, dtype=bool)
+                reset_by_scatter = a * n > (1 << 21)
     return out
 
 
 def batched_cobra_hit_trials(
-    graph: Graph,
+    graph: GraphLike,
     target: int,
     *,
     trials: int,
@@ -332,8 +369,8 @@ def batched_cobra_hit_trials(
 
     Parameters
     ----------
-    graph : Graph
-        Connected graph without isolated vertices.
+    graph : Graph or NeighborOracle
+        Connected graph without isolated vertices (CSR or implicit).
     target : int
         Vertex whose first activation stops a trial.
     trials : int
@@ -354,13 +391,14 @@ def batched_cobra_hit_trials(
         budget exhaustion — the same contract as
         :func:`repro.core.hitting.cobra_hitting_trials`.
     """
-    _check_samplable(graph, trials)
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
     if k < 1:
         raise ValueError(f"branching factor k must be >= 1, got {k}")
-    n = graph.n
+    n = oracle.n
     if not (0 <= target < n):
         raise ValueError("target out of range")
-    start_arr = _validated_start(graph, start)
+    start_arr = _validated_start(oracle, start)
     if max_steps is None:
         from ..core.cobra import _default_budget
 
@@ -372,13 +410,12 @@ def batched_cobra_hit_trials(
         out[:] = 0.0
         return out
 
-    pair, ftype = _cobra_ftype(graph, k)
-    indices = graph.indices
+    pair, ftype = _cobra_ftype(oracle, k)
     nn = np.int64(n)
+    deg_f = _degree_table(oracle, ftype)
 
     a = trials
     alive = np.arange(trials)
-    ptr_s, deg_s, base_s, _ = _tiled_tables(graph, a, ftype)
     target_flat = np.arange(a, dtype=np.int64) * n + target
     front = (
         np.repeat(np.arange(a, dtype=np.int64) * n, start_arr.size)
@@ -387,9 +424,9 @@ def batched_cobra_hit_trials(
     scratch = np.zeros(a * n, dtype=bool)
 
     for t in range(1, max_steps + 1):
+        v = front % nn
         _scatter_cobra_draws(
-            indices, ptr_s[front], deg_s[front], base_s[front],
-            k, pair, ftype, rng, scratch,
+            oracle, v, deg_f.take(v), front - v, k, pair, ftype, rng, scratch
         )
         # hit check reads the mask BEFORE it is reset: the frontier at
         # step t is exactly the activation set of step t
@@ -407,14 +444,13 @@ def batched_cobra_hit_trials(
             keep_front = keep[rows]
             remap = np.cumsum(keep) - 1
             front = remap[rows[keep_front]] * n + front[keep_front] % nn
-            ptr_s, deg_s, base_s, _ = _tiled_tables(graph, a, ftype)
             target_flat = np.arange(a, dtype=np.int64) * n + target
             scratch = np.zeros(a * n, dtype=bool)
     return out
 
 
 def batched_gossip_spread_trials(
-    graph: Graph,
+    graph: GraphLike,
     *,
     trials: int,
     start: int = 0,
@@ -440,14 +476,14 @@ def batched_gossip_spread_trials(
     process law untouched while cutting per-round work from
     ``O(alive · n)`` to ``O(boundary)``.  The boundary bookkeeping is
     maintained incrementally from each round's freshly informed
-    vertices (one CSR neighborhood expansion plus one sparse unique —
-    never an ``O(alive · n)`` pass), the batched analogue of a
+    vertices (one oracle neighborhood expansion plus one sparse unique
+    — never an ``O(alive · n)`` pass), the batched analogue of a
     wavefront sweep.
 
     Parameters
     ----------
-    graph : Graph
-        Connected graph without isolated vertices.
+    graph : Graph or NeighborOracle
+        Connected graph without isolated vertices (CSR or implicit).
     trials : int
         Number of independent runs.
     start : int
@@ -468,10 +504,11 @@ def batched_gossip_spread_trials(
         ``float64[trials]`` round counts with ``np.nan`` marking
         budget exhaustion.
     """
-    _check_samplable(graph, trials)
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
     if not (push or pull):
         raise ValueError("enable at least one of push/pull")
-    n = graph.n
+    n = oracle.n
     start = int(start)
     if not (0 <= start < n):
         raise ValueError("start out of range")
@@ -488,30 +525,22 @@ def batched_gossip_spread_trials(
 
     a = trials
     alive = np.arange(trials)
-    ptr_s, deg_s, base_s, row_s = _tiled_tables(graph, a)
-    indices = graph.indices
-    indptr = graph.indptr
-    degrees = graph.degrees
     nn = np.int64(n)
-    informed = np.zeros(a * n, dtype=bool)
+    deg_i = oracle.degree(np.arange(n, dtype=np.int64))
+    deg_f = deg_i.astype(np.float64)
+    informed = visited_mask(a, n)
     start_flat = np.arange(a, dtype=np.int64) * n + start
-    informed[start_flat] = True
+    informed.set_unique_rows(start_flat)
     count = np.ones(a, dtype=np.int64)
 
     def _neighbor_expand(fresh: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Unique flat neighbor ids of *fresh* (newly informed flat
-        ids) and how often each is hit: one CSR expansion + one sparse
-        unique — every op is sized by the touched edges, never a·n."""
+        ids) and how often each is hit: one oracle expansion + one
+        sparse unique — every op is sized by the touched edges, never
+        a·n."""
         w = fresh % nn
-        deg = degrees[w]
-        csum = np.cumsum(deg)
-        pos = (
-            np.arange(int(csum[-1]))
-            - np.repeat(csum - deg, deg)
-            + np.repeat(indptr[w], deg)
-        )
-        nbrs_flat = np.repeat(fresh - w, deg) + indices[pos]
-        return np.unique(nbrs_flat, return_counts=True)
+        nbrs_local, deg = oracle.all_neighbors(w)
+        return np.unique(np.repeat(fresh - w, deg) + nbrs_local, return_counts=True)
 
     # boundary tracking: a push from a vertex whose whole neighborhood
     # is informed, or a pull by one with no informed neighbor, can
@@ -521,34 +550,38 @@ def batched_gossip_spread_trials(
     if push:
         # uninformed-neighbor count per flat id (push prune: == 0 means
         # saturated, and saturation is monotone)
-        uncount = np.tile(degrees, a)
+        uncount = np.tile(deg_i, a)
         uncount[uids0] -= ucnt0
     everseen = None
     if pull:
         # flat ids that have ever had an informed neighbor (pull grow:
         # a vertex joins the asker pool on its first such event)
-        everseen = np.zeros(a * n, dtype=bool)
-        everseen[uids0] = True
+        everseen = visited_mask(a, n)
+        everseen.set_sorted_flat(uids0)
     # push side: informed flat ids still bordering uninformed vertices
     senders = start_flat
     # pull side: uninformed flat ids with >= 1 informed neighbor
-    askers = uids0[~informed[uids0]] if pull else None
+    askers = uids0[~informed.test_flat(uids0)] if pull else None
 
     for t in range(1, max_steps + 1):
         new_parts = []
         if push:
             senders = senders[uncount[senders] > 0]
+            w = senders % nn
             u = rng.random(senders.size)
-            idx = ptr_s[senders] + (u * deg_s[senders]).astype(np.int64)
-            cand = base_s[senders] + indices[idx]
-            new_parts.append(cand[~informed[cand]])
+            cand = (senders - w) + oracle.neighbor_at(
+                w, (u * deg_f[w]).astype(np.int64)
+            )
+            new_parts.append(cand[~informed.test_flat(cand)])
         if pull:
-            askers = askers[~informed[askers]]
+            askers = askers[~informed.test_flat(askers)]
             if askers.size:
+                w = askers % nn
                 u = rng.random(askers.size)
-                idx = ptr_s[askers] + (u * deg_s[askers]).astype(np.int64)
-                src = base_s[askers] + indices[idx]
-                new_parts.append(askers[informed[src]])
+                src = (askers - w) + oracle.neighbor_at(
+                    w, (u * deg_f[w]).astype(np.int64)
+                )
+                new_parts.append(askers[informed.test_flat(src)])
         new = (
             new_parts[0]
             if len(new_parts) == 1
@@ -559,16 +592,16 @@ def batched_gossip_spread_trials(
         if new.size == 0:
             continue
         fresh = np.unique(new)
-        informed[fresh] = True
-        count += np.bincount(row_s[fresh], minlength=a)
+        informed.set_sorted_flat(fresh)
+        count += np.bincount(fresh // nn, minlength=a)
         uids, ucnt = _neighbor_expand(fresh)
         if push:
             uncount[uids] -= ucnt
             senders = np.concatenate([senders, fresh])
         if pull:
-            newly = uids[~everseen[uids]]
-            everseen[uids] = True
-            askers = np.concatenate([askers, newly[~informed[newly]]])
+            newly = uids[~everseen.test_flat(uids)]
+            everseen.set_sorted_flat(uids)
+            askers = np.concatenate([askers, newly[~informed.test_flat(newly)]])
         done = count == n
         if done.any():
             out[alive[done]] = t
@@ -579,23 +612,22 @@ def batched_gossip_spread_trials(
                 break
             count = count[keep]
             remap = np.cumsum(keep) - 1
-            informed = np.ascontiguousarray(informed.reshape(-1, n)[keep]).reshape(-1)
+            informed.keep_rows(keep)
             if push:
                 uncount = np.ascontiguousarray(uncount.reshape(-1, n)[keep]).reshape(-1)
-                rows = row_s[senders]
+                rows = senders // nn
                 m = keep[rows]
                 senders = remap[rows[m]] * nn + senders[m] % nn
             if pull:
-                everseen = np.ascontiguousarray(everseen.reshape(-1, n)[keep]).reshape(-1)
-                rows = row_s[askers]
+                everseen.keep_rows(keep)
+                rows = askers // nn
                 m = keep[rows]
                 askers = remap[rows[m]] * nn + askers[m] % nn
-            ptr_s, deg_s, base_s, row_s = _tiled_tables(graph, a)
     return out
 
 
 def batched_parallel_walks_cover_trials(
-    graph: Graph,
+    graph: GraphLike,
     *,
     trials: int,
     walkers: int = 2,
@@ -613,8 +645,8 @@ def batched_parallel_walks_cover_trials(
 
     Parameters
     ----------
-    graph : Graph
-        Connected graph without isolated vertices.
+    graph : Graph or NeighborOracle
+        Connected graph without isolated vertices (CSR or implicit).
     trials : int
         Number of independent runs.
     walkers : int or None
@@ -634,10 +666,11 @@ def batched_parallel_walks_cover_trials(
         ``float64[trials]`` cover times with ``np.nan`` marking budget
         exhaustion.
     """
-    _check_samplable(graph, trials)
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
     if walkers < 1:
         raise ValueError("need at least one walker")
-    n = graph.n
+    n = oracle.n
     start_pos = np.atleast_1d(np.asarray(start, dtype=np.int64))
     if start_pos.size == 1:
         start_pos = np.full(walkers, start_pos[0], dtype=np.int64)
@@ -651,12 +684,11 @@ def batched_parallel_walks_cover_trials(
         max_steps = _default_budget(n, walkers)
     rng = resolve_rng(seed)
 
-    indptr, indices = graph.indptr, graph.indices
     pos = np.tile(start_pos, trials)
     trial_base = np.repeat(np.arange(trials, dtype=np.int64) * n, walkers)
     nn = np.int64(n)
-    covered = np.zeros(trials * n, dtype=bool)
-    covered[np.unique(trial_base + pos)] = True
+    covered = visited_mask(trials, n)
+    covered.set_sorted_flat(np.unique(trial_base + pos))
     count = np.full(trials, np.unique(start_pos).size, dtype=np.int64)
     out = np.full(trials, np.nan)
     done = count == n
@@ -665,13 +697,11 @@ def batched_parallel_walks_cover_trials(
         return out
 
     for t in range(1, max_steps + 1):
-        starts = indptr[pos]
-        degs = indptr[pos + 1] - starts
-        pos = indices[starts + (rng.random(pos.size) * degs).astype(np.int64)]
+        pos = oracle.sample_one(pos, rng)
         flat = trial_base + pos
-        fresh = np.unique(flat[~covered[flat]])
+        fresh = np.unique(flat[~covered.test_flat(flat)])
         if fresh.size:
-            covered[fresh] = True
+            covered.set_sorted_flat(fresh)
             count += np.bincount(fresh // nn, minlength=trials)
             newly = ~done & (count == n)
             if newly.any():
@@ -683,7 +713,7 @@ def batched_parallel_walks_cover_trials(
 
 
 def _walt_move_batch(
-    graph: Graph,
+    oracle: NeighborOracle,
     positions: np.ndarray,
     move_rows: np.ndarray,
     rng: np.random.Generator,
@@ -716,7 +746,7 @@ def _walt_move_batch(
     read is at a key written earlier in the same call, so no O(a·n)
     reset is ever needed.
     """
-    n = graph.n
+    n = oracle.n
     sub = positions[move_rows]
     m, p = sub.shape
     mp = m * p
@@ -727,14 +757,14 @@ def _walt_move_batch(
     leader = tmp[key] == idx
     newpos = np.empty(mp, dtype=np.int64)
     lkey = key[leader]
-    newpos[leader] = sample_uniform_neighbors(graph, flat_pos[leader], rng)
+    newpos[leader] = oracle.sample_one(flat_pos[leader], rng)
     d1[lkey] = newpos[leader]
     nl = np.flatnonzero(~leader)
     if nl.size:
         tmp2[key[nl]] = nl
         vice = nl[tmp2[key[nl]] == nl]
         vkey = key[vice]
-        newpos[vice] = sample_uniform_neighbors(graph, flat_pos[vice], rng)
+        newpos[vice] = oracle.sample_one(flat_pos[vice], rng)
         d2[vkey] = newpos[vice]
         is_rep = leader.copy()
         is_rep[vice] = True
@@ -747,7 +777,7 @@ def _walt_move_batch(
 
 
 def batched_walt_cover_trials(
-    graph: Graph,
+    graph: GraphLike,
     *,
     trials: int,
     delta: float = 0.5,
@@ -769,8 +799,8 @@ def batched_walt_cover_trials(
 
     Parameters
     ----------
-    graph : Graph
-        Connected graph without isolated vertices.
+    graph : Graph or NeighborOracle
+        Connected graph without isolated vertices (CSR or implicit).
     trials : int
         Number of independent runs.
     delta : float
@@ -791,26 +821,27 @@ def batched_walt_cover_trials(
         ``float64[trials]`` cover times with ``np.nan`` marking budget
         exhaustion.
     """
-    _check_samplable(graph, trials)
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
     if not 0 < delta <= 1:
         raise ValueError("delta must be in (0, 1]")
-    n = graph.n
+    n = oracle.n
     p = max(1, int(delta * n))
     if max_steps is None:
         # the serial helper's default budget (walt_cover_time)
         max_steps = max(20_000, 1000 * n)
     rng = resolve_rng(seed)
 
-    positions = _walt_initial_positions(graph, trials, p, start, rng)
+    positions = _walt_initial_positions(oracle, trials, p, start, rng)
 
     a = trials
     alive = np.arange(trials)
     nn = np.int64(n)
-    covered = np.zeros(a * n, dtype=bool)
+    covered = visited_mask(a, n)
     init_flat = np.unique(
         (np.arange(a, dtype=np.int64) * n)[:, None] + positions
     ).ravel()
-    covered[init_flat] = True
+    covered.set_sorted_flat(init_flat)
     count = np.bincount(init_flat // nn, minlength=a).astype(np.int64)
     out = np.full(trials, np.nan)
     done0 = count == n
@@ -823,7 +854,7 @@ def batched_walt_cover_trials(
             return out
         positions = positions[keep]
         count = count[keep]
-        covered = np.ascontiguousarray(covered.reshape(-1, n)[keep]).reshape(-1)
+        covered.keep_rows(keep)
 
     # dense per-(trial, vertex) work tables for the sort-free move; no
     # per-step reset needed (see _walt_move_batch)
@@ -839,14 +870,14 @@ def batched_walt_cover_trials(
                 continue
         else:
             move_rows = np.arange(a)
-        moved = _walt_move_batch(graph, positions, move_rows, rng, tmp, tmp2, d1, d2)
+        moved = _walt_move_batch(oracle, positions, move_rows, rng, tmp, tmp2, d1, d2)
         positions[move_rows] = moved
         flat = ((move_rows * nn)[:, None] + moved).ravel()
-        unseen = ~covered[flat]
+        unseen = ~covered.test_flat(flat)
         if not unseen.any():
             continue
         fresh = np.unique(flat[unseen])
-        covered[fresh] = True
+        covered.set_sorted_flat(fresh)
         count += np.bincount(fresh // nn, minlength=a)
         done = count == n
         if done.any():
@@ -858,7 +889,113 @@ def batched_walt_cover_trials(
                 break
             positions = positions[keep]
             count = count[keep]
-            covered = np.ascontiguousarray(covered.reshape(-1, n)[keep]).reshape(-1)
+            covered.keep_rows(keep)
+            tmp = np.empty(a * n, dtype=np.int64)
+            tmp2 = np.empty(a * n, dtype=np.int64)
+            d1 = np.empty(a * n, dtype=np.int64)
+            d2 = np.empty(a * n, dtype=np.int64)
+    return out
+
+
+def batched_walt_hit_trials(
+    graph: GraphLike,
+    target: int,
+    *,
+    trials: int,
+    delta: float = 0.5,
+    lazy: bool = True,
+    start: int | np.ndarray | None = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """First-arrival times of any pebble at *target* over *trials*
+    independent Walt runs (the Walt ``metric="hit"`` engine).
+
+    The cobra hit-engine template ported to Walt: no per-vertex visit
+    ledger is kept — a trial is done the round one of its pebbles
+    lands on ``target``, so the hot loop is exactly the cover engine's
+    grouped move (:func:`_walt_move_batch`) plus one equality scan of
+    the moved block.  Placement and the per-trial lazy coin match
+    :func:`batched_walt_cover_trials`.
+
+    Parameters
+    ----------
+    graph : Graph or NeighborOracle
+        Connected graph without isolated vertices (CSR or implicit).
+    target : int
+        Vertex whose first pebble arrival stops a trial.
+    trials : int
+        Number of independent runs.
+    delta : float
+        Pebble density: ``max(1, int(delta·n))`` pebbles per trial.
+    lazy : bool
+        Apply the per-round 1/2 holding coin (paper default).
+    start : int or numpy.ndarray or None
+        Placement vertex/array (``None`` = uniform per trial).
+    seed : SeedLike, optional
+        Seed/stream for the single interleaved RNG.
+    max_steps : int, optional
+        Round budget per trial; defaults to the Walt helper's
+        ``max(20_000, 1000·n)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64[trials]`` hitting times with ``np.nan`` marking
+        budget exhaustion.
+    """
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
+    if not 0 < delta <= 1:
+        raise ValueError("delta must be in (0, 1]")
+    n = oracle.n
+    if not (0 <= target < n):
+        raise ValueError("target out of range")
+    p = max(1, int(delta * n))
+    if max_steps is None:
+        max_steps = max(20_000, 1000 * n)
+    rng = resolve_rng(seed)
+
+    positions = _walt_initial_positions(oracle, trials, p, start, rng)
+
+    out = np.full(trials, np.nan)
+    a = trials
+    alive = np.arange(trials)
+    hit0 = (positions == target).any(axis=1)
+    if hit0.any():
+        out[hit0] = 0.0
+        keep = ~hit0
+        alive = alive[keep]
+        a = alive.size
+        if a == 0:
+            return out
+        positions = positions[keep]
+
+    tmp = np.empty(a * n, dtype=np.int64)
+    tmp2 = np.empty(a * n, dtype=np.int64)
+    d1 = np.empty(a * n, dtype=np.int64)
+    d2 = np.empty(a * n, dtype=np.int64)
+
+    for t in range(1, max_steps + 1):
+        if lazy:
+            move_rows = (rng.random(a) >= 0.5).nonzero()[0]
+            if move_rows.size == 0:
+                continue
+        else:
+            move_rows = np.arange(a)
+        moved = _walt_move_batch(oracle, positions, move_rows, rng, tmp, tmp2, d1, d2)
+        positions[move_rows] = moved
+        hit_rows = move_rows[(moved == target).any(axis=1)]
+        if hit_rows.size:
+            done = np.zeros(a, dtype=bool)
+            done[hit_rows] = True
+            out[alive[done]] = t
+            keep = ~done
+            alive = alive[keep]
+            a = alive.size
+            if a == 0:
+                break
+            positions = positions[keep]
             tmp = np.empty(a * n, dtype=np.int64)
             tmp2 = np.empty(a * n, dtype=np.int64)
             d1 = np.empty(a * n, dtype=np.int64)
@@ -867,13 +1004,13 @@ def batched_walt_cover_trials(
 
 
 def _walt_initial_positions(
-    graph: Graph, trials: int, p: int, start, rng: np.random.Generator
+    oracle: NeighborOracle, trials: int, p: int, start, rng: np.random.Generator
 ) -> np.ndarray:
     """``(trials, p)`` initial pebble placement matching
     :func:`repro.core.walt.walt_start_positions`: ``start=None`` draws
     uniform positions independently per trial, anything else tiles the
     given vertex/array across all pebbles of every trial."""
-    n = graph.n
+    n = oracle.n
     if start is None:
         return rng.integers(0, n, size=(trials, p))
     start_arr = np.atleast_1d(np.asarray(start, dtype=np.int64))
@@ -885,7 +1022,7 @@ def _walt_initial_positions(
 
 
 def batched_lazy_cover_trials(
-    graph: Graph,
+    graph: GraphLike,
     *,
     trials: int,
     start: int = 0,
@@ -911,8 +1048,8 @@ def batched_lazy_cover_trials(
 
     Parameters
     ----------
-    graph : Graph
-        Connected graph without isolated vertices.
+    graph : Graph or NeighborOracle
+        Connected graph without isolated vertices (CSR or implicit).
     trials : int
         Number of independent runs.
     start : int
@@ -930,10 +1067,11 @@ def batched_lazy_cover_trials(
         ``float64[trials]`` cover times, ``np.nan`` marking budget
         exhaustion.
     """
-    _check_samplable(graph, trials)
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
     from ..walks.simple import _cover_budget, rw_cover_trials
 
-    n = graph.n
+    n = oracle.n
     start = int(start)
     if not (0 <= start < n):
         raise ValueError("start out of range")
@@ -962,7 +1100,7 @@ def batched_lazy_cover_trials(
 
 
 def batched_branching_cover_trials(
-    graph: Graph,
+    graph: GraphLike,
     *,
     trials: int,
     k: int = 2,
@@ -998,8 +1136,8 @@ def batched_branching_cover_trials(
 
     Parameters
     ----------
-    graph : Graph
-        Connected graph without isolated vertices.
+    graph : Graph or NeighborOracle
+        Connected graph without isolated vertices (CSR or implicit).
     trials : int
         Number of independent runs.
     k : int
@@ -1020,12 +1158,13 @@ def batched_branching_cover_trials(
         ``float64[trials]`` cover times, ``np.nan`` marking budget
         exhaustion.
     """
-    _check_samplable(graph, trials)
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
     if k < 1:
         raise ValueError(f"branching factor k must be >= 1, got {k}")
     if population_cap < 1:
         raise ValueError("population_cap must be >= 1")
-    n = graph.n
+    n = oracle.n
     start = int(start)
     if not (0 <= start < n):
         raise ValueError("start out of range")
@@ -1038,22 +1177,20 @@ def batched_branching_cover_trials(
         out[:] = 0.0
         return out
 
-    indptr, indices, degrees = graph.indptr, graph.indices, graph.degrees
     nn = np.int64(n)
     a = trials
     alive = np.arange(trials)
     base = np.arange(a, dtype=np.int64) * n
     counts = np.zeros(a * n, dtype=np.int64)
     counts[base + start] = 1
-    covered = np.zeros(a * n, dtype=bool)
-    covered[base + start] = True
+    covered = visited_mask(a, n)
+    covered.set_unique_rows(base + start)
     cov_count = np.ones(a, dtype=np.int64)
 
     for t in range(1, max_steps + 1):
         occ = np.flatnonzero(counts)  # ragged per-trial frontier, flat+sorted
         v = occ % nn
-        deg = degrees[v]
-        ptr = indptr[v]
+        deg = oracle.degree(v)
         vbase = occ - v
         remaining = counts[occ] * k
         tgt_parts: list[np.ndarray] = []
@@ -1074,7 +1211,7 @@ def batched_branching_cover_trials(
             nz = np.flatnonzero(x)
             if nz.size:
                 pick = sel[nz]
-                tgt_parts.append(vbase[pick] + indices[ptr[pick] + j])
+                tgt_parts.append(vbase[pick] + oracle.neighbor_at(v[pick], j))
                 cnt_parts.append(x[nz])
         # int sums through float64 weights are exact far beyond any cap
         counts = np.bincount(
@@ -1091,11 +1228,11 @@ def batched_branching_cover_trials(
             ids = occ2[sel]
             scale = population_cap / pop[row[sel]]
             counts[ids] = np.maximum((counts[ids] * scale).astype(np.int64), 1)
-        unseen = ~covered[occ2]
+        unseen = ~covered.test_flat(occ2)
         if not unseen.any():
             continue
         fresh = occ2[unseen]
-        covered[fresh] = True
+        covered.set_sorted_flat(fresh)
         cov_count += np.bincount(fresh // nn, minlength=a)
         done = cov_count == n
         if done.any():
@@ -1107,12 +1244,12 @@ def batched_branching_cover_trials(
                 break
             cov_count = cov_count[keep]
             counts = np.ascontiguousarray(counts.reshape(-1, n)[keep]).reshape(-1)
-            covered = np.ascontiguousarray(covered.reshape(-1, n)[keep]).reshape(-1)
+            covered.keep_rows(keep)
     return out
 
 
 def batched_coalescing_cover_trials(
-    graph: Graph,
+    graph: GraphLike,
     *,
     trials: int,
     walkers: int | None = None,
@@ -1135,8 +1272,8 @@ def batched_coalescing_cover_trials(
 
     Parameters
     ----------
-    graph : Graph
-        Connected graph without isolated vertices.
+    graph : Graph or NeighborOracle
+        Connected graph without isolated vertices (CSR or implicit).
     trials : int
         Number of independent runs.
     walkers : int or None
@@ -1160,8 +1297,9 @@ def batched_coalescing_cover_trials(
         ``float64[trials]`` cover times, ``np.nan`` marking budget
         exhaustion.
     """
-    _check_samplable(graph, trials)
-    n = graph.n
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
+    n = oracle.n
     if max_steps is None:
         max_steps = max(100_000, 20 * n * n)
     rng = resolve_rng(seed)
@@ -1198,20 +1336,19 @@ def batched_coalescing_cover_trials(
         wpos = np.sort((base[:, None] + sel).ravel())
 
     nn = np.int64(n)
-    indptr, indices = graph.indptr, graph.indices
-    covered = np.zeros(a * n, dtype=bool)
-    covered[wpos] = True
+    covered = visited_mask(a, n)
+    covered.set_sorted_flat(wpos)
     cov_count = np.bincount(wpos // nn, minlength=a).astype(np.int64)
 
     def _compact(wpos, covered, keep):
         """Drop finished trial rows: remap surviving walker ids onto
-        the dense row numbering and slice the covered mask."""
+        the dense row numbering and compact the covered mask."""
         rows = wpos // nn
         keepw = keep[rows]
         remap = np.cumsum(keep) - 1
         wpos = remap[rows[keepw]] * nn + wpos[keepw] % nn
-        covered = np.ascontiguousarray(covered.reshape(-1, n)[keep]).reshape(-1)
-        return wpos, covered
+        covered.keep_rows(keep)
+        return wpos
 
     done0 = cov_count == n
     if done0.any():
@@ -1222,21 +1359,18 @@ def batched_coalescing_cover_trials(
         if a == 0:
             return out
         cov_count = cov_count[keep]
-        wpos, covered = _compact(wpos, covered, keep)
+        wpos = _compact(wpos, covered, keep)
 
     for t in range(1, max_steps + 1):
         v = wpos % nn
         tb = wpos - v
-        starts = indptr[v]
-        degs = indptr[v + 1] - starts
-        u = rng.random(wpos.size)
-        moved = indices[starts + (u * degs).astype(np.int64)] + tb
+        moved = oracle.sample_one(v, rng) + tb
         wpos = np.unique(moved)  # in-step merge, trial-local by key design
-        unseen = ~covered[wpos]
+        unseen = ~covered.test_flat(wpos)
         if not unseen.any():
             continue
         fresh = wpos[unseen]
-        covered[fresh] = True
+        covered.set_sorted_flat(fresh)
         cov_count += np.bincount(fresh // nn, minlength=a)
         done = cov_count == n
         if done.any():
@@ -1247,12 +1381,12 @@ def batched_coalescing_cover_trials(
             if a == 0:
                 break
             cov_count = cov_count[keep]
-            wpos, covered = _compact(wpos, covered, keep)
+            wpos = _compact(wpos, covered, keep)
     return out
 
 
 def batched_cobra_active_sizes(
-    graph: Graph,
+    graph: GraphLike,
     *,
     trials: int,
     steps: int,
@@ -1272,8 +1406,8 @@ def batched_cobra_active_sizes(
 
     Parameters
     ----------
-    graph : Graph
-        Connected graph without isolated vertices.
+    graph : Graph or NeighborOracle
+        Connected graph without isolated vertices (CSR or implicit).
     trials : int
         Number of independent runs.
     steps : int
@@ -1292,19 +1426,20 @@ def batched_cobra_active_sizes(
         column 0 the start-set size — the batched analogue of
         :attr:`repro.core.cobra.CobraWalk.history`.
     """
-    _check_samplable(graph, trials)
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
     if k < 1:
         raise ValueError(f"branching factor k must be >= 1, got {k}")
     if steps < 0:
         raise ValueError("steps must be >= 0")
-    n = graph.n
-    start_arr = _validated_start(graph, start)
+    n = oracle.n
+    start_arr = _validated_start(oracle, start)
     rng = resolve_rng(seed)
 
     a = trials
-    pair, ftype = _cobra_ftype(graph, k)
-    ptr_s, deg_s, base_s, row_s = _tiled_tables(graph, a, ftype)
-    indices = graph.indices
+    pair, ftype = _cobra_ftype(oracle, k)
+    nn = np.int64(n)
+    deg_f = _degree_table(oracle, ftype)
     front = (
         np.repeat(np.arange(a, dtype=np.int64) * n, start_arr.size)
         + np.tile(start_arr, a)
@@ -1314,18 +1449,18 @@ def batched_cobra_active_sizes(
     scratch = np.zeros(a * n, dtype=bool)
 
     for t in range(1, steps + 1):
+        v = front % nn
         _scatter_cobra_draws(
-            indices, ptr_s[front], deg_s[front], base_s[front],
-            k, pair, ftype, rng, scratch,
+            oracle, v, deg_f.take(v), front - v, k, pair, ftype, rng, scratch
         )
         front = scratch.nonzero()[0]
         scratch[front] = False
-        sizes[:, t] = np.bincount(row_s[front], minlength=a)
+        sizes[:, t] = np.bincount(front // nn, minlength=a)
     return sizes
 
 
 def batched_walt_positions_at(
-    graph: Graph,
+    graph: GraphLike,
     *,
     trials: int,
     steps: int,
@@ -1347,8 +1482,8 @@ def batched_walt_positions_at(
 
     Parameters
     ----------
-    graph : Graph
-        Connected graph without isolated vertices.
+    graph : Graph or NeighborOracle
+        Connected graph without isolated vertices (CSR or implicit).
     trials : int
         Number of independent runs.
     steps : int
@@ -1373,10 +1508,11 @@ def batched_walt_positions_at(
     numpy.ndarray
         ``int64[trials, p]`` pebble positions after *steps* rounds.
     """
-    _check_samplable(graph, trials)
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
     if steps < 0:
         raise ValueError("steps must be >= 0")
-    n = graph.n
+    n = oracle.n
     if pebbles is None:
         if not 0 < delta <= 1:
             raise ValueError("delta must be in (0, 1]")
@@ -1386,7 +1522,7 @@ def batched_walt_positions_at(
         if p < 1:
             raise ValueError("need at least one pebble")
     rng = resolve_rng(seed)
-    positions = _walt_initial_positions(graph, trials, p, start, rng)
+    positions = _walt_initial_positions(oracle, trials, p, start, rng)
 
     a = trials
     tmp = np.empty(a * n, dtype=np.int64)
@@ -1401,13 +1537,13 @@ def batched_walt_positions_at(
         else:
             move_rows = np.arange(a)
         positions[move_rows] = _walt_move_batch(
-            graph, positions, move_rows, rng, tmp, tmp2, d1, d2
+            oracle, positions, move_rows, rng, tmp, tmp2, d1, d2
         )
     return positions
 
 
 def batched_biased_cover_trials(
-    graph: Graph,
+    graph: GraphLike,
     target: int,
     *,
     trials: int,
@@ -1419,24 +1555,25 @@ def batched_biased_cover_trials(
 ) -> np.ndarray:
     """Cover times of *trials* independent biased-walk runs.
 
-    The last serial-only process: one row of state per trial, exactly
-    the :func:`repro.walks.simple.rw_cover_trials` idiom but with the
+    One row of state per trial, exactly the
+    :func:`repro.walks.simple.rw_cover_trials` idiom but with the
     biased transition — at vertex ``v`` the walk follows the
     controller's neighbor with probability ``eps`` (or the
     inverse-degree bias ``1/d(v)`` when ``eps is None``) and a uniform
     neighbor otherwise.  The controller table is precomputed once (the
     toward-*target* BFS table by default), so each global step is two
     uniform draws per trial — one bias coin, one neighbor index — plus
-    the boolean coverage scatter.  Distributionally identical to
-    serial :class:`repro.core.biased.BiasedWalk` runs (the serial walk
-    skips the neighbor draw on controller steps; the batched engine
-    always draws both, a different stream consumption of the same
-    law).
+    the coverage scatter.  Distributionally identical to serial
+    :class:`repro.core.biased.BiasedWalk` runs (the serial walk skips
+    the neighbor draw on controller steps; the batched engine always
+    draws both, a different stream consumption of the same law).
 
     Parameters
     ----------
-    graph : Graph
-        Connected graph without isolated vertices.
+    graph : Graph or NeighborOracle
+        Connected graph without isolated vertices (CSR or implicit).
+        The default BFS controller needs CSR edges, so implicit
+        oracles must pass *controller* explicitly.
     target : int
         The vertex the controller steers toward (the biased walk is
         defined relative to a target even when sweeping coverage).
@@ -1462,8 +1599,9 @@ def batched_biased_cover_trials(
         ``float64[trials]`` cover times, ``np.nan`` marking budget
         exhaustion.
     """
-    _check_samplable(graph, trials)
-    n = graph.n
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
+    n = oracle.n
     if not (0 <= target < n):
         raise ValueError("target out of range")
     if not (0 <= int(start) < n):
@@ -1473,6 +1611,11 @@ def batched_biased_cover_trials(
     if max_steps is None:
         max_steps = 10_000_000
     if controller is None:
+        if not isinstance(graph, Graph):
+            raise ValueError(
+                "the default controller is a BFS table over CSR edges; pass "
+                "controller= explicitly when running on an implicit oracle"
+            )
         from ..core.biased import toward_target_controller
 
         controller = toward_target_controller(graph, target)
@@ -1481,11 +1624,12 @@ def batched_biased_cover_trials(
         raise ValueError("controller table must have one entry per vertex")
     rng = resolve_rng(seed)
 
-    deg = graph.degrees.astype(np.float64)
-    rows = np.arange(trials)
+    deg = _degree_table(oracle, np.float64)
+    nn = np.int64(n)
+    row_base = np.arange(trials, dtype=np.int64) * nn
     pos = np.full(trials, int(start), dtype=np.int64)
-    covered = np.zeros((trials, n), dtype=bool)
-    covered[:, int(start)] = True
+    covered = visited_mask(trials, n)
+    covered.set_unique_rows(row_base + int(start))
     count = np.ones(trials, dtype=np.int64)
     out = np.full(trials, np.nan)
     done = np.zeros(trials, dtype=bool)
@@ -1494,10 +1638,11 @@ def batched_biased_cover_trials(
     for t in range(1, max_steps + 1):
         bias = (1.0 / deg[pos]) if eps is None else eps
         coin = rng.random(trials)
-        nbr = sample_uniform_neighbors(graph, pos, rng)
+        nbr = oracle.sample_one(pos, rng)
         pos = np.where(coin < bias, controller[pos], nbr)
-        fresh = ~covered[rows, pos]
-        covered[rows, pos] = True
+        flat = row_base + pos
+        fresh = ~covered.test_flat(flat)
+        covered.set_unique_rows(flat)
         count += fresh
         newly_done = ~done & (count == n)
         if newly_done.any():
@@ -1509,7 +1654,7 @@ def batched_biased_cover_trials(
 
 
 def batched_lazy_hit_trials(
-    graph: Graph,
+    graph: GraphLike,
     target: int,
     *,
     trials: int,
@@ -1532,8 +1677,8 @@ def batched_lazy_hit_trials(
 
     Parameters
     ----------
-    graph : Graph
-        Connected graph without isolated vertices.
+    graph : Graph or NeighborOracle
+        Connected graph without isolated vertices (CSR or implicit).
     target : int
         Vertex whose first visit stops a trial.
     trials : int
@@ -1552,10 +1697,11 @@ def batched_lazy_hit_trials(
         ``float64[trials]`` hitting times, ``np.nan`` marking budget
         exhaustion.
     """
-    _check_samplable(graph, trials)
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
     from ..walks.simple import _cover_budget, rw_hitting_trials
 
-    n = graph.n
+    n = oracle.n
     if not (0 <= target < n):
         raise ValueError("target out of range")
     if not (0 <= int(start) < n):

@@ -36,6 +36,7 @@ from .batch import (
     batched_lazy_hit_trials,
     batched_parallel_walks_cover_trials,
     batched_walt_cover_trials,
+    batched_walt_hit_trials,
 )
 from .processes import ProcessSpec, register_process
 from .rng import resolve_rng
@@ -200,6 +201,21 @@ def _walt_batch_cover(
     )
 
 
+def _walt_batch_hit(
+    graph, *, trials, target, start=0, seed=None, max_steps=None, delta=0.5, lazy=True
+):
+    return batched_walt_hit_trials(
+        graph,
+        target,
+        trials=trials,
+        delta=delta,
+        lazy=lazy,
+        start=start,
+        seed=seed,
+        max_steps=max_steps,
+    )
+
+
 def _parallel_batch_cover(graph, *, trials, start=0, seed=None, max_steps=None, walkers=2):
     return batched_parallel_walks_cover_trials(
         graph,
@@ -344,6 +360,7 @@ register_process(
         default_params={"delta": 0.5, "lazy": True},
         default_budget=lambda g, p: max(20_000, 1000 * g.n),
         batch_cover=_walt_batch_cover,
+        batch_hit=_walt_batch_hit,
         description="Walt (§4): δn ordered pebbles, the cobra walk's analysis proxy",
     )
 )

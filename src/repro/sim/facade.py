@@ -36,6 +36,7 @@ from typing import Any
 import numpy as np
 
 from ..graphs.base import Graph
+from ..graphs.implicit import NeighborOracle
 from .montecarlo import TrialSummary, run_trials, summarize_trials
 from .processes import ProcessSpec, get_process
 from .rng import SeedLike
@@ -332,6 +333,12 @@ def simulate(
     RunResult
         The normalised outcome of the single run.
     """
+    if not isinstance(graph, Graph):
+        raise TypeError(
+            "simulate() drives the serial stepping classes, which walk CSR "
+            "edge arrays; materialise the oracle with "
+            "repro.graphs.to_csr(...) or use run_batch(strategy='vectorized')"
+        )
     spec = process if isinstance(process, ProcessSpec) else get_process(process)
     metric = _resolve_metric(spec, metric)
     if metric == "hit":
@@ -551,7 +558,7 @@ def _run_sharded(
 
 
 def run_batch(
-    graph: Graph,
+    graph: Graph | NeighborOracle,
     process: str | ProcessSpec = "cobra",
     *,
     trials: int = 32,
@@ -585,8 +592,10 @@ def run_batch(
 
     Parameters
     ----------
-    graph : Graph
-        The graph to run on.
+    graph : Graph or NeighborOracle
+        The graph to run on — a CSR :class:`Graph`, or an implicit
+        :class:`~repro.graphs.implicit.NeighborOracle` (vectorized
+        path only: the serial/pool/sharded paths step CSR edge arrays).
     process : str or ProcessSpec
         Registry name or a :class:`~repro.sim.processes.ProcessSpec`.
     trials : int
@@ -679,6 +688,13 @@ def run_batch(
     path = select_execution_path(
         spec, metric, strategy=strategy, shards=shards, processes=processes
     )
+    if path != "vectorized" and not isinstance(graph, Graph):
+        raise ValueError(
+            f"the {path!r} execution path steps CSR edge arrays, which an "
+            "implicit NeighborOracle does not carry; use "
+            "strategy='vectorized' (drop shards=/processes=) or materialise "
+            "the graph with repro.graphs.to_csr(...)"
+        )
     if path == "sharded":
         return _run_sharded(
             graph,

@@ -184,6 +184,9 @@ def run_cell(
         "seed_entropy": key.seed_entropy(),
         "graph_name": graph.name,
         "graph_n": int(graph.n),
+        # "csr" for materialised Graphs (which carry no kind attribute),
+        # else the oracle's topology kind ("torus", "hypercube", ...)
+        "graph_kind": getattr(graph, "kind", "csr"),
         "created_unix": round(time.time(), 3),
     }
     if extra_provenance:

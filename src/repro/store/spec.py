@@ -39,6 +39,7 @@ from typing import Any
 import numpy as np
 
 from ..graphs.base import Graph
+from ..graphs.implicit import NeighborOracle
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
@@ -229,13 +230,15 @@ class RunKey:
         """The cell's root RNG stream (see :class:`SeedPolicy`)."""
         return np.random.SeedSequence(self.seed_entropy())
 
-    def build_graph(self) -> Graph:
+    def build_graph(self) -> Graph | NeighborOracle:
         """Construct the cell's graph from the named builder.
 
         Returns
         -------
-        Graph
-            ``repro.graphs.<graph_builder>(**graph_params)``.
+        Graph or NeighborOracle
+            ``repro.graphs.<graph_builder>(**graph_params)`` — a CSR
+            graph, or an implicit :class:`NeighborOracle` when the
+            builder is one of the ``*_oracle`` constructors.
         """
         import repro.graphs as graphs_mod
 
@@ -251,12 +254,12 @@ class RunKey:
         }
         return builder(**kwargs)
 
-    def resolve_target(self, graph: Graph) -> int | None:
+    def resolve_target(self, graph: Graph | NeighborOracle) -> int | None:
         """Resolve the declarative target against the built graph.
 
         Parameters
         ----------
-        graph : Graph
+        graph : Graph or NeighborOracle
             The graph returned by :meth:`build_graph`.
 
         Returns
@@ -275,6 +278,12 @@ class RunKey:
             if self.target == "farthest":
                 # the BFS-farthest vertex from the canonical start 0 —
                 # the "far pair" the hitting-time experiments measure
+                if not isinstance(graph, Graph):
+                    raise ValueError(
+                        "target rule 'farthest' runs a BFS over CSR edge "
+                        "arrays, which an implicit oracle does not carry; "
+                        "use an int target or 'last'/'center'"
+                    )
                 from ..graphs.checks import bfs_distances
 
                 return int(np.argmax(bfs_distances(graph, 0)))

@@ -140,6 +140,7 @@ def record_row(record: Mapping[str, Any]) -> dict[str, Any]:
         "graph": key["graph"]["builder"],
         "graph_name": prov.get("graph_name"),
         "graph_n": prov.get("graph_n"),
+        "graph_kind": prov.get("graph_kind"),
         "target": key.get("target"),
         "trials": key["trials"],
         "max_steps": key.get("max_steps"),
@@ -233,6 +234,84 @@ class Frame:
             The column values, in row order.
         """
         return [r.get(name) for r in self.rows]
+
+    def groupby(self, *columns: str) -> list[tuple[Any, "Frame"]]:
+        """Partition rows by the values of one or more columns.
+
+        Groups appear in first-appearance order (the row order of the
+        frame), so a frame sorted by the group column yields sorted
+        groups.
+
+        Parameters
+        ----------
+        *columns : str
+            Columns to group on.  With one column the group key is the
+            bare value; with several it is the tuple of values.
+            Missing columns group under ``None``.
+
+        Returns
+        -------
+        list of (key, Frame)
+            One ``(group key, sub-frame)`` pair per distinct key.
+        """
+        if not columns:
+            raise ValueError("groupby needs at least one column")
+        groups: dict[Any, list[dict[str, Any]]] = {}
+        for row in self.rows:
+            key = (
+                row.get(columns[0])
+                if len(columns) == 1
+                else tuple(row.get(c) for c in columns)
+            )
+            groups.setdefault(key, []).append(row)
+        return [(key, Frame(rows)) for key, rows in groups.items()]
+
+    def aggregate(
+        self, by: str, column: str = "mean", agg: str = "mean"
+    ) -> list[dict[str, Any]]:
+        """Per-group reduction of one numeric column.
+
+        Parameters
+        ----------
+        by : str
+            Column to group on (see :meth:`groupby`).
+        column : str
+            Numeric column to reduce (default the per-cell ``"mean"``).
+        agg : str
+            Reduction: ``"mean"``, ``"median"``, ``"min"``, ``"max"``,
+            ``"sum"``, ``"std"``, or ``"count"``.
+
+        Returns
+        -------
+        list of dict
+            One row per group: ``{by: key, agg: value, "rows": n}``.
+        """
+        funcs = {
+            "mean": np.mean,
+            "median": np.median,
+            "min": np.min,
+            "max": np.max,
+            "sum": np.sum,
+            "std": np.std,
+            "count": len,
+        }
+        if agg not in funcs:
+            raise ValueError(
+                f"unknown aggregation {agg!r}; use one of {sorted(funcs)}"
+            )
+        out = []
+        for key, sub in self.groupby(by):
+            values = [v for v in sub.column(column) if v is not None]
+            if agg == "count":
+                value: Any = len(values)
+            else:
+                value = (
+                    float(funcs[agg](np.asarray(values, dtype=np.float64)))
+                    if values
+                    else float("nan")
+                )
+            out.append({by: key, agg: value, "rows": len(sub)})
+        return out
 
     def summarize(self, column: str = "mean") -> TrialSummary:
         """Summary statistics of a numeric column across rows.

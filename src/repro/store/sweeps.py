@@ -1,7 +1,8 @@
 """Registered sweep declarations — the campaigns behind the experiments.
 
 The migrated experiments (``T3_grid``, ``TREES_kary``, ``KCOBRA_k``,
-``BASE_compare``, ``STAR_lb``, ``T15_regular``) no longer hand-roll
+``BASE_compare``, ``STAR_lb``, ``T15_regular``, ``C9_expander``,
+``T20_general``) no longer hand-roll
 sweep loops: each is a **sweep builder** here — a function of ``(scale, seed)`` returning the list of
 :class:`~repro.store.spec.SweepSpec` declarations whose cells are the
 experiment's whole Monte-Carlo surface.  The experiment runners expand
@@ -9,6 +10,13 @@ these through a :class:`~repro.store.campaign.Campaign` and read their
 tables off :meth:`ResultStore.frame`; the CLI's ``sweep run/status/
 show`` subcommands drive the same builders against a durable on-disk
 store.
+
+``SCALE_torus_vs_hypercube`` is the implicit-topology scaling sweep:
+its cells name the arithmetic ``*_oracle`` builders, so at full scale
+a million-vertex torus and a 2²⁰-vertex hypercube run through
+``run_batch`` without ever materialising CSR edge arrays (the
+provenance ``graph_kind`` column records which oracle served each
+cell).
 
 ``BRW_minima`` sweeps the new ``branching_minima`` process — the
 Addario-Berry–Reed n'th-generation minimum on the ℤ-line — purely
@@ -360,6 +368,123 @@ def _demo_grid2x2(scale: str, seed: int) -> list[SweepSpec]:
 
 
 register_sweep("DEMO_grid2x2", _demo_grid2x2)
+
+
+C9_NS = {"quick": [128, 256, 512, 1024], "full": [128, 256, 512, 1024, 2048, 4096]}
+C9_TRIALS = {"quick": 5, "full": 15}
+C9_RW_LIMIT = {"quick": 512, "full": 2048}  # vertex cap for the slow baseline
+
+
+def _c9_expander(scale: str, seed: int) -> list[SweepSpec]:
+    # the builder seed is a graph axis, so the random-regular ladder is
+    # part of the cell content (the KCOBRA_k/expander idiom); the rw
+    # arm reuses the same graphs, capped where the baseline gets slow
+    policy = SeedPolicy(root=seed)
+    trials = C9_TRIALS[scale]
+    ns = C9_NS[scale]
+    return [
+        SweepSpec(
+            name="C9_expander/cobra",
+            process="cobra",
+            graph="random_regular",
+            graph_grid={"n": ns, "d": [8], "seed": [seed]},
+            trials=trials,
+            seed=policy,
+        ),
+        SweepSpec(
+            name="C9_expander/rw",
+            process="simple",
+            graph="random_regular",
+            graph_grid={
+                "n": [n for n in ns if n <= C9_RW_LIMIT[scale]],
+                "d": [8],
+                "seed": [seed],
+            },
+            trials=max(3, trials // 2),
+            seed=policy,
+        ),
+    ]
+
+
+register_sweep("C9_expander", _c9_expander)
+
+
+T20_NS = {"quick": [24, 48, 96], "full": [24, 48, 96, 192, 384]}
+T20_TRIALS = {"quick": 6, "full": 15}
+T20_RW_SIM_LIMIT = {"quick": 48, "full": 96}
+T20_WITNESSES = ("lollipop", "barbell")
+
+
+def _t20_general(scale: str, seed: int) -> list[SweepSpec]:
+    # the rw arm's cubic budget (60·n³) is per-n, so it declares one
+    # single-cell spec per size; the exact-hitting Θ(n³) certificate is
+    # deterministic and stays inline in the experiment
+    policy = SeedPolicy(root=seed)
+    specs = []
+    for witness in T20_WITNESSES:
+        specs.append(
+            SweepSpec(
+                name=f"T20_general/{witness}/cobra",
+                process="cobra",
+                graph=witness,
+                graph_grid={"n": T20_NS[scale]},
+                trials=T20_TRIALS[scale],
+                seed=policy,
+            )
+        )
+        for n in T20_NS[scale]:
+            if n <= T20_RW_SIM_LIMIT[scale]:
+                specs.append(
+                    SweepSpec(
+                        name=f"T20_general/{witness}/rw",
+                        process="simple",
+                        graph=witness,
+                        graph_grid={"n": [n]},
+                        trials=3,
+                        max_steps=60 * n**3,
+                        seed=policy,
+                    )
+                )
+    return specs
+
+
+register_sweep("T20_general", _t20_general)
+
+
+#: the two implicit-topology arms: (arm, oracle builder, params per scale)
+SCALE_ARMS = {
+    "quick": {
+        "torus": ("torus_oracle", {"n": 15, "d": 2}),  # 256 vertices
+        "hypercube": ("hypercube_oracle", {"dim": 8}),  # 256 vertices
+    },
+    "full": {
+        "torus": ("torus_oracle", {"n": 999, "d": 2}),  # 10^6 vertices
+        "hypercube": ("hypercube_oracle", {"dim": 20}),  # 2^20 vertices
+    },
+}
+SCALE_TRIALS = {"quick": 3, "full": 2}
+#: at full scale coverage cannot complete inside the budget — the cells
+#: measure throughput/footprint and legitimately summarise to NaN
+SCALE_MAX_STEPS = {"quick": None, "full": 256}
+
+
+def _scale_torus_vs_hypercube(scale: str, seed: int) -> list[SweepSpec]:
+    policy = SeedPolicy(root=seed)
+    return [
+        SweepSpec(
+            name=f"SCALE_torus_vs_hypercube/{arm}",
+            process="cobra",
+            graph=builder,
+            graph_grid={name: [value] for name, value in params.items()},
+            trials=SCALE_TRIALS[scale],
+            max_steps=SCALE_MAX_STEPS[scale],
+            seed=policy,
+        )
+        for arm, (builder, params) in SCALE_ARMS[scale].items()
+    ]
+
+
+register_sweep("SCALE_torus_vs_hypercube", _scale_torus_vs_hypercube)
 
 
 BRW_LINES = {"quick": [129], "full": [257, 513]}

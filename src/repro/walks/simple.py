@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graphs.base import Graph, sample_uniform_neighbors
+from ..graphs.base import Graph
+from ..graphs.implicit import NeighborOracle, as_oracle
+from ..sim.bitmask import visited_mask
 from ..sim.rng import SeedLike, resolve_rng
 from ._shims import warn_deprecated
 
@@ -136,7 +138,7 @@ def rw_hitting_time(
 
 
 def rw_cover_trials(
-    graph: Graph,
+    graph: Graph | NeighborOracle,
     *,
     start: int = 0,
     trials: int = 10,
@@ -145,24 +147,31 @@ def rw_cover_trials(
 ) -> np.ndarray:
     """Vectorized independent cover trials: all walkers advance in one
     batched neighbor draw per step; finished walkers keep stepping (the
-    cost of masking exceeds the saving at these trial counts)."""
+    cost of masking exceeds the saving at these trial counts).  Visited
+    state is bit-packed (``n/8`` bytes per trial) and the graph may be
+    a CSR :class:`Graph` or an implicit
+    :class:`~repro.graphs.implicit.NeighborOracle`."""
     if trials < 1:
         raise ValueError("need at least one trial")
+    oracle = as_oracle(graph)
+    n = oracle.n
     if max_steps is None:
-        max_steps = _cover_budget(graph.n)
+        max_steps = _cover_budget(n)
     rng = resolve_rng(seed)
     pos = np.full(trials, start, dtype=np.int64)
-    covered = np.zeros((trials, graph.n), dtype=bool)
-    covered[:, start] = True
+    row_base = np.arange(trials, dtype=np.int64) * n
+    covered = visited_mask(trials, n)
+    covered.set_unique_rows(row_base + start)
     count = np.ones(trials, dtype=np.int64)
     out = np.full(trials, np.nan)
     done = np.zeros(trials, dtype=bool)
     for t in range(1, max_steps + 1):
-        pos = sample_uniform_neighbors(graph, pos, rng)
-        fresh = ~covered[np.arange(trials), pos]
-        covered[np.arange(trials), pos] = True
+        pos = oracle.sample_one(pos, rng)
+        flat = row_base + pos
+        fresh = ~covered.test_flat(flat)
+        covered.set_unique_rows(flat)
         count += fresh
-        newly_done = ~done & (count == graph.n)
+        newly_done = ~done & (count == n)
         if newly_done.any():
             out[newly_done] = t
             done |= newly_done
@@ -172,7 +181,7 @@ def rw_cover_trials(
 
 
 def rw_hitting_trials(
-    graph: Graph,
+    graph: Graph | NeighborOracle,
     target: int,
     *,
     start: int = 0,
@@ -180,11 +189,13 @@ def rw_hitting_trials(
     seed: SeedLike = None,
     max_steps: int | None = None,
 ) -> np.ndarray:
-    """Vectorized independent hitting-time trials."""
+    """Vectorized independent hitting-time trials (CSR or implicit
+    oracle graphs)."""
     if trials < 1:
         raise ValueError("need at least one trial")
+    oracle = as_oracle(graph)
     if max_steps is None:
-        max_steps = _cover_budget(graph.n)
+        max_steps = _cover_budget(oracle.n)
     rng = resolve_rng(seed)
     pos = np.full(trials, start, dtype=np.int64)
     out = np.full(trials, np.nan)
@@ -192,7 +203,7 @@ def rw_hitting_trials(
         return np.zeros(trials)
     alive = np.ones(trials, dtype=bool)
     for t in range(1, max_steps + 1):
-        pos = sample_uniform_neighbors(graph, pos, rng)
+        pos = oracle.sample_one(pos, rng)
         hit = alive & (pos == target)
         if hit.any():
             out[hit] = t

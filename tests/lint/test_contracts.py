@@ -1,4 +1,4 @@
-"""The import-time contract audit (RPL200/201/202).
+"""The import-time contract audit (RPL200/201/202/203).
 
 Positive direction: the live registries and the committed docs must
 audit clean — this is the same check CI runs via ``--contracts``.
@@ -11,6 +11,7 @@ from pathlib import Path
 from repro.lint.contracts import (
     DOC_ANCHORS,
     audit_docs,
+    audit_implicit_oracles,
     audit_process_engines,
     audit_sweeps,
     run_contract_audit,
@@ -29,6 +30,9 @@ class TestLiveRegistriesAuditClean:
 
     def test_committed_docs_resolve_every_anchor(self):
         assert audit_docs(REPO) == []
+
+    def test_every_implicit_topology_binds_the_oracle_contract(self):
+        assert audit_implicit_oracles() == []
 
     def test_full_audit_is_clean(self):
         assert run_contract_audit(REPO) == []
@@ -97,6 +101,32 @@ class TestDocsAuditNegative:
         ]
         assert len(findings) == 1
         assert anchors[-1] in findings[0].message
+
+
+class TestImplicitAuditNegative:
+    """Injected broken registry entries produce RPL203 findings."""
+
+    def _findings_for(self, monkeypatch, entry):
+        import repro.graphs.implicit as implicit
+
+        monkeypatch.setitem(implicit.IMPLICIT_TOPOLOGIES, "bogus", entry)
+        return [f for f in audit_implicit_oracles() if f.path == "implicit:bogus"]
+
+    def test_unexported_builder_is_flagged(self, monkeypatch):
+        findings = self._findings_for(monkeypatch, ("no_such_builder", {}))
+        assert [f.rule for f in findings] == ["RPL203"]
+        assert "not exported" in findings[0].message
+
+    def test_non_oracle_builder_is_flagged(self, monkeypatch):
+        # cycle_graph resolves and builds, but returns a CSR Graph
+        findings = self._findings_for(monkeypatch, ("cycle_graph", {"n": 8}))
+        assert [f.rule for f in findings] == ["RPL203"]
+        assert "not a NeighborOracle" in findings[0].message
+
+    def test_broken_example_params_are_flagged(self, monkeypatch):
+        findings = self._findings_for(monkeypatch, ("torus_oracle", {"n": 0}))
+        assert [f.rule for f in findings] == ["RPL203"]
+        assert "build/round-trip failed" in findings[0].message
 
 
 class TestAnchorHygiene:

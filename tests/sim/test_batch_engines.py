@@ -59,6 +59,7 @@ ENGINE_CASES = [
     ("walt", {"delta": 0.25, "lazy": False}, None, None),
     ("cobra", {}, "hit", 63),
     ("simple", {}, "hit", 63),
+    ("walt", {}, "hit", 63),
     ("lazy", {}, None, None),
     ("lazy", {}, "hit", 63),
     ("branching", {}, None, None),
@@ -121,7 +122,7 @@ class TestAutoSelection:
                         strategy="serial")
         assert np.array_equal(auto.values, ser.values, equal_nan=True)
 
-    @pytest.mark.parametrize("name", ["cobra", "simple", "lazy"])
+    @pytest.mark.parametrize("name", ["cobra", "simple", "lazy", "walt"])
     def test_auto_hit_is_vectorized(self, g, name):
         assert get_process(name).batch_hit is not None
         auto = run_batch(g, name, trials=6, metric="hit", target=g.n - 1, seed=4)
@@ -134,7 +135,7 @@ class TestAutoSelection:
     def test_engine_coverage_floor(self):
         """The "every process is batched" milestone: every registered
         cover/spread-capable process — the biased walk included — has a
-        cover engine, plus cobra/simple/lazy hit engines."""
+        cover engine, plus cobra/simple/lazy/walt hit engines."""
         covered = [
             s.name
             for s in map(
@@ -145,7 +146,7 @@ class TestAutoSelection:
             if s.batch_cover is not None
         ]
         assert len(covered) == 11
-        for name in ("cobra", "simple", "lazy"):
+        for name in ("cobra", "simple", "lazy", "walt"):
             assert get_process(name).batch_hit is not None
 
 

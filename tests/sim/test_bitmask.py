@@ -1,0 +1,138 @@
+"""BitMask/DenseMask: the engines' (trial, vertex) visited state.
+
+The engines see the visited mask only through the shared five-op
+surface (test / sorted scatter-set / unique-row set / fused
+test-and-set / popcount audit), behind the ``visited_mask`` size
+dispatch; every operation is pinned against a dense boolean reference
+for both backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.bitmask import (
+    DENSE_LIMIT,
+    BitMask,
+    DenseMask,
+    popcount,
+    visited_mask,
+)
+
+
+def dense_reference(mask):
+    """Unpack either backend into the dense bool[rows, n] it models."""
+    if isinstance(mask, DenseMask):
+        return mask.data.reshape(mask.rows, mask.n).copy()
+    bits = np.unpackbits(
+        mask.data.reshape(mask.rows, mask.nbytes_row), axis=1, bitorder="little"
+    )
+    return bits[:, : mask.n].astype(bool)
+
+
+@pytest.fixture(params=[BitMask, DenseMask], ids=["bitpacked", "dense"])
+def backend(request):
+    return request.param
+
+
+class TestMaskBackends:
+    def test_starts_empty(self, backend):
+        mask = backend(5, 13)
+        assert not mask.test_flat(np.arange(5 * 13, dtype=np.int64)).any()
+        assert np.array_equal(mask.counts(), np.zeros(5, dtype=np.int64))
+
+    def test_rejects_degenerate_shapes(self, backend):
+        with pytest.raises(ValueError):
+            backend(-1, 4)
+        with pytest.raises(ValueError):
+            backend(3, 0)
+
+    def test_set_sorted_flat_matches_dense(self, backend):
+        rng = np.random.default_rng(3)
+        mask = backend(4, 37)
+        dense = np.zeros((4, 37), dtype=bool)
+        for _ in range(5):
+            flat = np.sort(rng.integers(0, 4 * 37, size=50))
+            mask.set_sorted_flat(flat.astype(np.int64))
+            dense[flat // 37, flat % 37] = True
+            assert np.array_equal(dense_reference(mask), dense)
+            got = mask.test_flat(np.arange(4 * 37, dtype=np.int64))
+            assert np.array_equal(got, dense.reshape(-1))
+
+    def test_set_unique_rows_one_id_per_trial(self, backend):
+        mask = backend(6, 11)
+        flat = np.arange(6, dtype=np.int64) * 11 + np.array([0, 3, 3, 10, 7, 1])
+        mask.set_unique_rows(flat)
+        assert mask.test_flat(flat).all()
+        assert np.array_equal(mask.counts(), np.ones(6, dtype=np.int64))
+
+    def test_test_and_set_reports_fresh_bits_once(self, backend):
+        mask = backend(2, 19)
+        first = np.array([0, 1, 7, 8, 19 + 5], dtype=np.int64)
+        assert mask.test_and_set_sorted(first).all()
+        # overlap {1, 8}: only the new ids read as fresh
+        second = np.array([1, 2, 8, 9, 19 + 5], dtype=np.int64)
+        fresh = mask.test_and_set_sorted(second)
+        assert fresh.tolist() == [False, True, False, True, False]
+        assert mask.test_flat(np.union1d(first, second)).all()
+
+    def test_test_and_set_equals_test_then_set(self, backend):
+        rng = np.random.default_rng(11)
+        fused, split = backend(3, 29), backend(3, 29)
+        for _ in range(4):
+            flat = np.unique(rng.integers(0, 3 * 29, size=40)).astype(np.int64)
+            got = fused.test_and_set_sorted(flat)
+            want = ~split.test_flat(flat)
+            split.set_sorted_flat(flat)
+            assert np.array_equal(got, want)
+            assert np.array_equal(fused.data, split.data)
+
+    def test_empty_scatter_is_a_noop(self, backend):
+        mask = backend(2, 9)
+        empty = np.empty(0, dtype=np.int64)
+        mask.set_sorted_flat(empty)
+        mask.set_unique_rows(empty)
+        assert mask.test_and_set_sorted(empty).size == 0
+        assert not dense_reference(mask).any()
+
+    def test_counts_per_row(self, backend):
+        mask = backend(3, 20)
+        mask.set_sorted_flat(np.array([0, 5, 19, 20, 47], dtype=np.int64))
+        assert np.array_equal(mask.counts(), np.array([3, 1, 1]))
+
+    def test_keep_rows_compacts_in_order(self, backend):
+        mask = backend(4, 10)
+        mask.set_unique_rows(np.arange(4, dtype=np.int64) * 10 + 2)
+        mask.set_sorted_flat(np.array([0, 35], dtype=np.int64))
+        before = dense_reference(mask)
+        keep = np.array([True, False, True, True])
+        mask.keep_rows(keep)
+        assert mask.rows == 3
+        assert np.array_equal(dense_reference(mask), before[keep])
+
+
+class TestVisitedMaskDispatch:
+    def test_small_state_is_dense(self):
+        assert isinstance(visited_mask(32, 1089), DenseMask)
+
+    def test_large_state_is_bitpacked(self):
+        rows, n = 2, 1_000_000  # the memory-budget smoke's shape
+        assert rows * n > DENSE_LIMIT
+        mask = visited_mask(rows, n)
+        assert isinstance(mask, BitMask)
+        assert mask.data.nbytes == rows * ((n + 7) // 8)
+
+    def test_threshold_is_exact(self):
+        assert isinstance(visited_mask(1, DENSE_LIMIT), DenseMask)
+        assert isinstance(visited_mask(1, DENSE_LIMIT + 1), BitMask)
+
+
+class TestBitPackedLayout:
+    def test_row_is_byte_padded(self):
+        mask = BitMask(5, 13)
+        assert mask.nbytes_row == 2
+        assert mask.data.size == 10
+
+    def test_popcount_matches_python(self):
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 256, size=64, dtype=np.uint8)
+        assert popcount(data) == sum(int(b).bit_count() for b in data)

@@ -222,9 +222,11 @@ class TestRunBatch:
     def test_vectorized_unavailable_raises(self, g):
         with pytest.raises(ValueError, match="no vectorized engine"):
             run_batch(g, "biased", trials=2, target=1, strategy="vectorized")
-        # walt grew a cover engine but still has no hit engine
+        # walt now carries a hit engine too; the gossip processes are
+        # the remaining hit-less batch family
         with pytest.raises(ValueError, match="no vectorized engine"):
-            run_batch(g, "walt", trials=2, metric="hit", target=1, strategy="vectorized")
+            run_batch(g, "push", trials=2, metric="hit", target=1,
+                      strategy="vectorized")
 
     def test_bad_strategy(self, g):
         with pytest.raises(ValueError, match="strategy"):

@@ -166,7 +166,27 @@ class TestStatusAndProvenance:
         assert prov["wall_time_s"] >= 0
         assert prov["graph_name"].startswith("grid")
         assert prov["graph_n"] == 49
+        assert prov["graph_kind"] == "csr"
         assert prov["seed_entropy"][0] == 5
+
+    def test_oracle_cells_record_their_topology_kind(self):
+        spec = SweepSpec(
+            name="implicit",
+            process="cobra",
+            graph="torus_oracle",
+            graph_grid={"n": [4], "d": [2]},
+            trials=2,
+            max_steps=2000,
+        )
+        store = ResultStore()
+        report = Campaign(spec, store).run()
+        assert report.complete
+        record = store.get(spec.expand()[0])
+        prov = record["provenance"]
+        assert prov["graph_kind"] == "torus"
+        assert prov["graph_n"] == 25
+        # the kind is queryable through the Frame row schema
+        assert store.frame().column("graph_kind") == ["torus"]
 
     def test_serial_engine_label_for_min_metric(self):
         spec = SweepSpec(

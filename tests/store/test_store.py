@@ -163,3 +163,56 @@ class TestFrame:
         table = store.frame().to_table(["g_n", "k", "mean", "absent"], title="t")
         text = table.render()
         assert "t" in text and "-" in text
+
+    def test_groupby_single_column(self, cells):
+        store = ResultStore()
+        for i, c in enumerate(cells):
+            put_fake(store, c, [float(i)])
+        groups = dict(store.frame().groupby("k"))
+        assert set(groups) == {1, 2}
+        assert all(len(sub) == 2 for sub in groups.values())
+        assert set(groups[1].column("k")) == {1}
+
+    def test_groupby_multiple_columns_keys_are_tuples(self, cells):
+        store = ResultStore()
+        for c in cells:
+            put_fake(store, c, [1.0])
+        groups = store.frame().groupby("k", "g_n")
+        assert len(groups) == 4
+        assert all(isinstance(key, tuple) and len(sub) == 1
+                   for key, sub in groups)
+
+    def test_groupby_preserves_first_appearance_order(self, cells):
+        store = ResultStore()
+        for c in cells:
+            put_fake(store, c, [1.0])
+        keys = [key for key, _ in store.frame().sort_by("g_n").groupby("g_n")]
+        assert keys == sorted(keys)
+
+    def test_groupby_needs_a_column(self, cells):
+        with pytest.raises(ValueError, match="at least one column"):
+            ResultStore().frame().groupby()
+
+    def test_aggregate_mean_per_group(self, cells):
+        store = ResultStore()
+        for c in cells:
+            n = dict(c.graph_params)["n"]
+            put_fake(store, c, [float(n), float(n) + 2.0])
+        rows = store.frame().aggregate("g_n")
+        assert {r["g_n"]: r["mean"] for r in rows} == {6: 7.0, 8: 9.0}
+        assert all(r["rows"] == 2 for r in rows)
+
+    def test_aggregate_count_and_max(self, cells):
+        store = ResultStore()
+        for i, c in enumerate(cells):
+            put_fake(store, c, [float(i)])
+        counts = store.frame().aggregate("k", agg="count")
+        assert all(r["count"] == 2 for r in counts)
+        peaks = store.frame().aggregate("k", column="mean", agg="max")
+        assert all(r["max"] >= 0.0 for r in peaks)
+
+    def test_aggregate_rejects_unknown_reduction(self, cells):
+        store = ResultStore()
+        put_fake(store, cells[0], [1.0])
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            store.frame().aggregate("k", agg="mode")

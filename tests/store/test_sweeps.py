@@ -8,10 +8,13 @@ from repro.store.sweeps import base_compare_graphs
 EXPECTED_SWEEPS = {
     "BASE_compare",
     "BRW_minima",
+    "C9_expander",
     "DEMO_grid2x2",
     "KCOBRA_k",
+    "SCALE_torus_vs_hypercube",
     "STAR_lb",
     "T15_regular",
+    "T20_general",
     "T3_grid",
     "TREES_kary",
 }
@@ -112,6 +115,49 @@ class TestDemoGrid2x2:
         (full,) = build_sweep("DEMO_grid2x2", scale="full")
         assert len(quick.expand()) == 4
         assert [c.hash for c in quick.expand()] == [c.hash for c in full.expand()]
+
+
+class TestC9Expander:
+    def test_two_arms_with_capped_rw_ladder(self):
+        cobra, rw = build_sweep("C9_expander", seed=2)
+        assert cobra.process == "cobra" and rw.process == "simple"
+        assert set(rw.graph_grid["n"]) <= set(cobra.graph_grid["n"])
+        assert max(rw.graph_grid["n"]) <= 512  # quick rw budget cap
+
+
+class TestT20General:
+    def test_witness_arms_cover_both_families(self):
+        specs = build_sweep("T20_general", seed=2)
+        names = [s.name for s in specs]
+        for witness in ("lollipop", "barbell"):
+            assert f"T20_general/{witness}/cobra" in names
+        rw = [s for s in specs if s.name.endswith("/rw")]
+        assert rw and all(s.process == "simple" for s in rw)
+        for s in rw:
+            (n,) = s.graph_grid["n"]
+            assert s.max_steps == 60 * n**3  # the cubic serial budget
+
+
+class TestScaleTorusVsHypercube:
+    def test_quick_arms_are_oracle_built(self):
+        torus, cube = build_sweep("SCALE_torus_vs_hypercube", seed=2)
+        assert torus.graph == "torus_oracle"
+        assert cube.graph == "hypercube_oracle"
+        for spec in (torus, cube):
+            (cell,) = spec.expand()
+            g = cell.build_graph()
+            assert g.kind in ("torus", "hypercube")
+
+    def test_full_scale_is_the_million_vertex_pair(self):
+        torus, cube = build_sweep(
+            "SCALE_torus_vs_hypercube", scale="full", seed=2
+        )
+        (tcell,) = torus.expand()
+        (ccell,) = cube.expand()
+        # size check without building: the axes name the constructions
+        assert dict(tcell.graph_params) == {"n": 999, "d": 2}  # 1000^2
+        assert dict(ccell.graph_params) == {"dim": 20}  # 2^20
+        assert torus.max_steps == cube.max_steps == 256
 
 
 class TestBrwMinima:

@@ -68,8 +68,26 @@ class TestBenchEmit:
         assert path.parent == tmp_path / "out"
 
 
+class TestImplicitBudgetSmoke:
+    def test_million_vertex_cell_passes_under_budget(self):
+        smoke = load_script("ci/smoke_implicit_budget.py")
+        assert smoke.main() == 0
+
+    def test_sweep_is_registered(self):
+        from repro.store import sweep_names
+
+        smoke = load_script("ci/smoke_implicit_budget.py")
+        assert smoke.SWEEP in sweep_names()
+
+
 @pytest.mark.parametrize(
-    "script", ["ci/smoke_sweep_resume.py", "ci/smoke_dispatch.py"]
+    "script",
+    [
+        "ci/smoke_sweep_resume.py",
+        "ci/smoke_dispatch.py",
+        "ci/smoke_implicit_budget.py",
+        "benchmarks/bench_implicit.py",
+    ],
 )
 def test_ci_workflow_runs_the_extracted_scripts(script):
     ci = (REPO / ".github" / "workflows" / "ci.yml").read_text(encoding="utf-8")
