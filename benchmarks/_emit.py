@@ -8,6 +8,12 @@ of structured documents instead of log lines.  Locally::
 
 ``BENCH_OUT`` picks the output directory (default: the working
 directory).
+
+Schema 2 stamps the execution environment into every document —
+hostname, CPU count, numpy/numba versions, and which engine backend
+produced the numbers — so a regression flagged by
+``ci/check_bench_regression.py`` can be told apart from a machine
+change at a glance.
 """
 
 from __future__ import annotations
@@ -19,8 +25,38 @@ import sys
 import time
 from pathlib import Path
 
+#: bumped whenever stamped fields change shape; the regression gate
+#: and the smoke tests pin this
+SCHEMA_VERSION = 2
 
-def emit_bench_json(name: str, payload: dict, out_dir: str | None = None) -> Path:
+
+def _environment_stamp() -> dict:
+    """The machine/toolchain fields stamped into every document."""
+    import numpy
+
+    try:
+        import numba
+
+        numba_version: str | None = numba.__version__
+    except ImportError:
+        numba_version = None
+    return {
+        "hostname": platform.node(),
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy_version": numpy.__version__,
+        "numba_version": numba_version,
+    }
+
+
+def emit_bench_json(
+    name: str,
+    payload: dict,
+    out_dir: str | None = None,
+    *,
+    backend: str = "numpy",
+) -> Path:
     """Write one ``BENCH_<name>.json`` document and return its path.
 
     Parameters
@@ -33,6 +69,10 @@ def emit_bench_json(name: str, payload: dict, out_dir: str | None = None) -> Pat
     out_dir : str, optional
         Output directory; default ``$BENCH_OUT`` or the working
         directory.
+    backend : str, optional
+        The engine backend that produced the measurements (``"numpy"``
+        unless the script dispatched compiled kernels); stamped, never
+        interpreted.
 
     Returns
     -------
@@ -43,11 +83,11 @@ def emit_bench_json(name: str, payload: dict, out_dir: str | None = None) -> Pat
     out.mkdir(parents=True, exist_ok=True)
     doc = {
         "bench": name,
-        "schema": 1,
+        "schema": SCHEMA_VERSION,
         # provenance stamp on a build artifact — never hashed or seeded
         "created_unix": round(time.time(), 3),  # repro-lint: disable=RPL103
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        "backend": backend,
+        **_environment_stamp(),
         **payload,
     }
     path = out / f"BENCH_{name}.json"

@@ -1,0 +1,130 @@
+"""Benchmark: the compiled (numba) backend vs the NumPy engines.
+
+The acceptance bar for the compiled backend: with numba installed, at
+least three engines must run >= 3x faster than the NumPy backend at 64
+trials on a 10^5-vertex implicit-oracle topology (``hypercube_oracle(17)``,
+131072 vertices, lowered to CSR for the kernels).  Step budgets bound
+each cell so the comparison times a fixed amount of work; budget
+exhaustion (NaN trial values) is fine — both backends exhaust the same
+budget on the same seeds, bit-for-bit.
+
+Without numba the script still emits the NumPy timings (with
+``numba_ms`` null and ``numba_available`` false) so the committed
+baseline tracks the fallback path on machines where the compiled one
+cannot run.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernels_numba.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.graphs import hypercube_oracle
+from repro.sim import run_batch
+from repro.sim.kernels_numba import NUMBA_AVAILABLE
+
+SEED = 2016
+TRIALS = 64
+ROUNDS = 3
+DIM = 17  # 2^17 = 131072 vertices
+BAR = 3.0
+
+#: (engine, per-call kwargs) — step budgets (and walt's walker
+#: density) keep every cell bounded and the whole run under a minute
+CASES: list[tuple[str, dict]] = [
+    ("cobra", {"max_steps": 10}),
+    ("parallel", {"walkers": 4, "max_steps": 192}),
+    ("walt", {"delta": 0.02, "max_steps": 48}),
+    ("simple", {"metric": "hit", "target": (1 << DIM) - 1, "max_steps": 4096}),
+]
+
+
+def _best_of(fn) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        t0 = time.process_time()
+        fn()
+        best = min(best, time.process_time() - t0)
+    return best
+
+
+def measure() -> list[dict]:
+    """Per-engine numpy/numba timings, interleaved best-of-ROUNDS."""
+    g = hypercube_oracle(DIM)
+    out = []
+    for engine, kwargs in CASES:
+        def numpy_side():
+            run_batch(g, engine, trials=TRIALS, seed=SEED,
+                      strategy="vectorized", backend="numpy", **kwargs)
+
+        def numba_side():
+            run_batch(g, engine, trials=TRIALS, seed=SEED,
+                      strategy="vectorized", backend="numba", **kwargs)
+
+        numpy_side()  # warm-up: allocator pools, (and JIT, with numba)
+        if NUMBA_AVAILABLE:
+            numba_side()
+        numpy_ms = numba_ms = float("inf")
+        for _ in range(ROUNDS):
+            t0 = time.process_time()
+            numpy_side()
+            numpy_ms = min(numpy_ms, time.process_time() - t0)
+            if NUMBA_AVAILABLE:
+                t0 = time.process_time()
+                numba_side()
+                numba_ms = min(numba_ms, time.process_time() - t0)
+        case = {
+            "engine": engine,
+            "params": {k: v for k, v in kwargs.items()},
+            "numpy_ms": round(numpy_ms * 1e3, 3),
+            "numba_ms": round(numba_ms * 1e3, 3) if NUMBA_AVAILABLE else None,
+            "speedup": (
+                round(numpy_ms / numba_ms, 3) if NUMBA_AVAILABLE else None
+            ),
+        }
+        out.append(case)
+    return out
+
+
+def main() -> int:
+    cases = measure()
+    fast = 0
+    for c in cases:
+        speedup = c["speedup"]
+        print(
+            f"{c['engine']:<10} numpy {c['numpy_ms']:9.1f} ms | "
+            f"numba {c['numba_ms'] if c['numba_ms'] is not None else '   --'} ms | "
+            f"speedup {speedup if speedup is not None else '--'}"
+        )
+        if speedup is not None and speedup >= BAR:
+            fast += 1
+    from _emit import emit_bench_json
+
+    emit_bench_json(
+        "kernels_numba",
+        {
+            "graph": f"hypercube_oracle({DIM})",
+            "n": 1 << DIM,
+            "trials": TRIALS,
+            "rounds": ROUNDS,
+            "bar": BAR,
+            "numba_available": NUMBA_AVAILABLE,
+            "cases": cases,
+            "engines_past_bar": fast,
+        },
+        backend="numba" if NUMBA_AVAILABLE else "numpy",
+    )
+    if not NUMBA_AVAILABLE:
+        print("numba not importable: NumPy-backend timings only (pass)")
+        return 0
+    if fast < 3:
+        print(f"only {fast} engines past the {BAR}x bar (need 3)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

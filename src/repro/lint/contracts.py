@@ -61,6 +61,19 @@ DOC_ANCHORS: dict[str, tuple[str, ...]] = {
         "content-addressed",
         "The lint layer",
         "repro.lint",
+        "Backend selection",
+        "kernels_numba",
+        "vectorized[numba]",
+        "bit-exact",
+    ),
+    "docs/benchmarks.md": (
+        "regression gate",
+        "BENCH_",
+        "emit_bench_json",
+        "check_bench_regression",
+        "schema: 2",
+        "bench-artifacts",
+        "threshold",
     ),
     "docs/sweeps.md": (
         "SweepSpec schema",
@@ -87,6 +100,7 @@ DOC_ANCHORS: dict[str, tuple[str, ...]] = {
         "expires_unix",
         "Implicit topologies",
         "graph_kind",
+        "`backend`",
     ),
     "docs/static-analysis.md": (
         "Rule table",

@@ -228,6 +228,8 @@ def select_execution_path(
     strategy: str = "auto",
     shards: int | None = None,
     processes: int | None = None,
+    backend: str = "auto",
+    graph: Any | None = None,
 ) -> str:
     """The execution path :func:`run_batch` takes for these arguments.
 
@@ -247,12 +249,74 @@ def select_execution_path(
         Sharded-executor request (wins over everything else).
     processes : int or None
         Effective pool width (the caller resolves the CLI default).
+    backend : str
+        Vectorized-engine backend: ``"auto"`` (default — the compiled
+        numba kernels wherever available, NumPy otherwise),
+        ``"numpy"``, or ``"numba"`` (raises :class:`RuntimeError` when
+        numba is not installed, :class:`ValueError` when the pair has
+        no kernel or the arguments select a non-vectorized path).
+    graph : Graph or NeighborOracle, optional
+        When given, ``backend="auto"`` falls back to NumPy for graphs
+        the kernels cannot lower to CSR (implicit oracles above the
+        ``to_csr`` ceiling) instead of failing later.
 
     Returns
     -------
     str
-        ``"sharded"``, ``"vectorized"``, ``"pool"``, or ``"serial"``.
+        ``"sharded"``, ``"vectorized"``, ``"vectorized[numba]"``,
+        ``"pool"``, or ``"serial"``.
     """
+    if backend not in ("auto", "numpy", "numba"):
+        raise ValueError(f"unknown backend {backend!r}; use auto|numpy|numba")
+    path = _select_strategy_path(
+        spec, metric, strategy=strategy, shards=shards, processes=processes
+    )
+    if path != "vectorized" or backend == "numpy":
+        if backend == "numba" and path != "vectorized":
+            raise ValueError(
+                "backend='numba' drives the vectorized engines only, but "
+                f"these arguments select the {path!r} path; drop "
+                "shards=/processes= or use strategy='vectorized'"
+            )
+        return path
+    from . import kernels_numba
+
+    kernel = kernels_numba.kernel_for(spec.name, metric)
+    lowers = graph is None or kernels_numba.lowerable(graph)
+    if backend == "numba":
+        if not kernels_numba.NUMBA_AVAILABLE:
+            raise RuntimeError(
+                "backend='numba' requested but numba is not importable in "
+                "this environment; install numba or use backend='auto' "
+                "(which falls back to the NumPy engines)"
+            )
+        if kernel is None:
+            raise ValueError(
+                f"no compiled kernel for process {spec.name!r} with metric "
+                f"{metric!r}; use backend='numpy' or backend='auto'"
+            )
+        if not lowers:
+            raise ValueError(
+                "the compiled backend lowers graphs to CSR, which this "
+                "implicit oracle refuses at its vertex count; use "
+                "backend='numpy'"
+            )
+        return "vectorized[numba]"
+    if kernels_numba.NUMBA_AVAILABLE and kernel is not None and lowers:
+        return "vectorized[numba]"
+    return "vectorized"
+
+
+def _select_strategy_path(
+    spec: ProcessSpec,
+    metric: str,
+    *,
+    strategy: str,
+    shards: int | None,
+    processes: int | None,
+) -> str:
+    """The backend-agnostic half of :func:`select_execution_path`:
+    sharded / vectorized / pool / serial."""
     if shards is not None:
         return "sharded"
     if metric in ("cover", "spread"):
@@ -571,6 +635,7 @@ def run_batch(
     shards: int | None = None,
     max_workers: int | None = None,
     strategy: str = "auto",
+    backend: str = "auto",
     **params: Any,
 ) -> TrialSummary:
     """Run *trials* independent trials and summarise the outcomes.
@@ -631,6 +696,15 @@ def run_batch(
         ``min(shards, cpu_count)``; ``1`` = inline, same values).
     strategy : str
         ``"auto"`` (default), ``"vectorized"``, or ``"serial"``.
+    backend : str
+        Vectorized-engine backend — ``"auto"`` (default), ``"numpy"``,
+        or ``"numba"``.  ``"auto"`` takes the compiled numba kernels
+        whenever numba is importable, the process/metric pair has one,
+        and the graph lowers to CSR; it falls back to the NumPy
+        engines otherwise.  ``"numba"`` forces the compiled kernels
+        (clear error when unavailable); the compiled engines are
+        bit-exact twins of the NumPy ones, so values never depend on
+        the backend.
     **params : Any
         Process-specific knobs forwarded to the factory/engine.
 
@@ -686,9 +760,15 @@ def run_batch(
     )
 
     path = select_execution_path(
-        spec, metric, strategy=strategy, shards=shards, processes=processes
+        spec,
+        metric,
+        strategy=strategy,
+        shards=shards,
+        processes=processes,
+        backend=backend,
+        graph=graph,
     )
-    if path != "vectorized" and not isinstance(graph, Graph):
+    if not path.startswith("vectorized") and not isinstance(graph, Graph):
         raise ValueError(
             f"the {path!r} execution path steps CSR edge arrays, which an "
             "implicit NeighborOracle does not carry; use "
@@ -710,8 +790,15 @@ def run_batch(
             max_workers=max_workers,
         )
 
-    if path == "vectorized":
-        engine = spec.batch_cover if metric in ("cover", "spread") else spec.batch_hit
+    if path.startswith("vectorized"):
+        if path == "vectorized[numba]":
+            from . import kernels_numba
+
+            engine = kernels_numba.kernel_for(spec.name, metric)
+        else:
+            engine = (
+                spec.batch_cover if metric in ("cover", "spread") else spec.batch_hit
+            )
         kwargs = dict(params)
         if metric == "hit":
             kwargs["target"] = target

@@ -1,0 +1,950 @@
+"""Compiled (numba) backend for the hottest batched trial engines.
+
+The NumPy engines in :mod:`repro.sim.batch` advance all trials in one
+flat ``(trials * n,)`` state but still pay one Python-level numpy-call
+cascade per global step.  This module provides drop-in twins for the
+hottest flat-frontier loops — cobra cover/hit, simple/parallel walks,
+Walt — whose per-step deterministic work (degree gathers, CSR neighbor
+indexing, dedupe scans, coverage counting) runs inside ``@njit``
+kernels, selected through ``select_execution_path(backend=...)``.
+
+**Bit-exactness contract.**  Every engine here is *bit-exact* against
+its NumPy twin: same seed, same values, for every graph both backends
+accept.  The strategy is strict RNG-stream discipline —
+
+* every ``rng.*`` draw stays at Python level, in the exact Generator
+  call order, sizes and dtypes of the NumPy engine (one interleaved
+  stream, per the engines' documented contract);
+* kernels consume the pre-drawn uniform arrays and do only
+  deterministic work; a kernel never constructs or advances an RNG
+  (enforced statically by repro-lint rule RPL140);
+* per-element scalar float ops (``u·d``, ``floor``, int64 truncation)
+  are IEEE-identical to numpy's vectorized in-place ops, and numba
+  compiles them without fastmath contraction, so even the float32
+  cobra pair-draw path matches bit for bit.
+
+**Graph lowering.**  Kernels index raw CSR ``indptr``/``indices``
+arrays.  A CSR :class:`~repro.graphs.base.Graph` lowers for free; an
+arithmetic oracle (torus, hypercube, circulant, Kronecker) lowers via
+:func:`repro.graphs.implicit.to_csr`, which refuses above 5M vertices
+— the NumPy backend stays the million-vertex path (an arithmetic
+oracle is pinned seed-for-seed identical to its materialised CSR twin
+by ``tests/graphs/test_implicit.py``, so lowering preserves the
+stream).  Visited state is a dense ``bool[a*n]`` array rather than the
+NumPy engines' bit-packed masks; mask backend choice never touches the
+RNG stream, so values are unaffected (``repro.sim.bitmask``) — the
+trade is ``n`` bytes/trial of footprint for branch-free kernel writes.
+
+**Fallback.**  When numba is not importable the module still imports:
+``NUMBA_AVAILABLE`` is ``False`` and ``_njit`` degrades to the
+identity decorator, so every kernel runs as pure (slow) Python.  The
+facade never *selects* this backend without numba unless explicitly
+forced, but the conformance suite monkeypatches ``NUMBA_AVAILABLE``
+to exercise the full dispatch path and verify seed-for-seed parity
+even on numba-less machines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TypeVar
+
+import numpy as np
+
+from ..graphs.base import Graph
+from ..graphs.implicit import NeighborOracle, as_oracle, to_csr
+from .batch import (
+    GraphLike,
+    _check_samplable,
+    _cobra_ftype,
+    _degree_table,
+    _validated_start,
+    _walt_initial_positions,
+)
+from .rng import SeedLike, resolve_rng
+
+__all__ = [
+    "KERNEL_ENGINES",
+    "NUMBA_AVAILABLE",
+    "csr_arrays",
+    "kernel_for",
+    "lowerable",
+    "numba_cobra_cover_trials",
+    "numba_cobra_hit_trials",
+    "numba_parallel_cover_trials",
+    "numba_simple_cover_trials",
+    "numba_simple_hit_trials",
+    "numba_walt_cover_trials",
+    "numba_walt_hit_trials",
+]
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _numba_njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the repo CI image has numba
+    _numba_njit = None
+    NUMBA_AVAILABLE = False
+
+
+def _njit(func: _F) -> _F:
+    """``numba.njit(cache=True)`` when numba is importable, identity
+    otherwise — kernels stay runnable (as pure Python) either way, so
+    the conformance suite can pin bit-exactness on numba-less hosts."""
+    if _numba_njit is None:
+        return func
+    return _numba_njit(cache=True)(func)  # type: ignore[no-any-return]
+
+
+def csr_arrays(graph: GraphLike) -> tuple[np.ndarray, np.ndarray]:
+    """``(indptr, indices)`` for the kernels, lowering oracles via
+    :func:`~repro.graphs.implicit.to_csr` (refused above 5M vertices —
+    use the NumPy backend there)."""
+    csr = graph if isinstance(graph, Graph) else to_csr(as_oracle(graph))
+    return csr.indptr, csr.indices
+
+
+# ----------------------------------------------------------------------
+# kernels: deterministic work only — no RNG in here (RPL140)
+# ----------------------------------------------------------------------
+@_njit
+def _cobra_pair_candidates(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    deg_f: np.ndarray,
+    u: np.ndarray,
+    front: np.ndarray,
+    n: int,
+    cand: np.ndarray,
+) -> None:
+    """Scatter both ``k == 2`` cobra destinations per frontier id into
+    *cand* (``2F`` flat ids) from one uniform per id: ``i1 = ⌊u·d⌋``
+    and the leftover fraction re-scaled — the same exact-in-floating-
+    point split as the NumPy engines' pair path, evaluated per element
+    in the table's float width so float32 cells match bit for bit."""
+    for i in range(front.size):
+        v = front[i] % n
+        base = front[i] - v
+        d = deg_f[v]
+        uu = u[i] * d
+        first = np.floor(uu)
+        rem = (uu - first) * d
+        lo = indptr[v]
+        cand[2 * i] = indices[lo + np.int64(first)] + base
+        cand[2 * i + 1] = indices[lo + np.int64(rem)] + base
+
+
+@_njit
+def _cobra_k_candidates(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    deg_f: np.ndarray,
+    u: np.ndarray,
+    front: np.ndarray,
+    n: int,
+    cand: np.ndarray,
+) -> None:
+    """Scatter the ``k`` independent cobra destinations per frontier id
+    into *cand* (``k·F`` flat ids); ``u`` is the engines' ``(k, F)``
+    uniform block."""
+    k = u.shape[0]
+    f = front.size
+    for j in range(k):
+        for i in range(f):
+            v = front[i] % n
+            lo = indptr[v]
+            slot = np.int64(u[j, i] * deg_f[v])
+            cand[j * f + i] = indices[lo + slot] + (front[i] - v)
+
+
+@_njit
+def _dedupe_cover(
+    cand: np.ndarray,
+    n: int,
+    covered: np.ndarray,
+    count: np.ndarray,
+    out_front: np.ndarray,
+) -> int:
+    """Scan **sorted** candidate flat ids: write the unique ids to
+    *out_front* (returning the new frontier size) and fuse the
+    first-visit test-and-set plus per-trial cover counting — the
+    kernel equivalent of ``scratch.nonzero()`` +
+    ``BitMask.test_and_set_sorted`` + ``bincount``."""
+    m = 0
+    prev = np.int64(-1)
+    for i in range(cand.size):
+        c = cand[i]
+        if c == prev:
+            continue
+        prev = c
+        out_front[m] = c
+        m += 1
+        if not covered[c]:
+            covered[c] = True
+            count[c // n] += 1
+    return m
+
+
+@_njit
+def _dedupe_hit(
+    cand: np.ndarray,
+    n: int,
+    target: int,
+    hit: np.ndarray,
+    out_front: np.ndarray,
+) -> int:
+    """The hit-engine variant of :func:`_dedupe_cover`: no visit
+    ledger, just the unique frontier plus per-trial target flags."""
+    m = 0
+    prev = np.int64(-1)
+    for i in range(cand.size):
+        c = cand[i]
+        if c == prev:
+            continue
+        prev = c
+        out_front[m] = c
+        m += 1
+        r = c // n
+        if c - r * n == target:
+            hit[r] = True
+    return m
+
+
+@_njit
+def _walk_cover_step(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    u: np.ndarray,
+    pos: np.ndarray,
+    covered: np.ndarray,
+    count: np.ndarray,
+    out: np.ndarray,
+    done: np.ndarray,
+    n: int,
+    t: int,
+) -> bool:
+    """One lock-step move of every single-walker trial (simple walk):
+    neighbor pick from the pre-drawn uniforms, first-visit coverage,
+    completion stamping.  Returns whether every trial has finished."""
+    all_done = True
+    for r in range(pos.size):
+        v = pos[r]
+        lo = indptr[v]
+        d = indptr[v + 1] - lo
+        p = indices[lo + np.int64(u[r] * d)]
+        pos[r] = p
+        flat = r * n + p
+        if not covered[flat]:
+            covered[flat] = True
+            count[r] += 1
+            if not done[r] and count[r] == n:
+                out[r] = t
+                done[r] = True
+    for r in range(done.size):
+        if not done[r]:
+            all_done = False
+            break
+    return all_done
+
+
+@_njit
+def _walk_hit_step(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    u: np.ndarray,
+    pos: np.ndarray,
+    out: np.ndarray,
+    alive: np.ndarray,
+    target: int,
+    t: int,
+) -> bool:
+    """One lock-step move of every single-walker trial with target
+    detection; finished trials keep stepping (the NumPy engine's RNG
+    contract).  Returns whether any trial is still unhit."""
+    any_alive = False
+    for r in range(pos.size):
+        v = pos[r]
+        lo = indptr[v]
+        d = indptr[v + 1] - lo
+        p = indices[lo + np.int64(u[r] * d)]
+        pos[r] = p
+        if alive[r] and p == target:
+            out[r] = t
+            alive[r] = False
+        if alive[r]:
+            any_alive = True
+    return any_alive
+
+
+@_njit
+def _parallel_cover_step(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    u: np.ndarray,
+    pos: np.ndarray,
+    trial_base: np.ndarray,
+    covered: np.ndarray,
+    count: np.ndarray,
+    out: np.ndarray,
+    done: np.ndarray,
+    n: int,
+    t: int,
+) -> bool:
+    """One lock-step move of all ``trials × walkers`` positions with
+    first-wins coverage (first-wins over a dense mask counts each
+    freshly covered vertex exactly once — the kernel equivalent of the
+    NumPy engine's ``np.unique`` + ``bincount``)."""
+    for i in range(pos.size):
+        v = pos[i]
+        lo = indptr[v]
+        d = indptr[v + 1] - lo
+        p = indices[lo + np.int64(u[i] * d)]
+        pos[i] = p
+        flat = trial_base[i] + p
+        if not covered[flat]:
+            covered[flat] = True
+            count[flat // n] += 1
+    all_done = True
+    for r in range(count.size):
+        if not done[r]:
+            if count[r] == n:
+                out[r] = t
+                done[r] = True
+            else:
+                all_done = False
+    return all_done
+
+
+@_njit
+def _walt_group(
+    rowbase: np.ndarray,
+    flat_pos: np.ndarray,
+    tmp: np.ndarray,
+    tmp2: np.ndarray,
+    leader: np.ndarray,
+    vice: np.ndarray,
+) -> tuple[int, int]:
+    """Per-(trial, vertex) pebble grouping for one Walt move, matching
+    :func:`repro.sim.batch._walt_move_batch`'s duplicate-scatter rule:
+    the *leader* of a group is its last occurrence (last-write-wins),
+    the *vice* the last non-leader occurrence.  Returns ``(L, V)``,
+    the leader and vice counts, which size the caller's uniform draws.
+
+    ``tmp``/``tmp2`` deliberately carry stale values between calls:
+    every read is at a key written earlier in the same call."""
+    mp = flat_pos.size
+    for i in range(mp):
+        tmp[rowbase[i] + flat_pos[i]] = i
+    num_leaders = 0
+    for i in range(mp):
+        if tmp[rowbase[i] + flat_pos[i]] == i:
+            leader[i] = True
+            num_leaders += 1
+        else:
+            leader[i] = False
+        vice[i] = False
+    for i in range(mp):
+        if not leader[i]:
+            tmp2[rowbase[i] + flat_pos[i]] = i
+    num_vice = 0
+    for i in range(mp):
+        if not leader[i] and tmp2[rowbase[i] + flat_pos[i]] == i:
+            vice[i] = True
+            num_vice += 1
+    return num_leaders, num_vice
+
+
+@_njit
+def _walt_move(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    rowbase: np.ndarray,
+    flat_pos: np.ndarray,
+    leader: np.ndarray,
+    vice: np.ndarray,
+    u1: np.ndarray,
+    u2: np.ndarray,
+    u3: np.ndarray,
+    d1: np.ndarray,
+    d2: np.ndarray,
+    newpos: np.ndarray,
+) -> None:
+    """Apply one grouped Walt move from the pre-drawn uniforms: leaders
+    walk on ``u1``, vices on ``u2``, followers coin-flip (``u3 < 0.5``
+    picks the leader's destination) — draw-for-draw the NumPy move's
+    boolean-mask order, realised as increasing-index scans."""
+    mp = flat_pos.size
+    jl = 0
+    for i in range(mp):
+        if leader[i]:
+            v = flat_pos[i]
+            lo = indptr[v]
+            d = indptr[v + 1] - lo
+            p = indices[lo + np.int64(u1[jl] * d)]
+            jl += 1
+            newpos[i] = p
+            d1[rowbase[i] + v] = p
+    jv = 0
+    for i in range(mp):
+        if vice[i]:
+            v = flat_pos[i]
+            lo = indptr[v]
+            d = indptr[v + 1] - lo
+            p = indices[lo + np.int64(u2[jv] * d)]
+            jv += 1
+            newpos[i] = p
+            d2[rowbase[i] + v] = p
+    jf = 0
+    for i in range(mp):
+        if not leader[i] and not vice[i]:
+            key = rowbase[i] + flat_pos[i]
+            if u3[jf] < 0.5:
+                newpos[i] = d1[key]
+            else:
+                newpos[i] = d2[key]
+            jf += 1
+
+
+@_njit
+def _walt_cover_update(
+    rowbase: np.ndarray,
+    newpos: np.ndarray,
+    covered: np.ndarray,
+    count: np.ndarray,
+    n: int,
+) -> bool:
+    """First-wins coverage of the moved pebble block; returns whether
+    any vertex was freshly covered."""
+    changed = False
+    for i in range(newpos.size):
+        flat = rowbase[i] + newpos[i]
+        if not covered[flat]:
+            covered[flat] = True
+            count[flat // n] += 1
+            changed = True
+    return changed
+
+
+# ----------------------------------------------------------------------
+# engines: validation + RNG at Python level, kernels below
+# ----------------------------------------------------------------------
+def _compact_covered(covered: np.ndarray, keep: np.ndarray, n: int) -> np.ndarray:
+    """Drop finished trials' rows from the flat ``bool[a*n]`` ledger."""
+    kept = covered.reshape(keep.size, n)[keep]
+    return np.ascontiguousarray(kept).reshape(-1)
+
+
+def numba_cobra_cover_trials(
+    graph: GraphLike,
+    *,
+    trials: int,
+    k: int = 2,
+    start: int | np.ndarray = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Compiled twin of
+    :func:`repro.sim.batch.batched_cobra_cover_trials` — bit-exact at
+    every seed (same draws, same values, ``np.nan`` on budget)."""
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
+    if k < 1:
+        raise ValueError(f"branching factor k must be >= 1, got {k}")
+    n = oracle.n
+    start_arr = _validated_start(oracle, start)
+    if max_steps is None:
+        from ..core.cobra import _default_budget
+
+        max_steps = _default_budget(n)
+    rng = resolve_rng(seed)
+
+    out = np.full(trials, np.nan)
+    if start_arr.size == n:
+        out[:] = 0.0
+        return out
+
+    pair, ftype = _cobra_ftype(oracle, k)
+    indptr, indices = csr_arrays(graph)
+    deg_f = _degree_table(oracle, ftype)
+    nn = np.int64(n)
+
+    a = trials
+    alive = np.arange(trials)
+    front = (
+        np.repeat(np.arange(a, dtype=np.int64) * n, start_arr.size)
+        + np.tile(start_arr, a)
+    )
+    covered = np.zeros(a * n, dtype=bool)
+    covered[front] = True
+    count = np.full(a, start_arr.size, dtype=np.int64)
+
+    for t in range(1, max_steps + 1):
+        f = front.size
+        if pair:
+            u = rng.random(f, dtype=ftype)
+            cand = np.empty(2 * f, dtype=np.int64)
+            _cobra_pair_candidates(indptr, indices, deg_f, u, front, nn, cand)
+        else:
+            u = rng.random((k, f), dtype=ftype)
+            cand = np.empty(k * f, dtype=np.int64)
+            _cobra_k_candidates(indptr, indices, deg_f, u, front, nn, cand)
+        cand.sort()
+        buf = np.empty(cand.size, dtype=np.int64)
+        m = _dedupe_cover(cand, nn, covered, count, buf)
+        front = buf[:m]
+        done = count == n
+        if done.any():
+            out[alive[done]] = t
+            keep = ~done
+            alive = alive[keep]
+            a = alive.size
+            if a == 0:
+                break
+            count = count[keep]
+            rows = front // nn
+            keep_front = keep[rows]
+            remap = np.cumsum(keep) - 1
+            front = remap[rows[keep_front]] * n + front[keep_front] % nn
+            covered = _compact_covered(covered, keep, n)
+    return out
+
+
+def numba_cobra_hit_trials(
+    graph: GraphLike,
+    target: int,
+    *,
+    trials: int,
+    k: int = 2,
+    start: int | np.ndarray = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Compiled twin of
+    :func:`repro.sim.batch.batched_cobra_hit_trials` — bit-exact at
+    every seed."""
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
+    if k < 1:
+        raise ValueError(f"branching factor k must be >= 1, got {k}")
+    n = oracle.n
+    if not (0 <= target < n):
+        raise ValueError("target out of range")
+    start_arr = _validated_start(oracle, start)
+    if max_steps is None:
+        from ..core.cobra import _default_budget
+
+        max_steps = _default_budget(n)
+    rng = resolve_rng(seed)
+
+    out = np.full(trials, np.nan)
+    if target in start_arr:
+        out[:] = 0.0
+        return out
+
+    pair, ftype = _cobra_ftype(oracle, k)
+    indptr, indices = csr_arrays(graph)
+    deg_f = _degree_table(oracle, ftype)
+    nn = np.int64(n)
+
+    a = trials
+    alive = np.arange(trials)
+    front = (
+        np.repeat(np.arange(a, dtype=np.int64) * n, start_arr.size)
+        + np.tile(start_arr, a)
+    )
+
+    for t in range(1, max_steps + 1):
+        f = front.size
+        if pair:
+            u = rng.random(f, dtype=ftype)
+            cand = np.empty(2 * f, dtype=np.int64)
+            _cobra_pair_candidates(indptr, indices, deg_f, u, front, nn, cand)
+        else:
+            u = rng.random((k, f), dtype=ftype)
+            cand = np.empty(k * f, dtype=np.int64)
+            _cobra_k_candidates(indptr, indices, deg_f, u, front, nn, cand)
+        cand.sort()
+        buf = np.empty(cand.size, dtype=np.int64)
+        hit = np.zeros(a, dtype=bool)
+        m = _dedupe_hit(cand, nn, target, hit, buf)
+        front = buf[:m]
+        if hit.any():
+            out[alive[hit]] = t
+            keep = ~hit
+            alive = alive[keep]
+            a = alive.size
+            if a == 0:
+                break
+            rows = front // nn
+            keep_front = keep[rows]
+            remap = np.cumsum(keep) - 1
+            front = remap[rows[keep_front]] * n + front[keep_front] % nn
+    return out
+
+
+def numba_simple_cover_trials(
+    graph: GraphLike,
+    *,
+    trials: int,
+    start: int | np.ndarray = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Compiled twin of :func:`repro.walks.simple.rw_cover_trials`
+    (through the registry's single-start wrapper) — bit-exact at every
+    seed."""
+    from .builtin_processes import _scalar_start
+
+    start_v = _scalar_start(start)
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    oracle = as_oracle(graph)
+    n = oracle.n
+    if not (0 <= start_v < n):
+        raise ValueError("start out of range")
+    if max_steps is None:
+        from ..walks.simple import _cover_budget
+
+        max_steps = _cover_budget(n)
+    rng = resolve_rng(seed)
+    indptr, indices = csr_arrays(graph)
+
+    pos = np.full(trials, start_v, dtype=np.int64)
+    covered = np.zeros(trials * n, dtype=bool)
+    covered[np.arange(trials, dtype=np.int64) * n + start_v] = True
+    count = np.ones(trials, dtype=np.int64)
+    out = np.full(trials, np.nan)
+    done = np.zeros(trials, dtype=bool)
+    nn = np.int64(n)
+    for t in range(1, max_steps + 1):
+        u = rng.random(trials)
+        if _walk_cover_step(indptr, indices, u, pos, covered, count, out, done, nn, t):
+            break
+    return out
+
+
+def numba_simple_hit_trials(
+    graph: GraphLike,
+    target: int,
+    *,
+    trials: int,
+    start: int | np.ndarray = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Compiled twin of :func:`repro.walks.simple.rw_hitting_trials`
+    (through the registry's single-start wrapper) — bit-exact at every
+    seed."""
+    from .builtin_processes import _scalar_start
+
+    start_v = _scalar_start(start)
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    oracle = as_oracle(graph)
+    n = oracle.n
+    if not (0 <= target < n):
+        raise ValueError("target out of range")
+    if not (0 <= start_v < n):
+        raise ValueError("start out of range")
+    if max_steps is None:
+        from ..walks.simple import _cover_budget
+
+        max_steps = _cover_budget(n)
+    rng = resolve_rng(seed)
+    out = np.full(trials, np.nan)
+    if start_v == target:
+        return np.zeros(trials)
+    indptr, indices = csr_arrays(graph)
+    pos = np.full(trials, start_v, dtype=np.int64)
+    alive = np.ones(trials, dtype=bool)
+    for t in range(1, max_steps + 1):
+        u = rng.random(trials)
+        if not _walk_hit_step(indptr, indices, u, pos, out, alive, target, t):
+            break
+    return out
+
+
+def numba_parallel_cover_trials(
+    graph: GraphLike,
+    *,
+    trials: int,
+    walkers: int = 2,
+    start: int | np.ndarray = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Compiled twin of
+    :func:`repro.sim.batch.batched_parallel_walks_cover_trials` —
+    bit-exact at every seed."""
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
+    if walkers < 1:
+        raise ValueError("need at least one walker")
+    n = oracle.n
+    start_pos = np.atleast_1d(np.asarray(start, dtype=np.int64))
+    if start_pos.size == 1:
+        start_pos = np.full(walkers, start_pos[0], dtype=np.int64)
+    if start_pos.size != walkers:
+        raise ValueError("start must be scalar or length == walkers")
+    if start_pos.min() < 0 or start_pos.max() >= n:
+        raise ValueError("start out of range")
+    if max_steps is None:
+        from ..walks.parallel import _default_budget
+
+        max_steps = _default_budget(n, walkers)
+    rng = resolve_rng(seed)
+    indptr, indices = csr_arrays(graph)
+
+    pos = np.tile(start_pos, trials)
+    trial_base = np.repeat(np.arange(trials, dtype=np.int64) * n, walkers)
+    nn = np.int64(n)
+    covered = np.zeros(trials * n, dtype=bool)
+    covered[np.unique(trial_base + pos)] = True
+    count = np.full(trials, np.unique(start_pos).size, dtype=np.int64)
+    out = np.full(trials, np.nan)
+    done = count == n
+    out[done] = 0.0
+    if done.all():
+        return out
+
+    for t in range(1, max_steps + 1):
+        u = rng.random(pos.size)
+        if _parallel_cover_step(
+            indptr, indices, u, pos, trial_base, covered, count, out, done, nn, t
+        ):
+            break
+    return out
+
+
+_EMPTY_U = np.empty(0, dtype=np.float64)
+
+
+def _walt_move_kernels(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    positions: np.ndarray,
+    move_rows: np.ndarray,
+    rng: np.random.Generator,
+    tmp: np.ndarray,
+    tmp2: np.ndarray,
+    d1: np.ndarray,
+    d2: np.ndarray,
+    n: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One grouped Walt move via the kernels, returning the moved
+    ``(m, p)`` block and the flat per-pebble row offsets — the same
+    draws, in the same order, as
+    :func:`repro.sim.batch._walt_move_batch`."""
+    sub = positions[move_rows]
+    m, p = sub.shape
+    flat_pos = sub.ravel()
+    rowbase = np.repeat(move_rows.astype(np.int64) * n, p)
+    leader = np.empty(m * p, dtype=bool)
+    vice = np.empty(m * p, dtype=bool)
+    num_leaders, num_vice = _walt_group(rowbase, flat_pos, tmp, tmp2, leader, vice)
+    u1 = rng.random(num_leaders)
+    if num_vice:
+        u2 = rng.random(num_vice)
+        followers = m * p - num_leaders - num_vice
+        u3 = rng.random(followers) if followers else _EMPTY_U
+    else:
+        u2 = _EMPTY_U
+        u3 = _EMPTY_U
+    newpos = np.empty(m * p, dtype=np.int64)
+    _walt_move(
+        indptr, indices, rowbase, flat_pos, leader, vice, u1, u2, u3, d1, d2, newpos
+    )
+    return newpos.reshape(m, p), rowbase
+
+
+def numba_walt_cover_trials(
+    graph: GraphLike,
+    *,
+    trials: int,
+    delta: float = 0.5,
+    lazy: bool = True,
+    start: int | np.ndarray | None = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Compiled twin of
+    :func:`repro.sim.batch.batched_walt_cover_trials` — bit-exact at
+    every seed."""
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
+    if not 0 < delta <= 1:
+        raise ValueError("delta must be in (0, 1]")
+    n = oracle.n
+    p = max(1, int(delta * n))
+    if max_steps is None:
+        max_steps = max(20_000, 1000 * n)
+    rng = resolve_rng(seed)
+    indptr, indices = csr_arrays(graph)
+
+    positions = _walt_initial_positions(oracle, trials, p, start, rng)
+
+    a = trials
+    alive = np.arange(trials)
+    nn = np.int64(n)
+    covered = np.zeros(a * n, dtype=bool)
+    init_flat = np.unique(
+        (np.arange(a, dtype=np.int64) * n)[:, None] + positions
+    ).ravel()
+    covered[init_flat] = True
+    count = np.bincount(init_flat // nn, minlength=a).astype(np.int64)
+    out = np.full(trials, np.nan)
+    done0 = count == n
+    if done0.any():
+        out[done0] = 0.0
+        keep = ~done0
+        alive = alive[keep]
+        a = alive.size
+        if a == 0:
+            return out
+        positions = positions[keep]
+        count = count[keep]
+        covered = _compact_covered(covered, keep, n)
+
+    tmp = np.empty(a * n, dtype=np.int64)
+    tmp2 = np.empty(a * n, dtype=np.int64)
+    d1 = np.empty(a * n, dtype=np.int64)
+    d2 = np.empty(a * n, dtype=np.int64)
+
+    for t in range(1, max_steps + 1):
+        if lazy:
+            move_rows = (rng.random(a) >= 0.5).nonzero()[0]
+            if move_rows.size == 0:
+                continue
+        else:
+            move_rows = np.arange(a)
+        moved, rowbase = _walt_move_kernels(
+            indptr, indices, positions, move_rows, rng, tmp, tmp2, d1, d2, nn
+        )
+        positions[move_rows] = moved
+        if not _walt_cover_update(rowbase, moved.ravel(), covered, count, nn):
+            continue
+        done = count == n
+        if done.any():
+            out[alive[done]] = t
+            keep = ~done
+            alive = alive[keep]
+            a = alive.size
+            if a == 0:
+                break
+            positions = positions[keep]
+            count = count[keep]
+            covered = _compact_covered(covered, keep, n)
+            tmp = np.empty(a * n, dtype=np.int64)
+            tmp2 = np.empty(a * n, dtype=np.int64)
+            d1 = np.empty(a * n, dtype=np.int64)
+            d2 = np.empty(a * n, dtype=np.int64)
+    return out
+
+
+def numba_walt_hit_trials(
+    graph: GraphLike,
+    target: int,
+    *,
+    trials: int,
+    delta: float = 0.5,
+    lazy: bool = True,
+    start: int | np.ndarray | None = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Compiled twin of
+    :func:`repro.sim.batch.batched_walt_hit_trials` — bit-exact at
+    every seed."""
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
+    if not 0 < delta <= 1:
+        raise ValueError("delta must be in (0, 1]")
+    n = oracle.n
+    if not (0 <= target < n):
+        raise ValueError("target out of range")
+    p = max(1, int(delta * n))
+    if max_steps is None:
+        max_steps = max(20_000, 1000 * n)
+    rng = resolve_rng(seed)
+    indptr, indices = csr_arrays(graph)
+
+    positions = _walt_initial_positions(oracle, trials, p, start, rng)
+
+    out = np.full(trials, np.nan)
+    a = trials
+    alive = np.arange(trials)
+    nn = np.int64(n)
+    hit0 = (positions == target).any(axis=1)
+    if hit0.any():
+        out[hit0] = 0.0
+        keep = ~hit0
+        alive = alive[keep]
+        a = alive.size
+        if a == 0:
+            return out
+        positions = positions[keep]
+
+    tmp = np.empty(a * n, dtype=np.int64)
+    tmp2 = np.empty(a * n, dtype=np.int64)
+    d1 = np.empty(a * n, dtype=np.int64)
+    d2 = np.empty(a * n, dtype=np.int64)
+
+    for t in range(1, max_steps + 1):
+        if lazy:
+            move_rows = (rng.random(a) >= 0.5).nonzero()[0]
+            if move_rows.size == 0:
+                continue
+        else:
+            move_rows = np.arange(a)
+        moved, _ = _walt_move_kernels(
+            indptr, indices, positions, move_rows, rng, tmp, tmp2, d1, d2, nn
+        )
+        positions[move_rows] = moved
+        hit_rows = move_rows[(moved == target).any(axis=1)]
+        if hit_rows.size:
+            done = np.zeros(a, dtype=bool)
+            done[hit_rows] = True
+            out[alive[done]] = t
+            keep = ~done
+            alive = alive[keep]
+            a = alive.size
+            if a == 0:
+                break
+            positions = positions[keep]
+            tmp = np.empty(a * n, dtype=np.int64)
+            tmp2 = np.empty(a * n, dtype=np.int64)
+            d1 = np.empty(a * n, dtype=np.int64)
+            d2 = np.empty(a * n, dtype=np.int64)
+    return out
+
+
+#: compiled engines by ``(process, metric-family)``; ``"cover"`` also
+#: serves ``metric="spread"``, mirroring the facade's engine choice
+KERNEL_ENGINES: dict[tuple[str, str], Callable[..., np.ndarray]] = {
+    ("cobra", "cover"): numba_cobra_cover_trials,
+    ("cobra", "hit"): numba_cobra_hit_trials,
+    ("simple", "cover"): numba_simple_cover_trials,
+    ("simple", "hit"): numba_simple_hit_trials,
+    ("parallel", "cover"): numba_parallel_cover_trials,
+    ("walt", "cover"): numba_walt_cover_trials,
+    ("walt", "hit"): numba_walt_hit_trials,
+}
+
+
+def kernel_for(process: str, metric: str) -> Callable[..., np.ndarray] | None:
+    """The compiled engine for ``(process, metric)``, or ``None`` when
+    this backend has no kernel for the pair."""
+    key = "cover" if metric in ("cover", "spread") else metric
+    return KERNEL_ENGINES.get((process, key))
+
+
+def lowerable(graph: GraphLike) -> bool:
+    """Whether *graph* can feed the kernels: CSR always, an implicit
+    oracle only while :func:`~repro.graphs.implicit.to_csr` agrees to
+    materialise it (≤ 5M vertices) — above that the NumPy backend is
+    the only batched path."""
+    if isinstance(graph, Graph):
+        return True
+    oracle = as_oracle(graph)
+    return isinstance(oracle, NeighborOracle) and oracle.n <= 5_000_000

@@ -96,23 +96,48 @@ class CampaignReport:
         return not self.pending
 
 
-def _engine_label(process: str, metric: str, shards: int | None) -> str:
+def _engine_label(
+    process: str,
+    metric: str,
+    shards: int | None,
+    backend: str = "auto",
+    graph: Any | None = None,
+) -> str:
     """The execution path ``run_batch`` takes for a cell, for
     provenance — computed by the facade's own
     :func:`~repro.sim.facade.select_execution_path` (the one selection
     rule ``run_batch`` itself uses), so the label cannot drift from
-    what actually ran."""
+    what actually ran.  With a ``backend`` request the label records
+    the backend actually used (``"vectorized[numba]"`` only when the
+    compiled kernels really drive the cell)."""
     from ..sim.facade import get_default_processes, select_execution_path
 
     pool = get_default_processes()
     path = select_execution_path(
-        get_process(process), metric, shards=shards, processes=pool
+        get_process(process),
+        metric,
+        shards=shards,
+        processes=pool,
+        backend=backend,
+        graph=graph,
     )
     if path == "sharded":
         return f"sharded(shards={shards})"
     if path == "pool":
         return f"pool(processes={pool})"
     return path
+
+
+def _backend_used(engine_label: str) -> str:
+    """The provenance ``backend`` field from an engine label: which
+    backend actually produced the values (requests are not recorded —
+    outcomes are)."""
+    if engine_label == "vectorized[numba]":
+        return "numba"
+    if engine_label == "vectorized":
+        return "numpy"
+    # serial / pool / sharded paths step per-trial Python+numpy code
+    return "numpy"
 
 
 def run_cell(
@@ -122,6 +147,7 @@ def run_cell(
     sweep: str,
     shards: int | None = None,
     max_workers: int | None = None,
+    backend: str = "auto",
     graph_cache: dict[tuple, Any] | None = None,
     extra_provenance: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
@@ -145,6 +171,10 @@ def run_cell(
         Forwarded to ``run_batch(shards=)``.
     max_workers : int, optional
         Forwarded with *shards*.
+    backend : str, optional
+        Vectorized-engine backend forwarded to ``run_batch(backend=)``;
+        provenance records the backend that actually ran, not the one
+        requested.
     graph_cache : dict, optional
         ``(builder, params) -> Graph`` cache shared across cells of one
         runner.
@@ -174,12 +204,15 @@ def run_cell(
         max_steps=key.max_steps,
         shards=shards,
         max_workers=max_workers,
+        backend=backend,
         **dict(key.params),
     )
     wall = time.perf_counter() - t0
+    engine = _engine_label(key.process, key.metric, shards, backend, graph)
     provenance = {
         "sweep": sweep,
-        "engine": _engine_label(key.process, key.metric, shards),
+        "engine": engine,
+        "backend": _backend_used(engine),
         "wall_time_s": round(wall, 6),
         "seed_entropy": key.seed_entropy(),
         "graph_name": graph.name,
@@ -379,5 +412,6 @@ class Campaign:
             sweep=self.spec.name,
             shards=self.shards,
             max_workers=self.max_workers,
+            backend=self.spec.backend,
             graph_cache=graph_cache,
         )

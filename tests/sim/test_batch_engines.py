@@ -16,6 +16,8 @@ Three pillars:
 import numpy as np
 import pytest
 
+from conformance import SERIAL_PARITY_CASES, assert_means_close
+
 from repro.graphs import cycle_graph, grid, star_graph
 from repro.sim import (
     batched_biased_cover_trials,
@@ -39,44 +41,17 @@ def g():
     return grid(8, 2)
 
 
-def _assert_means_close(vec, ser):
-    """Means within a pooled 95% CI (3 sigma of the combined SEM, plus
-    a small absolute slack for tiny cover times)."""
-    assert vec.failures == 0 and ser.failures == 0
-    sem = float(np.hypot(vec.std / np.sqrt(vec.n), ser.std / np.sqrt(ser.n)))
-    assert abs(vec.mean - ser.mean) <= 3.0 * sem + 2.0, (
-        f"vectorized mean {vec.mean:.2f} vs serial {ser.mean:.2f} "
-        f"(pooled sem {sem:.2f})"
-    )
-
-
-ENGINE_CASES = [
-    ("push", {}, None, None),
-    ("pull", {}, None, None),
-    ("push_pull", {}, None, None),
-    ("parallel", {"walkers": 4}, None, None),
-    ("walt", {}, None, None),
-    ("walt", {"delta": 0.25, "lazy": False}, None, None),
-    ("cobra", {}, "hit", 63),
-    ("simple", {}, "hit", 63),
-    ("walt", {}, "hit", 63),
-    ("lazy", {}, None, None),
-    ("lazy", {}, "hit", 63),
-    ("branching", {}, None, None),
-    ("branching", {"k": 3, "population_cap": 64}, None, None),
-    ("coalescing", {"walkers": 8}, "cover", None),
-    # weak constant bias: the inverse-degree default pins the walk to
-    # the target and pushes serial cover past 80k steps/trial — too
-    # slow for a 48-trial parity check
-    ("biased", {"eps": 0.05}, "cover", 63),
-]
-
-
 class TestSerialParity:
+    """Parity rows live in ``conformance.SERIAL_PARITY_CASES`` — the
+    shared engine × metric matrix that cross-backend suites reuse."""
+
     @pytest.mark.parametrize(
         "name,params,metric,target",
-        ENGINE_CASES,
-        ids=[f"{c[0]}-{c[2] or 'cover'}-{i}" for i, c in enumerate(ENGINE_CASES)],
+        SERIAL_PARITY_CASES,
+        ids=[
+            f"{c[0]}-{c[2] or 'cover'}-{i}"
+            for i, c in enumerate(SERIAL_PARITY_CASES)
+        ],
     )
     def test_vectorized_matches_serial_distributionally(
         self, g, name, params, metric, target
@@ -84,7 +59,7 @@ class TestSerialParity:
         kw = dict(trials=48, metric=metric, target=target, seed=29, **params)
         vec = run_batch(g, name, strategy="vectorized", **kw)
         ser = run_batch(g, name, strategy="serial", **kw)
-        _assert_means_close(vec, ser)
+        assert_means_close(vec, ser)
 
 
 class TestAutoSelection:

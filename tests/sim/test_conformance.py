@@ -1,0 +1,233 @@
+"""Cross-backend conformance: the compiled engines against NumPy.
+
+Three pillars:
+
+* every :data:`conformance.BACKEND_CASES` row is bit-exact — the numba
+  backend reproduces the NumPy backend seed-for-seed on CSR and
+  implicit-oracle topologies (the kernels run as pure Python when
+  numba is absent, so the whole dispatch path is exercised either
+  way);
+* ``select_execution_path`` fallback behaviour: auto degrades to the
+  NumPy engines without numba, explicit ``backend="numba"`` raises a
+  clear error, non-vectorized paths reject the compiled backend;
+* provenance records the backend that actually ran, never the one
+  requested.
+"""
+
+import numpy as np
+import pytest
+
+from conformance import BACKEND_CASES, ConformanceCase, assert_backend_match
+
+from repro.graphs import cycle_graph, grid
+from repro.sim import get_process, kernels_numba, run_batch
+from repro.sim.facade import select_execution_path
+from repro.store import Campaign, ResultStore, SweepSpec
+
+
+@pytest.fixture
+def numba_on(monkeypatch):
+    """Pretend numba imported: the identity-decorated kernels run as
+    pure Python, exercising the full numba dispatch path bit-for-bit
+    on hosts without numba (and the real kernels where it exists)."""
+    monkeypatch.setattr(kernels_numba, "NUMBA_AVAILABLE", True)
+
+
+@pytest.fixture
+def numba_off(monkeypatch):
+    monkeypatch.setattr(kernels_numba, "NUMBA_AVAILABLE", False)
+
+
+class TestBackendMatrix:
+    @pytest.mark.parametrize(
+        "case", BACKEND_CASES, ids=[c.id for c in BACKEND_CASES]
+    )
+    def test_numba_backend_matches_numpy_seed_for_seed(self, case, numba_on):
+        ref = case.run("numpy")
+        for backend in case.backends:
+            if backend == "numpy":
+                continue
+            assert_backend_match(case, ref, case.run(backend))
+
+    def test_matrix_covers_every_kernel(self):
+        """Every registered kernel engine appears in the matrix — a new
+        kernel without a conformance row is a gap, not a choice."""
+        cased = {
+            (c.engine, "cover" if c.metric in ("cover", "spread") else c.metric)
+            for c in BACKEND_CASES
+        }
+        assert set(kernels_numba.KERNEL_ENGINES) <= cased
+
+    def test_all_current_rows_bit_exact(self):
+        """The shipped kernels all share the RNG stream; a KS-validated
+        row would mean a kernel silently stopped being bit-exact."""
+        assert all(c.kind == "bit_exact" for c in BACKEND_CASES)
+
+    def test_budget_exhaustion_nan_parity(self, numba_on):
+        case = ConformanceCase("cobra", "cycle24", metric="hit", target="last")
+        g = case.build_graph()
+        # antipodal target: unreachable within the 2-step budget
+        kw = dict(trials=6, metric="hit", target=g.n // 2, seed=0, max_steps=2)
+        a = run_batch(g, "cobra", backend="numba", **kw)
+        b = run_batch(g, "cobra", backend="numpy", **kw)
+        assert np.isnan(a.values).all()
+        assert np.array_equal(a.values, b.values, equal_nan=True)
+
+    def test_multi_source_start_parity(self, numba_on):
+        g = cycle_graph(40)
+        kw = dict(trials=8, seed=3, start=np.array([0, 20]))
+        a = run_batch(g, "cobra", backend="numba", **kw)
+        b = run_batch(g, "cobra", backend="numpy", **kw)
+        assert np.array_equal(a.values, b.values, equal_nan=True)
+
+
+class TestSelectExecutionPathBackend:
+    """The backend knob inside the one strategy-selection rule."""
+
+    @pytest.fixture
+    def spec(self):
+        return get_process("cobra")
+
+    def test_unknown_backend_rejected(self, spec):
+        with pytest.raises(ValueError, match="backend"):
+            select_execution_path(spec, "cover", backend="jax")
+
+    def test_auto_without_numba_is_numpy(self, spec, numba_off):
+        assert select_execution_path(spec, "cover", backend="auto") == "vectorized"
+
+    def test_auto_with_numba_picks_kernel(self, spec, numba_on):
+        path = select_execution_path(spec, "cover", backend="auto")
+        assert path == "vectorized[numba]"
+
+    def test_explicit_numba_without_numba_raises(self, spec, numba_off):
+        with pytest.raises(RuntimeError, match="numba"):
+            select_execution_path(spec, "cover", backend="numba")
+
+    def test_explicit_numpy_never_takes_kernel(self, spec, numba_on):
+        assert select_execution_path(spec, "cover", backend="numpy") == "vectorized"
+
+    def test_kernelless_process_falls_back(self, numba_on):
+        push = get_process("push")
+        assert select_execution_path(push, "spread", backend="auto") == "vectorized"
+        with pytest.raises(ValueError, match="kernel"):
+            select_execution_path(push, "spread", backend="numba")
+
+    def test_numba_rejected_off_the_vectorized_path(self, spec, numba_on):
+        with pytest.raises(ValueError, match="vectorized"):
+            select_execution_path(spec, "cover", backend="numba", shards=2)
+        with pytest.raises(ValueError, match="vectorized"):
+            select_execution_path(spec, "cover", backend="numba", processes=4)
+
+    def test_unlowerable_oracle_falls_back(self, spec, numba_on):
+        """Auto must keep million-vertex implicit oracles on the NumPy
+        engines (to_csr refuses them); explicit numba fails clearly."""
+
+        class Huge:
+            n = 6_000_000
+
+        from repro.graphs.implicit import NeighborOracle
+
+        huge = Huge()
+        huge.__class__ = type("HugeOracle", (NeighborOracle,), {"n": 6_000_000})
+        assert (
+            select_execution_path(spec, "cover", backend="auto", graph=huge)
+            == "vectorized"
+        )
+        with pytest.raises(ValueError, match="CSR"):
+            select_execution_path(spec, "cover", backend="numba", graph=huge)
+
+    def test_default_args_unchanged(self, spec):
+        """The pre-backend return values are pinned: existing callers
+        see identical behaviour."""
+        assert select_execution_path(spec, "cover") == "vectorized"
+        assert select_execution_path(spec, "cover", shards=3) == "sharded"
+        assert select_execution_path(spec, "cover", processes=4) == "pool"
+        assert select_execution_path(spec, "cover", strategy="serial") == "serial"
+
+
+class TestRunBatchBackend:
+    def test_explicit_numba_without_numba_raises(self, numba_off):
+        with pytest.raises(RuntimeError, match="numba"):
+            run_batch(grid(4, 2), "cobra", trials=2, backend="numba")
+
+    def test_auto_without_numba_runs_numpy(self, numba_off):
+        s = run_batch(grid(4, 2), "cobra", trials=4, seed=1, backend="auto")
+        assert s.n == 4 and s.failures == 0
+
+    def test_backend_does_not_change_values(self, numba_on):
+        g = grid(4, 2)
+        auto = run_batch(g, "cobra", trials=6, seed=9)
+        numba = run_batch(g, "cobra", trials=6, seed=9, backend="numba")
+        numpy_ = run_batch(g, "cobra", trials=6, seed=9, backend="numpy")
+        assert np.array_equal(auto.values, numba.values, equal_nan=True)
+        assert np.array_equal(auto.values, numpy_.values, equal_nan=True)
+
+
+class TestBackendProvenance:
+    """Provenance records the backend actually used, not the request."""
+
+    @pytest.fixture
+    def sweep(self):
+        return SweepSpec(
+            name="conf",
+            process="cobra",
+            graph="cycle_graph",
+            graph_grid={"n": [8]},
+            trials=4,
+        )
+
+    def _provenance(self, sweep):
+        store = ResultStore()
+        Campaign(sweep, store).run()
+        return store.get(sweep.expand()[0])["provenance"]
+
+    def test_records_numpy_when_numba_absent(self, sweep, numba_off):
+        prov = self._provenance(sweep)
+        assert prov["engine"] == "vectorized"
+        assert prov["backend"] == "numpy"
+
+    def test_records_numba_when_it_actually_ran(self, sweep, numba_on):
+        prov = self._provenance(sweep)
+        assert prov["engine"] == "vectorized[numba]"
+        assert prov["backend"] == "numba"
+
+    def test_auto_request_records_outcome_not_request(self, sweep, numba_off):
+        # the spec requested "auto"; what ran (and is recorded) is numpy
+        assert sweep.backend == "auto"
+        assert self._provenance(sweep)["backend"] == "numpy"
+
+    def test_explicit_numba_spec_fails_clearly_when_unavailable(self, numba_off):
+        sweep = SweepSpec(
+            name="conf",
+            process="cobra",
+            graph="cycle_graph",
+            graph_grid={"n": [8]},
+            trials=2,
+            backend="numba",
+        )
+        with pytest.raises(RuntimeError, match="numba"):
+            Campaign(sweep, ResultStore()).run()
+
+    def test_spec_backend_validated(self):
+        with pytest.raises(ValueError, match="backend"):
+            SweepSpec(
+                name="conf",
+                process="cobra",
+                graph="cycle_graph",
+                graph_grid={"n": [8]},
+                backend="cupy",
+            )
+
+    def test_backend_not_hashed_into_cells(self):
+        """Bit-exact engines ⇒ identical values ⇒ the backend is an
+        execution detail (like shards), deliberately outside the cell
+        content hash — results stay shared across backends."""
+        a = SweepSpec(
+            name="conf", process="cobra", graph="cycle_graph",
+            graph_grid={"n": [8]}, backend="numpy",
+        )
+        b = SweepSpec(
+            name="conf", process="cobra", graph="cycle_graph",
+            graph_grid={"n": [8]}, backend="numba",
+        )
+        assert [k.hash for k in a.expand()] == [k.hash for k in b.expand()]

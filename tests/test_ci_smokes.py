@@ -58,8 +58,30 @@ class TestBenchEmit:
         )
         assert path.name == "BENCH_unit.json"
         doc = json.loads(path.read_text(encoding="utf-8"))
-        assert doc["bench"] == "unit" and doc["schema"] == 1
+        assert doc["bench"] == "unit" and doc["schema"] == 2
         assert doc["speedup"] == 3.5 and doc["created_unix"] > 0
+
+    def test_stamps_the_execution_environment(self, tmp_path):
+        import numpy
+
+        emit = load_script("benchmarks/_emit.py")
+        path = emit.emit_bench_json("env_stamp", {}, out_dir=str(tmp_path))
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert doc["hostname"] and isinstance(doc["hostname"], str)
+        assert doc["cpu_count"] >= 1
+        assert doc["numpy_version"] == numpy.__version__
+        # None when numba is absent, its version string when present —
+        # always stamped either way
+        assert "numba_version" in doc
+        assert doc["backend"] == "numpy"
+
+    def test_stamps_the_backend_that_ran(self, tmp_path):
+        emit = load_script("benchmarks/_emit.py")
+        path = emit.emit_bench_json(
+            "kern", {}, out_dir=str(tmp_path), backend="numba"
+        )
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert doc["backend"] == "numba"
 
     def test_respects_bench_out_env(self, tmp_path, monkeypatch):
         emit = load_script("benchmarks/_emit.py")
@@ -87,11 +109,106 @@ class TestImplicitBudgetSmoke:
         "ci/smoke_dispatch.py",
         "ci/smoke_implicit_budget.py",
         "benchmarks/bench_implicit.py",
+        "benchmarks/bench_kernels_numba.py",
+        "ci/check_bench_regression.py",
     ],
 )
 def test_ci_workflow_runs_the_extracted_scripts(script):
     ci = (REPO / ".github" / "workflows" / "ci.yml").read_text(encoding="utf-8")
     assert script in ci, f"ci.yml no longer runs {script}"
+
+
+def test_regression_gate_runs_against_fresh_artifacts():
+    """The gate must compare the artifact dir CI writes benches into —
+    and it gates (no `|| true` on its line)."""
+    ci = (REPO / ".github" / "workflows" / "ci.yml").read_text(encoding="utf-8")
+    line = next(
+        ln for ln in ci.splitlines() if "check_bench_regression.py" in ln
+    )
+    assert "--fresh bench-artifacts" in line
+    assert "|| true" not in line
+
+
+class TestBenchRegressionGate:
+    """The regression gate's contract, offline: pass within threshold,
+    fail on a synthetic 25% slowdown, warn (not fail) on missing
+    counterparts and null timings."""
+
+    def _doc(self, name, **fields):
+        return {"bench": name, "schema": 2, **fields}
+
+    def _write(self, directory, doc):
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{doc['bench']}.json"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+
+    def test_passes_when_fresh_matches_baseline(self, tmp_path, capsys):
+        gate = load_script("ci/check_bench_regression.py")
+        doc = self._doc("x", run_ms=100.0)
+        self._write(tmp_path / "base", doc)
+        self._write(tmp_path / "fresh", doc)
+        rc = gate.main(
+            ["--fresh", str(tmp_path / "fresh"), "--baseline", str(tmp_path / "base")]
+        )
+        assert rc == 0
+
+    def test_fails_on_synthetic_25_percent_regression(self, tmp_path, capsys):
+        gate = load_script("ci/check_bench_regression.py")
+        self._write(tmp_path / "base", self._doc("x", run_ms=100.0))
+        self._write(tmp_path / "fresh", self._doc("x", run_ms=125.0))
+        rc = gate.main(
+            ["--fresh", str(tmp_path / "fresh"), "--baseline", str(tmp_path / "base")]
+        )
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_threshold_is_configurable(self, tmp_path):
+        gate = load_script("ci/check_bench_regression.py")
+        self._write(tmp_path / "base", self._doc("x", run_ms=100.0))
+        self._write(tmp_path / "fresh", self._doc("x", run_ms=125.0))
+        args = ["--fresh", str(tmp_path / "fresh"), "--baseline", str(tmp_path / "base")]
+        assert gate.main([*args, "--threshold", "0.30"]) == 0
+
+    def test_tracks_case_timings_and_skips_nulls(self, tmp_path, capsys):
+        gate = load_script("ci/check_bench_regression.py")
+        base = self._doc(
+            "k", cases=[{"engine": "cobra", "numpy_ms": 10.0, "numba_ms": None}]
+        )
+        fresh = self._doc(
+            "k", cases=[{"engine": "cobra", "numpy_ms": 20.0, "numba_ms": None}]
+        )
+        self._write(tmp_path / "base", base)
+        self._write(tmp_path / "fresh", fresh)
+        rc = gate.main(
+            ["--fresh", str(tmp_path / "fresh"), "--baseline", str(tmp_path / "base")]
+        )
+        assert rc == 1  # numpy_ms doubled; the null numba column is ignored
+        out = capsys.readouterr().out
+        assert "cases[cobra].numpy_ms" in out and "numba_ms" not in out
+
+    def test_missing_counterparts_warn_but_pass(self, tmp_path, capsys):
+        gate = load_script("ci/check_bench_regression.py")
+        self._write(tmp_path / "base", self._doc("old", run_ms=5.0))
+        self._write(tmp_path / "fresh", self._doc("brand_new", run_ms=5.0))
+        rc = gate.main(
+            ["--fresh", str(tmp_path / "fresh"), "--baseline", str(tmp_path / "base")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "warning" in out and "old" in out and "brand_new" in out
+
+    def test_committed_baselines_cover_the_compiled_backend(self):
+        """BENCH_kernels_numba.json is a committed, schema-2 baseline
+        with one case per benchmarked engine."""
+        doc = json.loads(
+            (REPO / "BENCH_kernels_numba.json").read_text(encoding="utf-8")
+        )
+        assert doc["schema"] == 2 and doc["trials"] == 64
+        assert doc["n"] >= 100_000
+        engines = {c["engine"] for c in doc["cases"]}
+        assert {"cobra", "parallel", "walt", "simple"} <= engines
+        for case in doc["cases"]:
+            assert case["numpy_ms"] > 0
 
 
 class TestStaticJob:
