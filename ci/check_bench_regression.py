@@ -9,10 +9,13 @@ when a tracked engine slowed down by more than the threshold.
 The full trajectory — baseline, fresh, delta — prints as a table
 either way, so the uploaded CI log doubles as a perf history entry.
 
-Missing counterparts never fail the gate, only warn: a brand-new
-benchmark has no baseline yet, a retired baseline has no fresh run,
-and timings whose value is ``null`` (the numba columns on machines
-without numba) are structurally absent rather than regressed.
+Missing *individual* counterparts never fail the gate, only warn: a
+brand-new benchmark has no baseline yet, a retired baseline has no
+fresh run, and timings whose value is ``null`` (the numba columns on
+machines without numba) are structurally absent rather than regressed.
+But baselines with an entirely empty fresh directory fail hard — that
+means the benchmark step itself broke, and warning through it would
+let a dead bench job pass forever.
 
 Usage::
 
@@ -107,6 +110,18 @@ def main(argv: list[str] | None = None) -> int:
     if not baseline:
         print(f"no baselines under {args.baseline!r}; nothing to gate")
         return 0
+    if not fresh:
+        # baselines exist but the fresh run produced nothing at all:
+        # that's a broken benchmark step (crash, wrong directory), not
+        # a per-metric gap — warning through it would let a silently
+        # dead bench job pass the gate forever
+        print(
+            f"error: {len(baseline)} committed baseline(s) but no fresh "
+            f"BENCH_*.json under {args.fresh!r} — the benchmark step "
+            "emitted nothing",
+            file=sys.stderr,
+        )
+        return 1
     rows, warnings = compare(baseline, fresh, args.threshold)
 
     width = max((len(f"{b}:{m}") for b, m, *_ in rows), default=20)

@@ -5,13 +5,18 @@ processes coordinating only through the shared store directory::
 
     PYTHONPATH=src python ci/smoke_dispatch.py [STORE_DIR]
 
-Two ``cobra-experiments sweep work DEMO_grid2x2`` workers are launched
-concurrently against one store.  Afterward:
+Two ``cobra-experiments sweep work DEMO_grid2x2 --trace`` workers are
+launched concurrently against one store.  Afterward:
 
 * the campaign is complete and ``sweep fsck`` exits 0 (clean store);
 * every stored cell's values are **identical** to an uninterrupted
   single-worker ``Campaign.run()`` reference (content-derived seeds —
   worker placement cannot matter);
+* the interleaved ``events.jsonl`` round-trips with **no torn lines**:
+  exactly cells × phases phase records, every one attributed to one of
+  the two workers, and every stored cell's provenance names the worker
+  that computed it;
+* ``sweep report`` renders a straggler table attributing every cell;
 * ``sweep compact`` prunes the claim ledger and the store stays clean.
 
 Runnable locally and testable (``tests/test_ci_smokes.py``).  Exits
@@ -88,7 +93,7 @@ def main(store_dir: str) -> int:
     workers = [
         _sweep_cli(
             "work", SWEEP, "--store", store_dir, "--seed", str(SEED),
-            "--owner", f"smoke-w{i}", "--wait",
+            "--owner", f"smoke-w{i}", "--wait", "--trace",
         )
         for i in range(2)
     ]
@@ -102,7 +107,8 @@ def main(store_dir: str) -> int:
     # fsck via the CLI: clean store is exit 0
     _wait(_sweep_cli("fsck", "--store", store_dir), "fsck")
 
-    # value-for-value identical to the single-worker reference
+    # value-for-value identical to the single-worker reference, and
+    # provenance attributes every cell to the worker that computed it
     store = ResultStore(store_dir)
     for cell in cells:
         record = store.get(cell)
@@ -110,12 +116,43 @@ def main(store_dir: str) -> int:
         a = record["result"]["values"]
         b = reference.get(cell)["result"]["values"]
         assert a == b, f"cell {cell.hash[:12]} diverged across workers"
+        worker = record["provenance"]["worker"]
+        assert worker.startswith("smoke-w"), (
+            f"cell {cell.hash[:12]} attributed to {worker!r}"
+        )
+
+    # the two processes interleaved their telemetry through one flock:
+    # the event log round-trips with zero torn lines and exactly
+    # cells × phases phase records, each attributed to a worker
+    from repro.obs import EventLog
+    from repro.store.campaign import CELL_PHASES
+
+    log = EventLog(store_dir)
+    assert log.torn_lines() == 0, f"{log.torn_lines()} torn event lines"
+    phases = log.frame().filter(kind="phase")
+    expected = len(cells) * len(CELL_PHASES)
+    assert len(phases) == expected, (
+        f"{len(phases)} phase events, expected {expected}"
+    )
+    event_workers = set(phases.column("worker"))
+    assert event_workers <= {"smoke-w0", "smoke-w1"}, event_workers
+
+    # the straggler report attributes every cell to a smoke worker
+    report_out = _wait(
+        _sweep_cli("report", SWEEP, "--store", store_dir, "--seed", str(SEED)),
+        "report",
+    )
+    assert "worker attribution" in report_out, report_out
+    assert "smoke-w" in report_out, report_out
 
     # compaction prunes the ledger and the store stays clean
     _wait(_sweep_cli("compact", "--store", store_dir), "compact")
     report = fsck(ResultStore(store_dir))
     assert report.clean and report.cells == len(cells), report.summary()
-    print("dispatch smoke: 2-worker drain value-identical, fsck clean")
+    print(
+        "dispatch smoke: 2-worker drain value-identical, "
+        f"{expected} events untorn, fsck clean"
+    )
     return 0
 
 

@@ -27,7 +27,6 @@ non-zero on any violation.
 from __future__ import annotations
 
 import math
-import resource
 import sys
 from pathlib import Path
 
@@ -35,11 +34,6 @@ REPO_SRC = Path(__file__).resolve().parent.parent / "src"
 SWEEP = "SCALE_torus_vs_hypercube"
 SEED = 0
 RSS_CEILING_MB = 500.0
-
-
-def _peak_rss_mb() -> float:
-    """The process peak RSS in MiB (``ru_maxrss`` is KiB on Linux)."""
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
 def main() -> int:
@@ -51,6 +45,7 @@ def main() -> int:
         0 on success (assertions abort otherwise).
     """
     from repro.graphs.base import Graph
+    from repro.obs.memory import peak_rss_mb
     from repro.store import Campaign, ResultStore
     from repro.store.sweeps import build_sweep
 
@@ -68,14 +63,14 @@ def main() -> int:
         constructed.append(type(self).__name__)
         return original_init(self, *args, **kwargs)
 
-    rss_before = _peak_rss_mb()
+    rss_before = peak_rss_mb()
     store = ResultStore()
     Graph.__init__ = counting_init  # type: ignore[method-assign]
     try:
         report = Campaign(spec, store).run()
     finally:
         Graph.__init__ = original_init  # type: ignore[method-assign]
-    rss_growth = _peak_rss_mb() - rss_before
+    rss_growth = peak_rss_mb() - rss_before
 
     assert report.complete and len(report.ran) == 1, report
     record = store.get(cell)

@@ -10,9 +10,12 @@ Usage::
     cobra-experiments run T3_grid --json > t3.json
     cobra-experiments sweep list
     cobra-experiments sweep run T3_grid --store results/ [--max-cells N] [--workers 4]
+    cobra-experiments sweep run T3_grid --store results/ --trace [--profile]
     cobra-experiments sweep status T3_grid --store results/
     cobra-experiments sweep show T3_grid --store results/
-    cobra-experiments sweep work T3_grid --store results/ [--ttl 900]
+    cobra-experiments sweep work T3_grid --store results/ [--ttl 900] [--trace]
+    cobra-experiments sweep report T3_grid --store results/
+    cobra-experiments sweep top T3_grid --store results/ [--interval 2] [--once]
     cobra-experiments sweep fsck --store results/
     cobra-experiments sweep compact --store results/
     cobra-experiments lint [PATH ...] [--format json] [--contracts]
@@ -33,9 +36,21 @@ dispatch worker against a shared store — start as many as you like,
 on as many machines as see the directory; they coordinate through the
 claim ledger and their combined output is value-for-value identical
 to a single ``sweep run``.  ``sweep fsck`` verifies store integrity
-(re-hash keys, torn lines, orphaned records, stale leases) and
-``sweep compact`` drops superseded last-write-wins duplicates and
-prunes the ledger.  See ``docs/sweeps.md``.
+(re-hash keys, torn lines, orphaned records, stale leases, torn
+telemetry events) and ``sweep compact`` drops superseded
+last-write-wins duplicates and prunes the ledger.  See
+``docs/sweeps.md``.
+
+With ``--trace``, ``run`` and ``work`` emit structured telemetry spans
+into ``events.jsonl`` beside the shards (:mod:`repro.obs`); stored
+values stay seed-for-seed identical.  ``sweep report`` renders the
+straggler report over stored provenance, the claim ledger and the
+event log — per-cell phase timings, p50/p95/max wall time by
+process/graph/backend, per-worker attribution.  ``sweep top`` is the
+live companion: drain progress, live leases, the freshest events and
+the slowest cells, refreshed until the sweep completes (``--once``
+for a single snapshot).  ``sweep run --profile`` additionally records
+each cell's peak RSS in provenance.  See ``docs/observability.md``.
 
 ``lint`` runs the determinism & contract linter (:mod:`repro.lint`)
 — the same pass as ``python -m repro.lint`` — over the given paths
@@ -90,6 +105,8 @@ def main(argv: list[str] | None = None) -> int:
         ("status", "count stored vs pending cells of a sweep"),
         ("show", "tabulate a sweep's stored results"),
         ("work", "drain a sweep as one lease/claim dispatch worker"),
+        ("report", "straggler report: per-cell/per-worker wall-time breakdown"),
+        ("top", "live drain monitor: progress, leases, recent events"),
     ):
         p = sweep_sub.add_parser(cmd, help=help_text)
         p.add_argument("name", help="registered sweep name (see 'sweep list')")
@@ -118,6 +135,25 @@ def main(argv: list[str] | None = None) -> int:
                 "--workers", type=int, default=None, metavar="W",
                 help="spawn W local dispatch workers draining the sweep "
                 "concurrently (value-for-value identical to W=1)",
+            )
+            p.add_argument(
+                "--profile", action="store_true",
+                help="record per-cell peak RSS (MB) in provenance",
+            )
+        if cmd in ("run", "work"):
+            p.add_argument(
+                "--trace", action="store_true",
+                help="emit telemetry spans into events.jsonl beside the "
+                "shards (seed-for-seed values are unchanged)",
+            )
+        if cmd == "top":
+            p.add_argument(
+                "--interval", type=float, default=2.0, metavar="SECONDS",
+                help="refresh period of the live monitor (default 2)",
+            )
+            p.add_argument(
+                "--once", action="store_true",
+                help="print one snapshot and exit instead of looping",
             )
         if cmd == "work":
             p.add_argument(
@@ -263,18 +299,39 @@ def _sweep_main(args: argparse.Namespace) -> int:
     specs = build_sweep(args.name, scale=args.scale, seed=args.seed)
     store = ResultStore(args.store)
 
+    if args.sweep_command == "report":
+        from ..obs import build_report
+
+        print(build_report(store, specs).render())
+        return 0
+
+    if args.sweep_command == "top":
+        from ..obs import live_top, render_top
+
+        if args.once:
+            print(render_top(store, specs))
+            return 0
+        return live_top(store, specs, interval=args.interval)
+
     if args.sweep_command == "work":
         from ..store import dispatch
 
+        owner = args.owner if args.owner is not None else dispatch.default_owner()
+        tracer = None
+        if args.trace:
+            from ..obs import tracer_for_store
+
+            tracer = tracer_for_store(args.store, worker=owner)
         report = dispatch.drain(
             specs,
             store,
-            owner=args.owner,
+            owner=owner,
             ttl=args.ttl if args.ttl is not None else dispatch.DEFAULT_TTL,
             max_cells=args.max_cells,
             shards=args.shards,
             max_workers=args.max_workers,
             wait=args.wait,
+            tracer=tracer,
         )
         print(
             f"worker {report.owner}: ran {len(report.ran)}, "
@@ -298,11 +355,16 @@ def _sweep_main(args: argparse.Namespace) -> int:
         if args.workers is not None and args.workers > 1 and budget is not None:
             print("--workers and --max-cells are mutually exclusive", file=sys.stderr)
             return 2
+        tracer = None
+        if args.trace:
+            from ..obs import tracer_for_store
+
+            tracer = tracer_for_store(args.store)
         ran = cached = pending = 0
         for spec in specs:
             campaign = Campaign(
                 spec, store, shards=args.shards, max_workers=args.max_workers,
-                workers=args.workers,
+                workers=args.workers, tracer=tracer, profile=args.profile,
             )
             report = campaign.run(max_cells=budget)
             ran += len(report.ran)

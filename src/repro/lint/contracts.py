@@ -65,6 +65,10 @@ DOC_ANCHORS: dict[str, tuple[str, ...]] = {
         "kernels_numba",
         "vectorized[numba]",
         "bit-exact",
+        "The observability layer",
+        "repro.obs",
+        "NullTracer",
+        "events.jsonl",
     ),
     "docs/benchmarks.md": (
         "regression gate",
@@ -101,10 +105,29 @@ DOC_ANCHORS: dict[str, tuple[str, ...]] = {
         "Implicit topologies",
         "graph_kind",
         "`backend`",
+        "sweep report",
+        "sweep top",
+    ),
+    "docs/observability.md": (
+        "Span model",
+        "campaign → cell → phase",
+        "Event schema",
+        "events.jsonl",
+        "Counters",
+        "Straggler reports",
+        "sweep report",
+        "sweep top",
+        "--trace",
+        "--profile",
+        "NullTracer",
+        "seed-for-seed",
+        "RPL150",
+        "peak_rss_mb",
     ),
     "docs/static-analysis.md": (
         "Rule table",
         "Suppressions",
+        "RPL150",
         "repro-lint: disable=",
         "repro-lint: disable-file=",
         "python -m repro.lint",

@@ -25,6 +25,7 @@ RPL120    error     ``cover`` capability requires a ``batch_cover`` engine
 RPL121    warning   ``hit`` capability without ``batch_hit`` (the known gap)
 RPL130    error     public functions in gated API modules are annotated
 RPL140    error     no RNG construction or draws inside compiled kernels
+RPL150    error     sim/store timing goes through the injected Tracer clock
 RPL200    error     every registered sweep expands (contract audit)
 RPL201    error     batch engines/factories match the protocol (contract audit)
 RPL202    error     docs anchors the test suite expects resolve (contract audit)
@@ -231,11 +232,12 @@ def _is_locking_module(path: str) -> bool:
 
 
 #: files allowed to read the wall clock / OS entropy: lease TTLs in the
-#: dispatch ledger and wall-time provenance stamps — none of it keyed
+#: dispatch ledger, experiment-runner stamps, and the straggler report's
+#: lease-expiry arithmetic — none of it keyed
 _WALLCLOCK_ALLOWLIST = (
     "repro/store/dispatch.py",
-    "repro/store/campaign.py",
     "repro/experiments/cli.py",
+    "repro/obs/report.py",
 )
 
 
@@ -696,6 +698,64 @@ def _check_rpl140(ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
                 )
 
 
+#: ``time`` module clock readers — every way sim/store code could read
+#: a clock behind the Tracer's back (``time.sleep`` is waiting, not
+#: reading, and stays legal)
+_CLOCK_ATTRS = frozenset(
+    {
+        "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+        "monotonic_ns", "process_time", "process_time_ns", "thread_time",
+        "thread_time_ns",
+    }
+)
+
+#: sim/store files allowed raw clock reads: the dispatch ledger's lease
+#: TTLs compare against real wall time by design
+_RPL150_ALLOWLIST = ("repro/store/dispatch.py",)
+
+
+def _time_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local aliases bound by ``from time import X [as Y]`` for clock
+    readers (the from-import spelling of a ``time.X()`` call)."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time" and node.level == 0:
+            for alias in node.names:
+                if alias.name in _CLOCK_ATTRS:
+                    aliases[alias.asname or alias.name] = alias.name
+    return aliases
+
+
+def _check_rpl150(ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
+    p = _posix(ctx.path)
+    if "repro/sim/" not in p and "repro/store/" not in p:
+        return
+    if any(p.endswith(entry) for entry in _RPL150_ALLOWLIST):
+        return
+    aliases = _time_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name: str | None = None
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _CLOCK_ATTRS
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        ):
+            name = func.attr
+        elif isinstance(func, ast.Name) and func.id in aliases:
+            name = aliases[func.id]
+        if name is not None:
+            yield node, (
+                f"time.{name}() read directly in sim/store code; take "
+                "timings from the injected Tracer clock "
+                "(repro.obs.trace.Tracer(clock=...)) so tests can freeze "
+                "time and instrumentation stays deterministic"
+            )
+
+
 # ---------------------------------------------------------------------------
 # registration
 
@@ -799,10 +859,12 @@ register_rule(
         invariant=(
             "No `time.time()`, `datetime.now()`/`utcnow()`, or "
             "`os.urandom()` outside the allowlist (store/dispatch.py lease "
-            "TTLs, store/campaign.py + experiments/cli.py wall-time "
-            "provenance). A wall-clock read in a keyed path makes the "
-            "result a function of *when* it ran, which breaks the content "
-            "hash's claim that identical payloads mean identical work."
+            "TTLs, experiments/cli.py run stamps, obs/report.py lease-"
+            "expiry arithmetic). A wall-clock read in a keyed path makes "
+            "the result a function of *when* it ran, which breaks the "
+            "content hash's claim that identical payloads mean identical "
+            "work. Provenance wall stamps come from the Tracer's injected "
+            "`walltime` instead (repro.obs.trace)."
         ),
         fix=(
             "Thread timestamps in from the allowlisted provenance layer, or "
@@ -1021,5 +1083,31 @@ register_rule(
             "twin) and pass the arrays into the kernel as arguments."
         ),
         checker=_check_rpl140,
+    )
+)
+
+register_rule(
+    Rule(
+        id="RPL150",
+        severity=ERROR,
+        title="raw clock read in sim/store code",
+        invariant=(
+            "In repro/sim/ and repro/store/, no direct `time.time()`/"
+            "`perf_counter()`/`monotonic()`/`process_time()` (or their "
+            "_ns/from-import spellings) outside store/dispatch.py's lease "
+            "arithmetic: every timing measurement routes through the "
+            "injected Tracer clock (repro.obs.trace). A raw clock read is "
+            "invisible to the telemetry layer and untestable — the "
+            "injected clock lets tests freeze time and keeps RPL103 "
+            "honest. `time.sleep()` is waiting, not reading, and stays "
+            "legal."
+        ),
+        fix=(
+            "Accept a Tracer (or use repro.obs.trace.current_tracer()) and "
+            "read `tracer.clock()` / `tracer.walltime()`; or, for code "
+            "that genuinely needs the OS clock, add the file to "
+            "_RPL150_ALLOWLIST with a comment saying why."
+        ),
+        checker=_check_rpl150,
     )
 )

@@ -1,0 +1,35 @@
+"""Process-memory probes for profiling and budget smokes.
+
+One reusable definition of "peak RSS" — previously a private helper of
+``ci/smoke_implicit_budget.py``, promoted here so ``sweep run
+--profile`` (per-cell RSS provenance via
+:func:`repro.store.campaign.run_cell`) and the CI memory-budget smoke
+measure the same number.
+
+``ru_maxrss`` is a process-lifetime **high-water mark**: it only ever
+grows, so "per-cell peak" means the high-water reading right after the
+cell — the delta against the before-reading is the cell's growth
+contribution (zero when an earlier cell already drove the peak
+higher).
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+__all__ = ["peak_rss_mb"]
+
+
+def peak_rss_mb() -> float:
+    """The process peak RSS in MiB.
+
+    Returns
+    -------
+    float
+        ``ru_maxrss`` normalised to MiB (the raw counter is KiB on
+        Linux, bytes on macOS).
+    """
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return raw / divisor

@@ -111,6 +111,7 @@ import numpy as np
 
 from ..graphs.base import Graph
 from ..graphs.implicit import NeighborOracle, as_oracle
+from ..obs.trace import current_tracer
 from .bitmask import visited_mask
 from .rng import SeedLike, resolve_rng
 
@@ -233,6 +234,12 @@ def batched_cobra_cover_trials(
     lock-step; finished trials are compacted out so the tail of slow
     trials doesn't pay for the fast ones.
 
+    Under an active :mod:`repro.obs` tracer the engine reports
+    ``engine_steps`` (global lock-steps), ``rng_draws`` (uniform
+    variates consumed) and ``frontier_peak`` (largest flat frontier)
+    counters on the enclosing span; with the default
+    :data:`~repro.obs.trace.NULL_TRACER` the taps are dead branches.
+
     Parameters
     ----------
     graph : Graph or NeighborOracle
@@ -296,8 +303,19 @@ def batched_cobra_cover_trials(
     reset_by_scatter = a * n > (1 << 21)
     pool = _BufferPool()
 
+    # telemetry taps are plain local accumulators, flushed once after
+    # the loop — with the NullTracer default `trace_on` is False and
+    # the hot loop carries one dead branch per step, nothing more
+    tracer = current_tracer()
+    trace_on = tracer.enabled
+    obs_steps = obs_draws = obs_fpeak = 0
+
     for t in range(1, max_steps + 1):
         F = front.size
+        if trace_on:
+            obs_steps = t
+            obs_draws += F if pair else k * F
+            obs_fpeak = max(obs_fpeak, F)
         v = np.remainder(front, nn, out=pool.get("v", F, np.int64))
         base = np.subtract(front, v, out=pool.get("base", F, np.int64))
         degs = deg_f.take(v, out=pool.get("deg", F, ftype))
@@ -347,6 +365,10 @@ def batched_cobra_cover_trials(
                 covered.keep_rows(keep)
                 scratch = np.zeros(a * n, dtype=bool)
                 reset_by_scatter = a * n > (1 << 21)
+    if trace_on:
+        tracer.count("engine_steps", obs_steps)
+        tracer.count("rng_draws", obs_draws)
+        tracer.gauge("frontier_peak", obs_fpeak)
     return out
 
 

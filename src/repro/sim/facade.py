@@ -37,6 +37,7 @@ import numpy as np
 
 from ..graphs.base import Graph
 from ..graphs.implicit import NeighborOracle
+from ..obs.trace import current_tracer
 from .montecarlo import TrialSummary, run_trials, summarize_trials
 from .processes import ProcessSpec, get_process
 from .rng import SeedLike
@@ -768,6 +769,11 @@ def run_batch(
         backend=backend,
         graph=graph,
     )
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.annotate(
+            engine_path=path, process=spec.name, metric=metric, trials=trials
+        )
     if not path.startswith("vectorized") and not isinstance(graph, Graph):
         raise ValueError(
             f"the {path!r} execution path steps CSR edge arrays, which an "

@@ -13,8 +13,10 @@ Execution rides the facade: each cell is one
 call, so a campaign gets the vectorized batched engine, the
 multiprocessing pool, or the placement-independent sharded executor
 exactly as any other caller would.  Per-cell provenance (sweep name,
-engine used, seed entropy, wall time, graph name) is recorded next to
-the result.
+engine and backend used, worker id, seed entropy, wall time and
+per-phase timings, graph name) is recorded next to the result; pass a
+:class:`~repro.obs.trace.Tracer` to additionally stream span events
+into the store's ``events.jsonl`` (see ``docs/observability.md``).
 
 ``Campaign(workers=N)`` instead spawns N local worker processes that
 drain the same sweep concurrently through the lease/claim dispatcher
@@ -24,11 +26,12 @@ single-process ``run()``, because per-cell seeds are content-derived.
 
 from __future__ import annotations
 
-import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Iterator, Mapping
 from typing import Any
 
+from ..obs.trace import NULL_TRACER, Tracer, activate, default_worker_id
 from ..sim.facade import run_batch
 from ..sim.processes import get_process
 from .spec import RunKey, SweepSpec
@@ -140,6 +143,12 @@ def _backend_used(engine_label: str) -> str:
     return "numpy"
 
 
+#: the cell phases, in execution order — every run_cell emits exactly
+#: these four phase spans, traced or not (events Frame row counts are
+#: cells × len(CELL_PHASES))
+CELL_PHASES = ("build_graph", "lower", "engine", "record")
+
+
 def run_cell(
     key: RunKey,
     store: ResultStore,
@@ -150,6 +159,10 @@ def run_cell(
     backend: str = "auto",
     graph_cache: dict[tuple, Any] | None = None,
     extra_provenance: Mapping[str, Any] | None = None,
+    tracer: Tracer | None = None,
+    worker: str | None = None,
+    lease: str | None = None,
+    profile: bool = False,
 ) -> dict[str, Any]:
     """Compute one cell through ``run_batch`` and store it with provenance.
 
@@ -158,6 +171,14 @@ def run_cell(
     seed stream is content-derived (``[root, H(cell)]``), so **who**
     computes a cell never changes its values — an N-worker drain is
     value-for-value identical to a single ``Campaign.run()``.
+
+    Execution is broken into the four :data:`CELL_PHASES`
+    (``build_graph → lower → engine → record``); each phase is timed
+    through the tracer's injected clock and recorded in the ``phase_s``
+    provenance dict (``record`` excepted — provenance is sealed before
+    the store append), and emitted as a span when tracing is on.  All
+    clock reads go through the tracer, so this module contains no raw
+    ``time.*`` calls (rule RPL150).
 
     Parameters
     ----------
@@ -179,7 +200,21 @@ def run_cell(
         ``(builder, params) -> Graph`` cache shared across cells of one
         runner.
     extra_provenance : Mapping, optional
-        Extra provenance fields (e.g. the dispatch worker's owner id).
+        Extra provenance fields merged in last.
+    tracer : Tracer, optional
+        Telemetry sink (default :data:`~repro.obs.trace.NULL_TRACER`:
+        spans/counters are free, clocks still tick for provenance).
+        The tracer is activated around the engine phase so the batched
+        engines' counters land on its span.
+    worker : str, optional
+        Worker id recorded in provenance (default: the tracer's id, or
+        ``host-pid``).
+    lease : str, optional
+        Dispatch lease id recorded in provenance (additive key; absent
+        for single-process campaigns).
+    profile : bool
+        Record the process peak RSS (MiB) after the engine phase as
+        ``peak_rss_mb`` provenance (``sweep run --profile``).
 
     Returns
     -------
@@ -188,43 +223,69 @@ def run_cell(
     """
     if graph_cache is None:
         graph_cache = {}
-    gkey = (key.graph_builder, key.graph_params)
-    if gkey not in graph_cache:
-        graph_cache[gkey] = key.build_graph()
-    graph = graph_cache[gkey]
-    target = key.resolve_target(graph)
-    t0 = time.perf_counter()
-    summary = run_batch(
-        graph,
-        key.process,
-        trials=key.trials,
-        metric=key.metric,
-        target=target,
-        seed=key.seed_sequence(),
-        max_steps=key.max_steps,
-        shards=shards,
-        max_workers=max_workers,
-        backend=backend,
-        **dict(key.params),
-    )
-    wall = time.perf_counter() - t0
-    engine = _engine_label(key.process, key.metric, shards, backend, graph)
-    provenance = {
-        "sweep": sweep,
-        "engine": engine,
-        "backend": _backend_used(engine),
-        "wall_time_s": round(wall, 6),
-        "seed_entropy": key.seed_entropy(),
-        "graph_name": graph.name,
-        "graph_n": int(graph.n),
-        # "csr" for materialised Graphs (which carry no kind attribute),
-        # else the oracle's topology kind ("torus", "hypercube", ...)
-        "graph_kind": getattr(graph, "kind", "csr"),
-        "created_unix": round(time.time(), 3),
-    }
-    if extra_provenance:
-        provenance.update(extra_provenance)
-    return store.put(key, summary, provenance)
+    tr = tracer if tracer is not None else NULL_TRACER
+    if worker is None:
+        worker = tr.worker or default_worker_id()
+    clock = tr.clock
+    cell = key.hash[:12]
+    phase_s: dict[str, float] = {}
+
+    @contextmanager
+    def phase(name: str) -> Iterator[None]:
+        t0 = clock()
+        with tr.span(name, kind="phase", cell=cell, sweep=sweep):
+            yield
+        phase_s[name] = clock() - t0
+
+    with tr.span("cell", kind="cell", cell=cell, sweep=sweep, process=key.process):
+        with phase("build_graph"):
+            gkey = (key.graph_builder, key.graph_params)
+            if gkey not in graph_cache:
+                graph_cache[gkey] = key.build_graph()
+            graph = graph_cache[gkey]
+        with phase("lower"):
+            target = key.resolve_target(graph)
+            engine = _engine_label(key.process, key.metric, shards, backend, graph)
+        with phase("engine"), activate(tr):
+            summary = run_batch(
+                graph,
+                key.process,
+                trials=key.trials,
+                metric=key.metric,
+                target=target,
+                seed=key.seed_sequence(),
+                max_steps=key.max_steps,
+                shards=shards,
+                max_workers=max_workers,
+                backend=backend,
+                **dict(key.params),
+            )
+        provenance = {
+            "sweep": sweep,
+            "engine": engine,
+            "backend": _backend_used(engine),
+            "worker": worker,
+            "wall_time_s": round(phase_s["engine"], 6),
+            "phase_s": {name: round(dur, 6) for name, dur in phase_s.items()},
+            "seed_entropy": key.seed_entropy(),
+            "graph_name": graph.name,
+            "graph_n": int(graph.n),
+            # "csr" for materialised Graphs (which carry no kind attribute),
+            # else the oracle's topology kind ("torus", "hypercube", ...)
+            "graph_kind": getattr(graph, "kind", "csr"),
+            "created_unix": round(tr.walltime(), 3),
+        }
+        if lease is not None:
+            provenance["lease"] = lease
+        if profile:
+            from ..obs.memory import peak_rss_mb
+
+            provenance["peak_rss_mb"] = round(peak_rss_mb(), 3)
+        if extra_provenance:
+            provenance.update(extra_provenance)
+        with phase("record"):
+            record = store.put(key, summary, provenance)
+    return record
 
 
 class Campaign:
@@ -250,6 +311,16 @@ class Campaign:
         (the claim ledger lives beside the shards).  Values are
         identical to a single-process ``run()`` — per-cell seeds are
         content-derived, so worker placement cannot matter.
+    tracer : Tracer, optional
+        Telemetry sink threaded into every cell (default: the no-op
+        :data:`~repro.obs.trace.NULL_TRACER`).  With ``workers=N`` the
+        pool members cannot share this process's tracer object; when
+        an *enabled* tracer is passed, each worker instead opens its
+        own store-backed event tracer
+        (:func:`repro.obs.events.tracer_for_store`) under its owner
+        id, so the events land in the same ``events.jsonl``.
+    profile : bool
+        Record per-cell peak-RSS provenance (``peak_rss_mb``).
     """
 
     def __init__(
@@ -260,12 +331,16 @@ class Campaign:
         shards: int | None = None,
         max_workers: int | None = None,
         workers: int | None = None,
+        tracer: Tracer | None = None,
+        profile: bool = False,
     ) -> None:
         self.spec = spec
         self.store = store if store is not None else ResultStore()
         self.shards = shards
         self.max_workers = max_workers
         self.workers = workers
+        self.tracer = tracer
+        self.profile = profile
         if workers is not None and workers > 1 and self.store.root is None:
             raise ValueError(
                 "Campaign(workers=N) needs a disk-backed store (the claim "
@@ -349,20 +424,24 @@ class Campaign:
             return self._run_pool()
         report = CampaignReport(sweep=self.spec.name)
         graph_cache: dict[tuple, Any] = {}
-        for key in self.cells:
-            record = self.store.get(key)
-            if record is not None:
-                report.cached.append(key.hash)
+        tr = self.tracer if self.tracer is not None else NULL_TRACER
+        with tr.span(
+            "campaign", kind="campaign", sweep=self.spec.name, cells=len(self.cells)
+        ):
+            for key in self.cells:
+                record = self.store.get(key)
+                if record is not None:
+                    report.cached.append(key.hash)
+                    if on_cell is not None:
+                        on_cell(key, record, True)
+                    continue
+                if max_cells is not None and len(report.ran) >= max_cells:
+                    report.pending.append(key.hash)
+                    continue
+                record = self._run_cell(key, graph_cache)
+                report.ran.append(key.hash)
                 if on_cell is not None:
-                    on_cell(key, record, True)
-                continue
-            if max_cells is not None and len(report.ran) >= max_cells:
-                report.pending.append(key.hash)
-                continue
-            record = self._run_cell(key, graph_cache)
-            report.ran.append(key.hash)
-            if on_cell is not None:
-                on_cell(key, record, False)
+                    on_cell(key, record, False)
         return report
 
     def _run_pool(self) -> CampaignReport:
@@ -386,6 +465,8 @@ class Campaign:
             workers=self.workers,
             shards=self.shards,
             max_workers=self.max_workers,
+            trace=self.tracer is not None and self.tracer.enabled,
+            profile=self.profile,
         )
         with _pool_context().Pool(processes=self.workers) as pool:
             worker_reports = pool.map(pool_worker, payloads)
@@ -414,4 +495,6 @@ class Campaign:
             max_workers=self.max_workers,
             backend=self.spec.backend,
             graph_cache=graph_cache,
+            tracer=self.tracer,
+            profile=self.profile,
         )

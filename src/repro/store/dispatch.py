@@ -51,6 +51,7 @@ from pathlib import Path
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from typing import Any
 
+from ..obs.trace import Tracer
 from .campaign import run_cell
 from .locking import append_line, locked
 from .spec import RunKey, SweepSpec, canonical_json
@@ -101,11 +102,18 @@ class Lease:
         Worker id that holds the lease.
     expires_unix : float
         Absolute expiry time; past it the lease is reclaimable.
+    lease_id : str
+        Short random token stamped by the claiming worker (empty for
+        ledgers written before lease ids existed) — events in
+        ``events.jsonl`` carry the same token, so telemetry attributes
+        to the *claim*, not just the owner (one owner can claim a cell
+        twice across TTL expiries).
     """
 
     hash: str
     owner: str
     expires_unix: float
+    lease_id: str = ""
 
     def expired(self, now: float) -> bool:
         """Whether the lease has outlived its TTL at time *now*."""
@@ -176,6 +184,7 @@ class ClaimLedger:
                     hash=h,
                     owner=record["owner"],
                     expires_unix=float(record.get("expires_unix", 0.0)),
+                    lease_id=str(record.get("lease", "")),
                 )
             else:  # done / abandon
                 state.pop(h, None)
@@ -224,6 +233,7 @@ class ClaimLedger:
         ttl: float = DEFAULT_TTL,
         limit: int | None = 1,
         now: float | None = None,
+        lease: str | None = None,
     ) -> list[str]:
         """Atomically claim up to *limit* of *hashes* for *owner*.
 
@@ -244,6 +254,10 @@ class ClaimLedger:
             maximises overlap between workers); ``None`` = all free.
         now : float, optional
             Clock override (tests).
+        lease : str, optional
+            Lease-id token stamped on the claim line(s) — the
+            attribution key telemetry events carry.  Additive field:
+            old ledgers replay fine without it.
 
         Returns
         -------
@@ -258,23 +272,20 @@ class ClaimLedger:
             for h in hashes:
                 if limit is not None and len(won) >= limit:
                     break
-                lease = state.get(h)
-                if lease is not None and not lease.expired(t):
+                existing = state.get(h)
+                if existing is not None and not existing.expired(t):
                     continue
                 won.append(h)
-                handle.write(
-                    json.dumps(
-                        {
-                            "op": "claim",
-                            "hash": h,
-                            "owner": owner,
-                            "expires_unix": round(t + ttl, 3),
-                            "ts": round(t, 3),
-                        },
-                        sort_keys=True,
-                    )
-                    + "\n"
-                )
+                record = {
+                    "op": "claim",
+                    "hash": h,
+                    "owner": owner,
+                    "expires_unix": round(t + ttl, 3),
+                    "ts": round(t, 3),
+                }
+                if lease is not None:
+                    record["lease"] = lease
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
         return won
 
     def release(self, h: str, *, owner: str, op: str = "done") -> None:
@@ -346,6 +357,8 @@ def drain(
     wait: bool = False,
     poll_s: float = 0.05,
     on_cell: Callable[[RunKey, dict[str, Any], bool], None] | None = None,
+    tracer: Tracer | None = None,
+    profile: bool = False,
 ) -> WorkerReport:
     """Drain a sweep's pending cells as one dispatch worker.
 
@@ -387,6 +400,13 @@ def drain(
     on_cell : callable, optional
         ``on_cell(key, record, cached)`` after every stored cell this
         worker observed (progress reporting).
+    tracer : Tracer, optional
+        Telemetry sink threaded into every computed cell (see
+        :func:`repro.obs.events.tracer_for_store`).  The worker stamps
+        each claim's lease id on the tracer while the cell runs, so
+        every emitted event attributes to worker **and** lease.
+    profile : bool
+        Record per-cell peak-RSS provenance.
 
     Returns
     -------
@@ -439,8 +459,10 @@ def drain(
         if max_cells is not None and len(report.ran) >= max_cells:
             report.deferred.extend(k.hash for k in pending)
             break
+        lease_token = uuid.uuid4().hex[:8]
         won = ledger.try_claim(
-            [k.hash for k in pending], owner=owner, ttl=ttl, limit=1
+            [k.hash for k in pending], owner=owner, ttl=ttl, limit=1,
+            lease=lease_token,
         )
         if not won:
             # every pending cell is leased to another live worker
@@ -464,6 +486,8 @@ def drain(
             if on_cell is not None:
                 on_cell(key, record, True)
             continue
+        if tracer is not None:
+            tracer.lease = lease_token
         try:
             record = run_cell(
                 key,
@@ -473,11 +497,17 @@ def drain(
                 max_workers=max_workers,
                 backend=backend_of[h],
                 graph_cache=graph_cache,
-                extra_provenance={"worker": owner},
+                tracer=tracer,
+                worker=owner,
+                lease=lease_token,
+                profile=profile,
             )
         except BaseException:
             ledger.release(h, owner=owner, op="abandon")
             raise
+        finally:
+            if tracer is not None:
+                tracer.lease = None
         ledger.release(h, owner=owner, op="done")
         report.ran.append(h)
         if on_cell is not None:
@@ -497,6 +527,8 @@ def worker_payloads(
     ttl: float = DEFAULT_TTL,
     shards: int | None = None,
     max_workers: int | None = None,
+    trace: bool = False,
+    profile: bool = False,
 ) -> list[tuple]:
     """Picklable per-worker argument tuples for :func:`pool_worker`.
 
@@ -514,14 +546,23 @@ def worker_payloads(
         Forwarded to ``run_batch(shards=)`` per cell.
     max_workers : int, optional
         Forwarded with *shards*.
+    trace : bool
+        Each worker opens its own store-backed event tracer
+        (a tracer object cannot cross the pool pickle boundary).
+    profile : bool
+        Forwarded to :func:`drain` (per-cell peak-RSS provenance).
 
     Returns
     -------
     list of tuple
-        One ``(spec, root, owner, ttl, shards, max_workers)`` each.
+        One ``(spec, root, owner, ttl, shards, max_workers, trace,
+        profile)`` each.
     """
     return [
-        (spec, str(root), f"{default_owner()}-w{i}", ttl, shards, max_workers)
+        (
+            spec, str(root), f"{default_owner()}-w{i}", ttl, shards, max_workers,
+            trace, profile,
+        )
         for i in range(workers)
     ]
 
@@ -531,7 +572,10 @@ def pool_worker(payload: tuple) -> WorkerReport:
 
     Opens a fresh store handle on the shared directory and drains with
     ``wait=True`` so the pool's ``map`` returns only once every cell of
-    the sweep is stored (by *some* worker).
+    the sweep is stored (by *some* worker).  A tracing pool builds its
+    own :func:`repro.obs.events.tracer_for_store` here, in the worker
+    process, under the worker's owner id — every pool member appends
+    to the same flock-guarded ``events.jsonl``.
 
     Parameters
     ----------
@@ -543,7 +587,12 @@ def pool_worker(payload: tuple) -> WorkerReport:
     WorkerReport
         This worker's share of the drain.
     """
-    spec, root, owner, ttl, shards, max_workers = payload
+    spec, root, owner, ttl, shards, max_workers, trace, profile = payload
+    tracer = None
+    if trace:
+        from ..obs.events import tracer_for_store
+
+        tracer = tracer_for_store(root, worker=owner)
     return drain(
         spec,
         ResultStore(root),
@@ -552,6 +601,8 @@ def pool_worker(payload: tuple) -> WorkerReport:
         shards=shards,
         max_workers=max_workers,
         wait=True,
+        tracer=tracer,
+        profile=profile,
     )
 
 
@@ -594,6 +645,11 @@ class FsckReport:
         Valid records seen (including duplicates).
     cells : int
         Distinct cell hashes.
+    events_records : int
+        Parseable telemetry events in ``events.jsonl`` (0 when the
+        campaign never traced).
+    events_corrupt : int
+        Torn event lines — an integrity finding, same as shard tears.
     """
 
     records: int = 0
@@ -604,6 +660,8 @@ class FsckReport:
     duplicates: dict[str, int] = field(default_factory=dict)
     stale_leases: list[Lease] = field(default_factory=list)
     live_leases: list[Lease] = field(default_factory=list)
+    events_records: int = 0
+    events_corrupt: int = 0
 
     @property
     def errors(self) -> int:
@@ -613,6 +671,7 @@ class FsckReport:
             + len(self.hash_mismatches)
             + len(self.misplaced)
             + len(self.stale_leases)
+            + self.events_corrupt
         )
 
     @property
@@ -644,6 +703,8 @@ class FsckReport:
                 else ""
             ),
             f"live leases        {len(self.live_leases)}",
+            f"events             {self.events_records} record(s), "
+            f"{self.events_corrupt} torn line(s)",
             f"verdict            {'clean' if self.clean else 'NOT CLEAN'}",
         ]
         return "\n".join(lines)
@@ -656,7 +717,8 @@ def fsck(store: ResultStore, *, now: float | None = None) -> FsckReport:
     parse, its ``key`` payload must re-hash (SHA-256 of the canonical
     JSON) to the stored ``hash``, and the hash must belong in the shard
     file that holds it.  The claim ledger is replayed for leases that
-    expired without a release.
+    expired without a release, and the telemetry log (``events.jsonl``,
+    if any) is scanned for torn lines.
 
     Parameters
     ----------
@@ -702,6 +764,11 @@ def fsck(store: ResultStore, *, now: float | None = None) -> FsckReport:
             report.stale_leases.append(lease)
         else:
             report.live_leases.append(lease)
+    from ..obs.events import EventLog
+
+    events = EventLog(store.root)
+    report.events_records = len(events.records())
+    report.events_corrupt = events.torn_lines()
     return report
 
 

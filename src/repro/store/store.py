@@ -116,8 +116,11 @@ def record_row(record: Mapping[str, Any]) -> dict[str, Any]:
     """Flatten a store record into one query row.
 
     Graph-builder arguments are prefixed ``g_`` (so a tree's ``k``
-    never collides with cobra's ``k``); process parameters keep their
-    names; summary statistics and provenance ride along unprefixed.
+    never collides with cobra's ``k``); per-phase timings from the
+    provenance ``phase_s`` dict become ``t_<phase>_s`` columns; process
+    parameters keep their names; summary statistics and the remaining
+    provenance (``engine``/``backend``/``worker``/``peak_rss_mb``) ride
+    along unprefixed.
 
     Parameters
     ----------
@@ -147,8 +150,14 @@ def record_row(record: Mapping[str, Any]) -> dict[str, Any]:
         "seed_root": key["seed"]["root"],
         "seed_kind": key["seed"]["kind"],
         "engine": prov.get("engine"),
+        "backend": prov.get("backend"),
+        "worker": prov.get("worker"),
         "wall_time_s": prov.get("wall_time_s"),
     }
+    for name, value in prov.get("phase_s", {}).items():
+        row[f"t_{name}_s"] = value
+    if "peak_rss_mb" in prov:
+        row["peak_rss_mb"] = prov["peak_rss_mb"]
     for name, value in key["graph"]["params"].items():
         row[f"g_{name}"] = value
     for name, value in key["params"].items():

@@ -370,6 +370,60 @@ class TestRPL140KernelRNG:
         )
 
 
+class TestRPL150RawClockReads:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import time\nt = time.perf_counter()\n",
+            "import time\nt = time.monotonic()\n",
+            "import time\nt = time.time()\n",
+            "import time\nt = time.process_time_ns()\n",
+            "from time import perf_counter\nt = perf_counter()\n",
+            "from time import perf_counter as pc\nt = pc()\n",
+        ],
+    )
+    def test_clock_reads_fire_in_sim_and_store(self, snippet):
+        for path in (ENGINE, STORE):
+            (finding,) = findings_for(snippet, path, "RPL150")
+            assert finding.severity == ERROR
+            assert "Tracer clock" in finding.message
+
+    def test_outside_sim_store_is_silent(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert not findings_for(src, EXAMPLE, "RPL150")
+
+    def test_dispatch_lease_ttls_are_allowlisted(self):
+        assert not findings_for(
+            "import time\nt = time.time()\n", DISPATCH, "RPL150"
+        )
+
+    def test_sleep_is_waiting_not_reading(self):
+        assert not findings_for(
+            "import time\ntime.sleep(0.1)\n", ENGINE, "RPL150"
+        )
+
+    def test_injected_tracer_clock_is_the_compliant_spelling(self):
+        src = """\
+        from repro.obs.trace import current_tracer
+        t0 = current_tracer().clock()
+        """
+        assert not findings_for(src, ENGINE, "RPL150")
+
+    def test_shipped_sim_and_store_trees_are_clean(self):
+        from pathlib import Path
+
+        import repro.sim as sim
+
+        src_root = Path(sim.__file__).resolve().parent.parent
+        for module in sorted(src_root.glob("sim/*.py")) + sorted(
+            src_root.glob("store/*.py")
+        ):
+            rel = f"src/repro/{module.parent.name}/{module.name}"
+            assert not findings_for(
+                module.read_text(encoding="utf-8"), rel, "RPL150"
+            ), rel
+
+
 class TestOrderingAndRendering:
     def test_findings_sorted_by_position(self):
         src = """\

@@ -1,0 +1,114 @@
+"""events.jsonl round-trip: flock appends, torn tails, concurrent writers.
+
+The concurrency test drives two real OS processes through
+:meth:`EventLog.append` simultaneously — the same guarantee the CI
+dispatch smoke proves end to end with ``sweep work --trace`` workers.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs import EVENTS_FILE, EventLog, load_events, tracer_for_store
+
+REPO_SRC = Path(__file__).resolve().parent.parent.parent / "src"
+
+
+class TestRoundTrip:
+    def test_append_records_frame(self, tmp_path):
+        log = EventLog(tmp_path)
+        log.append({"kind": "phase", "name": "engine", "dur_s": 0.5})
+        log.append({"kind": "cell", "name": "cell", "dur_s": 1.5})
+        assert [r["kind"] for r in log.records()] == ["phase", "cell"]
+        frame = log.frame()
+        assert len(frame.filter(kind="phase")) == 1
+        assert frame.filter(kind="cell").column("dur_s") == [1.5]
+
+    def test_missing_file_is_empty_not_an_error(self, tmp_path):
+        log = EventLog(tmp_path)
+        assert log.records() == [] and log.torn_lines() == 0
+        assert len(load_events(tmp_path)) == 0
+
+    def test_torn_tail_is_counted_and_skipped(self, tmp_path):
+        log = EventLog(tmp_path)
+        log.append({"kind": "phase", "name": "a"})
+        with (tmp_path / EVENTS_FILE).open("a", encoding="utf-8") as fh:
+            fh.write('{"kind": "phase", "na')  # crash mid-write
+        assert log.torn_lines() == 1
+        assert len(log.records()) == 1
+
+    def test_non_dict_lines_count_as_torn(self, tmp_path):
+        (tmp_path / EVENTS_FILE).write_text('[1, 2]\n42\n', encoding="utf-8")
+        log = EventLog(tmp_path)
+        assert log.torn_lines() == 2 and log.records() == []
+
+
+class TestTracerForStore:
+    def test_spans_land_in_the_event_file(self, tmp_path):
+        tr = tracer_for_store(tmp_path, worker="w0")
+        with tr.span("cell", kind="cell", cell="abc123"):
+            with tr.span("engine"):
+                tr.count("engine_steps", 3)
+        records = EventLog(tmp_path).records()
+        assert [r["name"] for r in records] == ["engine", "cell"]
+        assert records[0]["worker"] == "w0"
+        assert records[0]["c_engine_steps"] == 3
+
+    def test_lease_attribution_follows_the_tracer(self, tmp_path):
+        tr = tracer_for_store(tmp_path, worker="w0")
+        tr.lease = "aaaa"
+        with tr.span("a"):
+            pass
+        tr.lease = None
+        with tr.span("b"):
+            pass
+        records = EventLog(tmp_path).records()
+        assert records[0]["lease"] == "aaaa"
+        assert "lease" not in records[1]
+
+
+_WRITER = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.obs import EventLog
+log = EventLog({root!r})
+for i in range({n}):
+    log.append({{"kind": "phase", "name": "e", "worker": {tag!r}, "i": i}})
+"""
+
+
+class TestConcurrentWriters:
+    def test_two_processes_interleave_without_torn_lines(self, tmp_path):
+        """Two OS processes hammer one events.jsonl; every line must
+        parse and every record must survive (the flock whole-line
+        guarantee)."""
+        n = 200
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    _WRITER.format(
+                        src=str(REPO_SRC), root=str(tmp_path), n=n, tag=tag
+                    ),
+                ]
+            )
+            for tag in ("w0", "w1")
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        log = EventLog(tmp_path)
+        assert log.torn_lines() == 0
+        frame = log.frame()
+        assert len(frame) == 2 * n
+        for tag in ("w0", "w1"):
+            sub = frame.filter(worker=tag)
+            assert sorted(r["i"] for r in sub.rows) == list(range(n))
+
+    def test_every_line_is_one_json_document(self, tmp_path):
+        log = EventLog(tmp_path)
+        for i in range(50):
+            log.append({"kind": "phase", "i": i})
+        for line in (tmp_path / EVENTS_FILE).read_text().splitlines():
+            json.loads(line)

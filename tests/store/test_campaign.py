@@ -168,6 +168,13 @@ class TestStatusAndProvenance:
         assert prov["graph_n"] == 49
         assert prov["graph_kind"] == "csr"
         assert prov["seed_entropy"][0] == 5
+        # observability additions: backend/worker/per-phase timings ride
+        # along even for untraced runs, and surface as Frame columns
+        assert prov["backend"] == "numpy"
+        assert prov["worker"]
+        assert set(prov["phase_s"]) == {"build_graph", "lower", "engine"}
+        row = store.frame().rows[0]
+        assert row["backend"] == "numpy" and row["t_engine_s"] >= 0
 
     def test_oracle_cells_record_their_topology_kind(self):
         spec = SweepSpec(

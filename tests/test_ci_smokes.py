@@ -49,6 +49,16 @@ class TestDispatchSmoke:
         smoke = load_script("ci/smoke_dispatch.py")
         assert smoke.SWEEP in sweep_names()
 
+    def test_smoke_pins_the_event_interleaving_contract(self):
+        """The smoke must keep asserting what the observability layer
+        promises: two OS processes tracing into one events.jsonl, zero
+        torn lines, cells × phases phase records, worker attribution."""
+        source = (REPO / "ci" / "smoke_dispatch.py").read_text(encoding="utf-8")
+        assert "--trace" in source
+        assert "torn_lines() == 0" in source
+        assert "CELL_PHASES" in source
+        assert '"report"' in source or "'report'" in source
+
 
 class TestBenchEmit:
     def test_writes_schema_stamped_json(self, tmp_path):
@@ -118,6 +128,13 @@ def test_ci_workflow_runs_the_extracted_scripts(script):
     assert script in ci, f"ci.yml no longer runs {script}"
 
 
+def test_ci_runs_the_straggler_report_over_the_dispatch_store():
+    """The smokes job must render `sweep report` from the store the
+    two traced dispatch workers just drained."""
+    ci = (REPO / ".github" / "workflows" / "ci.yml").read_text(encoding="utf-8")
+    assert "sweep report DEMO_grid2x2 --store ci-dispatch-store" in ci
+
+
 def test_regression_gate_runs_against_fresh_artifacts():
     """The gate must compare the artifact dir CI writes benches into —
     and it gates (no `|| true` on its line)."""
@@ -132,7 +149,8 @@ def test_regression_gate_runs_against_fresh_artifacts():
 class TestBenchRegressionGate:
     """The regression gate's contract, offline: pass within threshold,
     fail on a synthetic 25% slowdown, warn (not fail) on missing
-    counterparts and null timings."""
+    counterparts and null timings — but fail hard when baselines exist
+    and the fresh run emitted no documents at all."""
 
     def _doc(self, name, **fields):
         return {"bench": name, "schema": 2, **fields}
@@ -185,6 +203,26 @@ class TestBenchRegressionGate:
         assert rc == 1  # numpy_ms doubled; the null numba column is ignored
         out = capsys.readouterr().out
         assert "cases[cobra].numpy_ms" in out and "numba_ms" not in out
+
+    def test_empty_fresh_directory_fails_hard(self, tmp_path, capsys):
+        """Baselines committed but the fresh run emitted nothing at all:
+        the bench step itself broke, and the gate must fail, not warn."""
+        gate = load_script("ci/check_bench_regression.py")
+        self._write(tmp_path / "base", self._doc("x", run_ms=100.0))
+        (tmp_path / "fresh").mkdir()
+        rc = gate.main(
+            ["--fresh", str(tmp_path / "fresh"), "--baseline", str(tmp_path / "base")]
+        )
+        assert rc == 1
+        assert "emitted nothing" in capsys.readouterr().err
+
+    def test_missing_fresh_directory_fails_hard(self, tmp_path, capsys):
+        gate = load_script("ci/check_bench_regression.py")
+        self._write(tmp_path / "base", self._doc("x", run_ms=100.0))
+        rc = gate.main(
+            ["--fresh", str(tmp_path / "absent"), "--baseline", str(tmp_path / "base")]
+        )
+        assert rc == 1
 
     def test_missing_counterparts_warn_but_pass(self, tmp_path, capsys):
         gate = load_script("ci/check_bench_regression.py")
