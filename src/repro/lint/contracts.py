@@ -107,6 +107,45 @@ DOC_ANCHORS: dict[str, tuple[str, ...]] = {
         "`backend`",
         "sweep report",
         "sweep top",
+        "Object-store backends",
+        "StorageBackend",
+        "compare-and-swap",
+        "InMemoryCASBackend",
+        "HTTPCASBackend",
+        "sweep declare",
+        "sweeps.jsonl",
+        "--loop",
+        "SIGTERM",
+    ),
+    "docs/service.md": (
+        "StorageBackend protocol",
+        "read_blob",
+        "append_line",
+        "list_prefix",
+        "compare_and_swap",
+        "zero-byte blob is absent",
+        "LocalBackend",
+        "CASBackend",
+        "InMemoryCASBackend",
+        "HTTPCASBackend",
+        "S3CASBackend",
+        "CAS ledger semantics",
+        "value-for-value identical",
+        "sweep serve",
+        ":memory:",
+        "GET /health",
+        "GET /cell/",
+        "GET /frame",
+        "PUT /blob/",
+        "304 Not Modified",
+        "412 Precondition Failed",
+        "repro.frame/1",
+        "kind=\"http\"",
+        "sweep declare",
+        "--loop",
+        "SIGTERM lease release",
+        "--max-rounds",
+        "exit-code contract",
     ),
     "docs/observability.md": (
         "Span model",

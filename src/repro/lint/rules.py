@@ -227,10 +227,6 @@ def _is_rng_module(path: str) -> bool:
     return _posix(path).endswith("sim/rng.py")
 
 
-def _is_locking_module(path: str) -> bool:
-    return _posix(path).endswith("store/locking.py")
-
-
 #: files allowed to read the wall clock / OS entropy: lease TTLs in the
 #: dispatch ledger, experiment-runner stamps, and the straggler report's
 #: lease-expiry arithmetic — none of it keyed
@@ -431,13 +427,30 @@ def _open_mode(node: ast.Call) -> ast.expr | None:
     return None
 
 
+def _is_seam_module(path: str) -> bool:
+    """The two modules allowed to touch files raw: the flock helpers and
+    the backend seam they sit behind."""
+    p = _posix(path)
+    return p.endswith("store/locking.py") or p.endswith("store/backend.py")
+
+
 def _check_rpl110(ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
-    if not _in_store(ctx.path) or _is_locking_module(ctx.path):
+    if not _in_store(ctx.path) or _is_seam_module(ctx.path):
         return
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Call):
             continue
         func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            yield node, (
+                f"raw .{func.attr}(...) in store code; whole-blob rewrites "
+                "must go through StorageBackend.compare_and_swap so a "
+                "concurrent append or CAS cannot be silently overwritten"
+            )
+            continue
         is_open = (isinstance(func, ast.Name) and func.id == "open") or (
             isinstance(func, ast.Attribute) and func.attr == "open"
         )
@@ -451,9 +464,9 @@ def _check_rpl110(ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
         ):
             yield node, (
                 f"raw open(..., {mode.value!r}) in store code; shard and "
-                "ledger appends must route through ResultStore.put / "
-                "repro.store.locking so concurrent writers interleave whole "
-                "records"
+                "ledger writes must route through the StorageBackend seam "
+                "(append_line / compare_and_swap) or repro.store.locking so "
+                "concurrent writers interleave whole records"
             )
 
 
@@ -511,18 +524,60 @@ def _has_guaranteed_release(ctx: FileContext, acquire: ast.Call) -> bool:
     return False
 
 
+def _is_try_claim_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "try_claim"
+    )
+
+
+def _claim_has_guaranteed_release(ctx: FileContext, claim: ast.Call) -> bool:
+    """True when the claiming function releases the lease on the error
+    path: a ``.release(...)`` call inside an except handler or finally
+    block of the same function."""
+    scope: ast.AST = ctx.tree
+    for ancestor in ctx.ancestors(claim):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scope = ancestor
+            break
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Try):
+            continue
+        guarded = list(node.finalbody)
+        for handler in node.handlers:
+            guarded.extend(handler.body)
+        for stmt in guarded:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "release"
+                ):
+                    return True
+    return False
+
+
 def _check_rpl111(ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
     for node in ast.walk(ctx.tree):
-        if not (_is_flock_call(node) and _flock_flag(node) in _ACQUIRE_FLAGS):
-            continue
-        assert isinstance(node, ast.Call)
-        if not _has_guaranteed_release(ctx, node):
-            yield node, (
-                "flock acquisition without a guaranteed release: wrap the "
-                "critical section in a context manager or release LOCK_UN "
-                "in a finally block (a leaked lock deadlocks every other "
-                "store writer)"
-            )
+        if _is_flock_call(node) and _flock_flag(node) in _ACQUIRE_FLAGS:
+            assert isinstance(node, ast.Call)
+            if not _has_guaranteed_release(ctx, node):
+                yield node, (
+                    "flock acquisition without a guaranteed release: wrap "
+                    "the critical section in a context manager or release "
+                    "LOCK_UN in a finally block (a leaked lock deadlocks "
+                    "every other store writer)"
+                )
+        elif _is_try_claim_call(node):
+            assert isinstance(node, ast.Call)
+            if not _claim_has_guaranteed_release(ctx, node):
+                yield node, (
+                    "try_claim without a release guaranteed on failure: the "
+                    "claiming function must call ledger.release "
+                    "(op=\"abandon\") in an except handler or finally block, "
+                    "or the cell stays leased until the TTL expires"
+                )
 
 
 def _spec_capabilities(call: ast.Call) -> set[str] | None:
@@ -880,18 +935,22 @@ register_rule(
     Rule(
         id="RPL110",
         severity=ERROR,
-        title="raw write-mode open in store code",
+        title="raw file write in store code bypassing the I/O seam",
         invariant=(
-            "In repro/store/, no raw `open(..., 'a'|'w')`: every shard/"
-            "ledger append goes through ResultStore.put or the "
-            "repro.store.locking helpers. flock is advisory — one writer "
-            "bypassing the helpers can interleave bytes mid-record and "
-            "corrupt the JSONL shard for every reader."
+            "In repro/store/, no raw `open(..., 'a'|'w')` and no "
+            "`write_text`/`write_bytes`: every shard/ledger write goes "
+            "through the StorageBackend seam (append_line / "
+            "compare_and_swap) — implemented by store/locking.py and "
+            "store/backend.py, the only modules allowed to touch files "
+            "raw. flock is advisory and CAS is optimistic: one writer "
+            "bypassing the seam can interleave bytes mid-record or "
+            "silently overwrite a concurrent compare-and-swap."
         ),
         fix=(
-            "Route appends through ResultStore.put / locking.append_line / "
-            "locking.locked; for whole-file rewrites (compaction) write a "
-            "tmp file with mode 'x' and os.replace it into place."
+            "Route appends through backend.append_line (or ResultStore."
+            "put) and whole-blob rewrites through backend."
+            "compare_and_swap; only store/locking.py and store/backend.py "
+            "may open store files directly."
         ),
         checker=_check_rpl110,
     )
@@ -901,18 +960,23 @@ register_rule(
     Rule(
         id="RPL111",
         severity=ERROR,
-        title="flock acquire without guaranteed release",
+        title="lock or lease acquire without guaranteed release",
         invariant=(
             "Every `flock(..., LOCK_EX|LOCK_SH)` acquisition must sit "
             "inside a `with` block or a function whose try/finally "
-            "releases LOCK_UN. A code path that raises between acquire "
-            "and release leaks the lock until process exit, deadlocking "
-            "every other store writer on the same file."
+            "releases LOCK_UN, and every `ledger.try_claim(...)` call "
+            "must sit in a function that calls `.release(...)` from an "
+            "except handler or finally block. A code path that raises "
+            "between acquire and release leaks the lock until process "
+            "exit (deadlocking every other store writer) or leaks the "
+            "lease until its TTL expires (stalling the cell for every "
+            "other worker)."
         ),
         fix=(
             "Use the repro.store.locking context managers instead of "
-            "calling fcntl.flock directly; if you must call it, release "
-            "in a finally."
+            "calling fcntl.flock directly; pair try_claim with "
+            'ledger.release(h, owner=..., op="abandon") in an except '
+            "handler (see drain() in repro/store/dispatch.py)."
         ),
         checker=_check_rpl111,
     )

@@ -1,11 +1,13 @@
 """Append-only telemetry events beside the shards: ``events.jsonl``.
 
-One file per store directory, written through the store's own flock
-appender (:func:`repro.store.locking.append_line`), so any number of
-dispatch workers emit events concurrently with the same whole-line
-guarantee the shards enjoy: readers may see a torn tail after a crash,
-never interleaved bytes.  Each line is one flat JSON event — a
-finished span as emitted by :meth:`repro.obs.trace.Tracer._emit`::
+One blob per store, written through the store's
+:class:`~repro.store.backend.StorageBackend` seam (the flock appender
+on a shared filesystem, a conditional-put retry loop on an object
+store), so any number of dispatch workers emit events concurrently
+with the same whole-line guarantee the shards enjoy: readers may see a
+torn tail after a crash, never interleaved bytes.  Each line is one
+flat JSON event — a finished span as emitted by
+:meth:`repro.obs.trace.Tracer._emit`::
 
     {"kind": "phase", "name": "engine", "seq": 7, "dur_s": 0.0123,
      "t_wall": 1754550000.0, "worker": "host-4242", "lease": "9f3a01c2",
@@ -28,6 +30,7 @@ from typing import TYPE_CHECKING, Any
 from .trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..store.backend import StorageBackend
     from ..store.store import Frame
 
 __all__ = ["EVENTS_FILE", "EventLog", "load_events", "tracer_for_store"]
@@ -37,31 +40,38 @@ EVENTS_FILE = "events.jsonl"
 
 
 class EventLog:
-    """The append-only event file of one store directory.
+    """The append-only event log of one store.
 
     Parameters
     ----------
-    root : str or Path
-        The store directory (events land in ``root/events.jsonl``).
+    store : str, Path, or StorageBackend
+        The store directory (events land in ``root/events.jsonl``) or
+        the backend the log persists through.
     """
 
-    def __init__(self, root: str | Path) -> None:
-        self.root = Path(root)
-        self.path = self.root / EVENTS_FILE
+    def __init__(self, store: "str | Path | StorageBackend") -> None:
+        # function-level import: repro.obs must stay importable from
+        # inside repro.sim/repro.store module bodies (cycle guard)
+        from ..store.backend import resolve_backend
+
+        backend = resolve_backend(store)
+        if backend is None:
+            raise ValueError("EventLog needs a store path or backend")
+        self.backend = backend
+        self.root = getattr(backend, "root", None)
+        self.path = self.root / EVENTS_FILE if self.root is not None else None
 
     def append(self, record: Mapping[str, Any]) -> None:
-        """Append one event under the store's flock discipline.
+        """Append one event through the backend's merge-safe appender.
 
         Parameters
         ----------
         record : Mapping
             A flat JSON-safe event (one finished span).
         """
-        # function-level import: repro.obs must stay importable from
-        # inside repro.sim/repro.store module bodies (cycle guard)
-        from ..store.locking import append_line
-
-        append_line(self.path, json.dumps(dict(record), sort_keys=True))
+        self.backend.append_line(
+            EVENTS_FILE, json.dumps(dict(record), sort_keys=True)
+        )
 
     def records(self) -> list[dict[str, Any]]:
         """All parseable events, in append order (torn lines skipped).
@@ -101,9 +111,10 @@ class EventLog:
     def _scan(self) -> tuple[list[dict[str, Any]], int]:
         records: list[dict[str, Any]] = []
         torn = 0
-        if not self.path.exists():
+        blob = self.backend.read_blob(EVENTS_FILE)
+        if blob is None:
             return records, torn
-        for line in self.path.read_text(encoding="utf-8").splitlines():
+        for line in blob[0].decode("utf-8").splitlines():
             line = line.strip()
             if not line:
                 continue
@@ -119,13 +130,13 @@ class EventLog:
         return records, torn
 
 
-def load_events(root: str | Path) -> "Frame":
-    """Load a store directory's events as a Frame (torn lines skipped).
+def load_events(root: "str | Path | StorageBackend") -> "Frame":
+    """Load a store's events as a Frame (torn lines skipped).
 
     Parameters
     ----------
-    root : str or Path
-        The store directory holding ``events.jsonl``.
+    root : str, Path, or StorageBackend
+        The store directory (or backend) holding ``events.jsonl``.
 
     Returns
     -------
@@ -136,7 +147,7 @@ def load_events(root: str | Path) -> "Frame":
 
 
 def tracer_for_store(
-    root: str | Path,
+    root: "str | Path | StorageBackend",
     *,
     worker: str | None = None,
     lease: str | None = None,
@@ -152,8 +163,8 @@ def tracer_for_store(
 
     Parameters
     ----------
-    root : str or Path
-        The store directory to write events beside.
+    root : str, Path, or StorageBackend
+        The store directory (or backend) to write events beside.
     worker : str, optional
         Worker id stamped on every event (default
         :func:`repro.obs.trace.default_worker_id`).

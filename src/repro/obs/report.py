@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from pathlib import Path
 from collections.abc import Callable, Sequence
 from typing import TYPE_CHECKING, Any
 
@@ -154,13 +153,13 @@ def _sweep_frame(store: "ResultStore", specs: Sequence["SweepSpec"] | None) -> "
     return Frame(rows)
 
 
-def _ledger_stats(root: Path, *, now: float) -> dict[str, int]:
+def _ledger_stats(backend: Any, *, now: float) -> dict[str, int]:
     from ..store.dispatch import ClaimLedger
 
-    ledger = ClaimLedger(root)
-    if not ledger.path.exists():
-        return {}
+    ledger = ClaimLedger(backend)
     records = ledger.records()
+    if not records:
+        return {}
     claim_counts: dict[str, int] = {}
     done = abandoned = 0
     for record in records:
@@ -188,8 +187,11 @@ def _double_computed(store: "ResultStore") -> int:
     from ..store.store import parse_record
 
     counts: dict[str, int] = {}
-    for path in store.shard_paths():
-        for line in path.read_text(encoding="utf-8").splitlines():
+    for shard_key in store.shard_keys():
+        blob = store.backend.read_blob(shard_key)
+        if blob is None:
+            continue
+        for line in blob[0].decode("utf-8").splitlines():
             if not line.strip():
                 continue
             try:
@@ -281,13 +283,13 @@ def build_report(
         )
     report.workers.sort(key=lambda r: -r["total_s"])
 
-    if store.root is not None:
-        report.ledger = _ledger_stats(store.root, now=now)
+    if store.backend is not None:
+        report.ledger = _ledger_stats(store.backend, now=now)
         if report.ledger:
             report.ledger["double_computed"] = _double_computed(store)
         from .events import EventLog
 
-        log = EventLog(store.root)
+        log = EventLog(store.backend)
         records, torn = log._scan()
         report.events = {"records": len(records), "torn": torn}
     return report
@@ -334,8 +336,8 @@ def render_top(
     header = f"sweep top — {done}/{total} cells stored"
     lines.insert(0, header)
 
-    if store.root is not None:
-        ledger = ClaimLedger(store.root)
+    if store.backend is not None:
+        ledger = ClaimLedger(store.backend)
         live = [
             lease for lease in ledger.leases().values() if not lease.expired(now)
         ]
@@ -348,7 +350,7 @@ def render_top(
             )
         from .events import EventLog
 
-        events = EventLog(store.root).records()
+        events = EventLog(store.backend).records()
         phases = [e for e in events if e.get("kind") == "phase"]
         if phases:
             lines.append(f"recent events ({len(phases)} phase records):")

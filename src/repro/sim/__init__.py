@@ -9,6 +9,7 @@ from .batch import (
     batched_cobra_active_sizes,
     batched_cobra_cover_trials,
     batched_cobra_hit_trials,
+    batched_gossip_hit_trials,
     batched_gossip_spread_trials,
     batched_lazy_cover_trials,
     batched_lazy_hit_trials,
@@ -62,6 +63,7 @@ __all__ = [
     "batched_cobra_active_sizes",
     "batched_cobra_cover_trials",
     "batched_cobra_hit_trials",
+    "batched_gossip_hit_trials",
     "batched_gossip_spread_trials",
     "batched_lazy_cover_trials",
     "batched_lazy_hit_trials",

@@ -122,6 +122,7 @@ __all__ = [
     "batched_cobra_active_sizes",
     "batched_cobra_cover_trials",
     "batched_cobra_hit_trials",
+    "batched_gossip_hit_trials",
     "batched_gossip_spread_trials",
     "batched_lazy_cover_trials",
     "batched_lazy_hit_trials",
@@ -633,6 +634,169 @@ def batched_gossip_spread_trials(
             if a == 0:
                 break
             count = count[keep]
+            remap = np.cumsum(keep) - 1
+            informed.keep_rows(keep)
+            if push:
+                uncount = np.ascontiguousarray(uncount.reshape(-1, n)[keep]).reshape(-1)
+                rows = senders // nn
+                m = keep[rows]
+                senders = remap[rows[m]] * nn + senders[m] % nn
+            if pull:
+                everseen.keep_rows(keep)
+                rows = askers // nn
+                m = keep[rows]
+                askers = remap[rows[m]] * nn + askers[m] % nn
+    return out
+
+
+def batched_gossip_hit_trials(
+    graph: GraphLike,
+    target: int,
+    *,
+    trials: int,
+    start: int = 0,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+    push: bool = True,
+    pull: bool = False,
+) -> np.ndarray:
+    """First rounds at which *target* learns the rumor, over *trials*
+    independent gossip runs advanced in lock-step (the
+    ``metric="hit"`` engine for push/pull/push_pull).
+
+    Identical round semantics to
+    :func:`batched_gossip_spread_trials` — same boundary-tracked
+    push/pull draws, same compaction — but a trial finishes the round
+    *target* first becomes informed instead of the round the rumor
+    saturates, matching ``GossipSpread.first_visit[target]`` of the
+    serial process distributionally.  No per-trial informed *count* is
+    kept: the only completion test is target membership in each
+    round's freshly informed set.
+
+    Parameters
+    ----------
+    graph : Graph or NeighborOracle
+        Connected graph without isolated vertices (CSR or implicit).
+    target : int
+        Vertex whose first informing stops a trial.
+    trials : int
+        Number of independent runs.
+    start : int
+        The initially informed vertex.
+    seed : SeedLike, optional
+        Seed/stream for the single interleaved RNG.
+    max_steps : int, optional
+        Round budget per trial; defaults to the gossip helpers'
+        ``O(n log n)``-with-slack budget.
+    push : bool
+        Informed vertices push to one uniform neighbor per round.
+    pull : bool
+        Uninformed vertices poll one uniform neighbor per round.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64[trials]`` hitting rounds with ``np.nan`` marking
+        budget exhaustion (``0.0`` when *target* is the start vertex).
+    """
+    oracle = as_oracle(graph)
+    _check_samplable(oracle, trials)
+    if not (push or pull):
+        raise ValueError("enable at least one of push/pull")
+    n = oracle.n
+    start = int(start)
+    if not (0 <= start < n):
+        raise ValueError("start out of range")
+    if not (0 <= target < n):
+        raise ValueError("target out of range")
+    if max_steps is None:
+        from ..walks.gossip import _budget
+
+        max_steps = _budget(n)
+    rng = resolve_rng(seed)
+
+    out = np.full(trials, np.nan)
+    if target == start:
+        out[:] = 0.0
+        return out
+
+    a = trials
+    alive = np.arange(trials)
+    nn = np.int64(n)
+    deg_i = oracle.degree(np.arange(n, dtype=np.int64))
+    deg_f = deg_i.astype(np.float64)
+    informed = visited_mask(a, n)
+    start_flat = np.arange(a, dtype=np.int64) * n + start
+    informed.set_unique_rows(start_flat)
+
+    def _neighbor_expand(fresh: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        w = fresh % nn
+        nbrs_local, deg = oracle.all_neighbors(w)
+        return np.unique(np.repeat(fresh - w, deg) + nbrs_local, return_counts=True)
+
+    # the same boundary structures as the spread engine (see there)
+    uids0, ucnt0 = _neighbor_expand(start_flat)
+    uncount = None
+    if push:
+        uncount = np.tile(deg_i, a)
+        uncount[uids0] -= ucnt0
+    everseen = None
+    if pull:
+        everseen = visited_mask(a, n)
+        everseen.set_sorted_flat(uids0)
+    senders = start_flat
+    askers = uids0[~informed.test_flat(uids0)] if pull else None
+
+    for t in range(1, max_steps + 1):
+        new_parts = []
+        if push:
+            senders = senders[uncount[senders] > 0]
+            w = senders % nn
+            u = rng.random(senders.size)
+            cand = (senders - w) + oracle.neighbor_at(
+                w, (u * deg_f[w]).astype(np.int64)
+            )
+            new_parts.append(cand[~informed.test_flat(cand)])
+        if pull:
+            askers = askers[~informed.test_flat(askers)]
+            if askers.size:
+                w = askers % nn
+                u = rng.random(askers.size)
+                src = (askers - w) + oracle.neighbor_at(
+                    w, (u * deg_f[w]).astype(np.int64)
+                )
+                new_parts.append(askers[informed.test_flat(src)])
+        new = (
+            new_parts[0]
+            if len(new_parts) == 1
+            else np.concatenate(new_parts)
+            if new_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        if new.size == 0:
+            continue
+        fresh = np.unique(new)
+        informed.set_sorted_flat(fresh)
+        uids, ucnt = _neighbor_expand(fresh)
+        if push:
+            uncount[uids] -= ucnt
+            senders = np.concatenate([senders, fresh])
+        if pull:
+            newly = uids[~everseen.test_flat(uids)]
+            everseen.set_sorted_flat(uids)
+            askers = np.concatenate([askers, newly[~informed.test_flat(newly)]])
+        # completion: which rows informed the target this round (the
+        # fresh set is unique, so each hit row appears exactly once)
+        hit_rows = fresh[fresh % nn == target] // nn
+        if hit_rows.size:
+            done = np.zeros(a, dtype=bool)
+            done[hit_rows] = True
+            out[alive[done]] = t
+            keep = ~done
+            alive = alive[keep]
+            a = alive.size
+            if a == 0:
+                break
             remap = np.cumsum(keep) - 1
             informed.keep_rows(keep)
             if push:

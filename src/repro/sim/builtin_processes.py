@@ -31,6 +31,7 @@ from .batch import (
     batched_coalescing_cover_trials,
     batched_cobra_cover_trials,
     batched_cobra_hit_trials,
+    batched_gossip_hit_trials,
     batched_gossip_spread_trials,
     batched_lazy_cover_trials,
     batched_lazy_hit_trials,
@@ -308,6 +309,22 @@ def _gossip_batch_cover(push: bool, pull: bool):
     return engine
 
 
+def _gossip_batch_hit(push: bool, pull: bool):
+    def engine(graph, *, trials, target, start=0, seed=None, max_steps=None):
+        return batched_gossip_hit_trials(
+            graph,
+            target,
+            trials=trials,
+            start=_scalar_start(start),
+            seed=seed,
+            max_steps=max_steps,
+            push=push,
+            pull=pull,
+        )
+
+    return engine
+
+
 # ----------------------------------------------------------------------
 # registrations (budgets mirror each legacy helper's default)
 # ----------------------------------------------------------------------
@@ -414,6 +431,7 @@ register_process(
         default_metric="spread",
         default_budget=lambda g, p: _gossip_mod._budget(g.n),
         batch_cover=_gossip_batch_cover(push=True, pull=False),
+        batch_hit=_gossip_batch_hit(push=True, pull=False),
         description="push gossip: every informed vertex tells one uniform neighbor",
     )
 )
@@ -426,6 +444,7 @@ register_process(
         default_metric="spread",
         default_budget=lambda g, p: _gossip_mod._budget(g.n),
         batch_cover=_gossip_batch_cover(push=False, pull=True),
+        batch_hit=_gossip_batch_hit(push=False, pull=True),
         description="pull gossip: every uninformed vertex polls one uniform neighbor",
     )
 )
@@ -438,6 +457,7 @@ register_process(
         default_metric="spread",
         default_budget=lambda g, p: _gossip_mod._budget(g.n),
         batch_cover=_gossip_batch_cover(push=True, pull=True),
+        batch_hit=_gossip_batch_hit(push=True, pull=True),
         description="combined push-pull gossip",
     )
 )

@@ -21,6 +21,16 @@ See ``docs/sweeps.md``.
 >>> store.frame(process="cobra").column("mean")  # doctest: +SKIP
 """
 
+from .backend import (
+    BackendError,
+    CASBackend,
+    HTTPCASBackend,
+    InMemoryCASBackend,
+    LocalBackend,
+    S3CASBackend,
+    StorageBackend,
+    resolve_backend,
+)
 from .campaign import Campaign, CampaignReport, CampaignStatus, run_cell
 from .dispatch import (
     ClaimLedger,
@@ -29,6 +39,8 @@ from .dispatch import (
     Lease,
     WorkerReport,
     compact,
+    declare_sweep,
+    declared_sweeps,
     drain,
     fsck,
 )
@@ -39,7 +51,7 @@ from .spec import (
     SweepSpec,
     canonical_json,
 )
-from .store import Frame, ResultStore, parse_record, record_row
+from .store import FRAME_SCHEMA, Frame, ResultStore, parse_record, record_row
 from .sweeps import build_sweep, register_sweep, sweep_names
 
 __all__ = [
@@ -50,8 +62,19 @@ __all__ = [
     "canonical_json",
     "ResultStore",
     "Frame",
+    "FRAME_SCHEMA",
     "record_row",
     "parse_record",
+    "StorageBackend",
+    "BackendError",
+    "LocalBackend",
+    "CASBackend",
+    "InMemoryCASBackend",
+    "HTTPCASBackend",
+    "S3CASBackend",
+    "resolve_backend",
+    "declare_sweep",
+    "declared_sweeps",
     "Campaign",
     "CampaignReport",
     "CampaignStatus",

@@ -13,9 +13,14 @@ the store's merge-safe locked append, and *releases* the claim.
 The protocol, in full:
 
 * a **claim** is one ledger line ``{"op": "claim", "hash", "owner",
-  "expires_unix", "ts"}``; it is acquired while holding an exclusive
-  ``flock`` on the ledger (read the active leases, append the claim),
-  so two workers can never both win one cell;
+  "expires_unix", "ts"}``; it is acquired by an atomic
+  read-replay-append on the ledger blob — a compare-and-swap through
+  the store's :class:`~repro.store.backend.StorageBackend` seam
+  (backed by an exclusive ``flock`` on a shared filesystem, by a
+  conditional put with an ETag precondition on an object store) —
+  so two workers can never both win one cell: the loser's swap fails,
+  and it re-reads the ledger *including the winner's claim* before
+  retrying;
 * a **release** (``op: "done"`` after a commit, ``op: "abandon"`` on
   failure) clears the lease; replay order decides — the latest record
   per hash wins;
@@ -52,8 +57,8 @@ from collections.abc import Callable, Iterable, Mapping, Sequence
 from typing import Any
 
 from ..obs.trace import Tracer
+from .backend import StorageBackend, resolve_backend
 from .campaign import run_cell
-from .locking import append_line, locked
 from .spec import RunKey, SweepSpec, canonical_json
 from .store import ResultStore, parse_record
 
@@ -67,10 +72,16 @@ __all__ = [
     "fsck",
     "CompactReport",
     "compact",
+    "declare_sweep",
+    "declared_sweeps",
 ]
 
 #: ledger file name, beside ``meta.json`` and ``shards/``
 CLAIMS_FILE = "claims.jsonl"
+
+#: declared-sweeps registry file name — what ``sweep work --loop``
+#: daemons poll for newly announced campaigns
+SWEEPS_FILE = "sweeps.jsonl"
 
 #: default lease TTL (seconds) — generous against slow cells; a crashed
 #: worker's cells become reclaimable after this long
@@ -121,24 +132,33 @@ class Lease:
 
 
 class ClaimLedger:
-    """The append-only claim ledger of one store directory.
+    """The append-only claim ledger of one store.
 
-    All mutation is line appends; all decisions replay the whole file.
+    All mutation is line appends; all decisions replay the whole blob.
     The ledger is small (two lines per cell per drain) and claims are
     rare next to cell execution, so replay cost is irrelevant — what
-    matters is that acquisition holds one exclusive ``flock`` across
-    *read + append*, making "check it is free, then claim it" atomic
-    against every other worker on the filesystem.
+    matters is that acquisition is an atomic read-replay-append: the
+    whole candidate evaluation happens against one blob version, and
+    the claim lands only if that version is still current.  On a
+    shared filesystem the backend's compare-and-swap holds the same
+    exclusive ``flock`` every appender takes; on an object store it is
+    a conditional put — either way "check it is free, then claim it"
+    is atomic against every other worker.
 
     Parameters
     ----------
-    root : str or Path
-        The store directory (the ledger is ``root/claims.jsonl``).
+    store : str, Path, or StorageBackend
+        The store directory (the ledger is ``root/claims.jsonl``) or
+        the backend it persists through.
     """
 
-    def __init__(self, root: str | Path) -> None:
-        self.root = Path(root)
-        self.path = self.root / CLAIMS_FILE
+    def __init__(self, store: str | Path | StorageBackend) -> None:
+        backend = resolve_backend(store)
+        if backend is None:
+            raise ValueError("ClaimLedger needs a store path or backend")
+        self.backend = backend
+        self.root = getattr(backend, "root", None)
+        self.path = self.root / CLAIMS_FILE if self.root is not None else None
 
     # -- replay ---------------------------------------------------------
     @staticmethod
@@ -169,9 +189,10 @@ class ClaimLedger:
         list of dict
             ``{"op", "hash", "owner", "expires_unix", "ts"}`` records.
         """
-        if not self.path.exists():
+        blob = self.backend.read_blob(CLAIMS_FILE)
+        if blob is None:
             return []
-        return self._parse(self.path.read_text(encoding="utf-8"))
+        return self._parse(blob[0].decode("utf-8"))
 
     @staticmethod
     def _replay(records: Iterable[Mapping[str, Any]]) -> dict[str, Lease]:
@@ -237,9 +258,14 @@ class ClaimLedger:
     ) -> list[str]:
         """Atomically claim up to *limit* of *hashes* for *owner*.
 
-        Holds the ledger lock across read-replay-append: a hash is won
-        only if no live lease covers it, and the claim line is on disk
-        before the lock drops — the next contender replays it.
+        An optimistic read-replay-swap loop: replay the current ledger
+        blob, pick the free hashes, and compare-and-swap the extended
+        blob back under the ETag that was read.  A hash is won only if
+        no live lease covers it *in the version the swap committed
+        against* — a contender that claimed concurrently moves the
+        ETag, the swap fails, and this worker re-reads (now seeing the
+        rival's claim) and retries.  No line is ever double-appended:
+        a claim lands exactly once, in the one swap that succeeds.
 
         Parameters
         ----------
@@ -265,10 +291,12 @@ class ClaimLedger:
             The hashes won, in *hashes* order (may be empty).
         """
         t = time.time() if now is None else now
-        won: list[str] = []
-        with locked(self.path) as handle:
-            handle.seek(0)
-            state = self._replay(self._parse(handle.read()))
+        while True:
+            blob = self.backend.read_blob(CLAIMS_FILE)
+            data, etag = blob if blob is not None else (b"", None)
+            state = self._replay(self._parse(data.decode("utf-8")))
+            won: list[str] = []
+            lines: list[str] = []
             for h in hashes:
                 if limit is not None and len(won) >= limit:
                     break
@@ -285,8 +313,14 @@ class ClaimLedger:
                 }
                 if lease is not None:
                     record["lease"] = lease
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
-        return won
+                lines.append(json.dumps(record, sort_keys=True) + "\n")
+            if not won:
+                return []
+            new_data = data + "".join(lines).encode("utf-8")
+            if self.backend.compare_and_swap(CLAIMS_FILE, new_data, etag) is not None:
+                return won
+            # lost the CAS race: another worker's claim moved the ETag
+            # between our read and our swap — re-read and retry
 
     def release(self, h: str, *, owner: str, op: str = "done") -> None:
         """Append a release for *h* (``done`` on success, ``abandon`` else).
@@ -303,8 +337,8 @@ class ClaimLedger:
         """
         if op not in ("done", "abandon"):
             raise ValueError(f"release op must be done/abandon, got {op!r}")
-        append_line(
-            self.path,
+        self.backend.append_line(
+            CLAIMS_FILE,
             json.dumps(
                 {
                     "op": op,
@@ -413,16 +447,17 @@ def drain(
     WorkerReport
         Hashes ran / cached / deferred by this worker.
     """
-    if store.root is None:
+    if store.backend is None:
         raise ValueError(
-            "dispatch needs a disk-backed store (the claim ledger lives "
-            "beside the shards); pass ResultStore(path)"
+            "dispatch needs a disk-backed or backend-backed store (the "
+            "claim ledger lives beside the shards); pass ResultStore(path) "
+            "or ResultStore(backend=...)"
         )
     spec_list = [specs] if isinstance(specs, SweepSpec) else list(specs)
     if not spec_list:
         raise ValueError("drain needs at least one SweepSpec")
     owner = owner if owner is not None else default_owner()
-    ledger = ClaimLedger(store.root)
+    ledger = ClaimLedger(store.backend)
     report = WorkerReport(owner=owner)
 
     # dedup cells across specs, remembering the first declaring sweep
@@ -732,14 +767,17 @@ def fsck(store: ResultStore, *, now: float | None = None) -> FsckReport:
     FsckReport
         Findings; ``report.clean`` is the CLI's exit status.
     """
-    if store.root is None:
-        raise ValueError("fsck needs a disk-backed store")
+    if store.backend is None:
+        raise ValueError("fsck needs a disk-backed or backend-backed store")
     now = time.time() if now is None else now
     report = FsckReport()
     counts: dict[str, int] = {}
-    for path in store.shard_paths():
-        prefix = path.stem
-        for line in path.read_text(encoding="utf-8").splitlines():
+    for shard_key in store.shard_keys():
+        prefix = shard_key.rsplit("/", 1)[-1].removesuffix(".jsonl")
+        blob = store.backend.read_blob(shard_key)
+        if blob is None:
+            continue
+        for line in blob[0].decode("utf-8").splitlines():
             if not line.strip():
                 continue
             try:
@@ -759,14 +797,14 @@ def fsck(store: ResultStore, *, now: float | None = None) -> FsckReport:
                 report.misplaced.append((prefix, h))
     report.cells = len(counts)
     report.duplicates = {h: c for h, c in counts.items() if c > 1}
-    for lease in ClaimLedger(store.root).leases().values():
+    for lease in ClaimLedger(store.backend).leases().values():
         if lease.expired(now):
             report.stale_leases.append(lease)
         else:
             report.live_leases.append(lease)
     from ..obs.events import EventLog
 
-    events = EventLog(store.root)
+    events = EventLog(store.backend)
     report.events_records = len(events.records())
     report.events_corrupt = events.torn_lines()
     return report
@@ -827,6 +865,35 @@ class CompactReport:
         )
 
 
+def _cas_rewrite(
+    backend: StorageBackend,
+    key: str,
+    transform: Callable[[str], tuple[str, Any]],
+) -> Any:
+    """Read one blob, transform its text, compare-and-swap it back.
+
+    The optimistic analogue of "rewrite in place under the writer
+    lock": *transform* runs against exactly one blob version, and the
+    rewrite lands only if that version is still current — a concurrent
+    commit moves the ETag, the swap fails, and the transform re-runs
+    against the blob *including* that commit.  A committed record can
+    therefore never be lost to a rewrite.  No-op transforms (output
+    text == input text) skip the swap entirely.
+
+    Returns whatever *transform* returned as its second element, from
+    the attempt whose swap succeeded.
+    """
+    while True:
+        blob = backend.read_blob(key)
+        data, etag = blob if blob is not None else (b"", None)
+        new_text, result = transform(data.decode("utf-8"))
+        payload = new_text.encode("utf-8")
+        if payload == data:
+            return result
+        if backend.compare_and_swap(key, payload, etag) is not None:
+            return result
+
+
 def compact(
     store: ResultStore, *, force: bool = False, now: float | None = None
 ) -> CompactReport:
@@ -836,16 +903,18 @@ def compact(
     (exactly the load path's last-write-wins resolution, so the
     surviving values are identical to what reads already saw), and
     file misplaced records into the shard their hash names.  Each
-    shard is rewritten **in place while holding the same ``flock``
-    the merge-safe writer appends under**, so a concurrent commit
-    either lands before the rewrite (and is kept) or blocks until the
-    rewrite finishes (and appends to the compacted file) — a
-    committed record can never be lost to compaction, even to writers
-    that hold no lease (a plain ``Campaign.run()``).  A crash *mid-*
-    rewrite can tear the shard being written, which the load path
-    already tolerates (the affected cells re-run; ``fsck`` flags it).
-    Shards left with no records stay as empty files.  The claim
-    ledger is rewritten (under its own lock) keeping only live
+    shard rewrite is one compare-and-swap through the store's
+    backend — on a shared filesystem that holds the same ``flock``
+    the merge-safe writer appends under; on an object store it is a
+    conditional put — so a concurrent commit either lands before the
+    rewrite (and is kept) or moves the ETag and forces the rewrite to
+    re-read (and keep it).  Either way a committed record can never
+    be lost to compaction, even from writers that hold no lease (a
+    plain ``Campaign.run()``).  A crash *mid*-rewrite can tear the
+    shard being written locally, which the load path already
+    tolerates (the affected cells re-run; ``fsck`` flags it).  Shards
+    left with no records become empty blobs (≡ absent at the seam).
+    The claim ledger is rewritten the same way, keeping only live
     leases — done/abandoned/expired claims drop.
 
     Compaction is still an *offline* operation in intent: it refuses
@@ -856,7 +925,7 @@ def compact(
     Parameters
     ----------
     store : ResultStore
-        A disk-backed store.
+        A disk-backed or backend-backed store.
     force : bool
         Compact even with live leases (you know the workers are gone).
     now : float, optional
@@ -867,10 +936,10 @@ def compact(
     CompactReport
         What was dropped, kept, and relocated.
     """
-    if store.root is None:
-        raise ValueError("compact needs a disk-backed store")
+    if store.backend is None:
+        raise ValueError("compact needs a disk-backed or backend-backed store")
     now = time.time() if now is None else now
-    ledger = ClaimLedger(store.root)
+    ledger = ClaimLedger(store.backend)
     live = {
         h: lease
         for h, lease in ledger.leases().items()
@@ -883,84 +952,198 @@ def compact(
         )
     report = CompactReport()
 
-    # phase 1 — per shard, under its writer lock: drop torn lines,
-    # dedup in line order (last write wins, as the load path resolves),
-    # pull out strays whose hash belongs elsewhere, rewrite in place
+    # phase 1 — per shard, one CAS rewrite: drop torn lines, dedup in
+    # line order (last write wins, as the load path resolves), pull out
+    # strays whose hash belongs elsewhere.  Stats come from the attempt
+    # that actually landed, so lost races never double-count.
     strays: dict[str, str] = {}
     kept_total = 0
-    for path in store.shard_paths():
-        with locked(path) as handle:
-            handle.seek(0)
+    for shard_key in store.shard_keys():
+        prefix = shard_key.rsplit("/", 1)[-1].removesuffix(".jsonl")
+
+        def dedup(text: str, prefix: str = prefix) -> tuple[str, dict[str, Any]]:
+            stats: dict[str, Any] = {
+                "records_in": 0, "corrupt": 0, "dups": 0, "strays": {},
+            }
             keep: dict[str, str] = {}
-            for line in handle.read().splitlines():
+            for line in text.splitlines():
                 if not line.strip():
                     continue
                 try:
                     record = parse_record(line)
                 except ValueError:
-                    report.corrupt_dropped += 1
+                    stats["corrupt"] += 1
                     continue
-                report.records_in += 1
+                stats["records_in"] += 1
                 h = record["hash"]
                 serialised = json.dumps(record, sort_keys=True)
-                if h.startswith(path.stem):
+                if h.startswith(prefix):
                     if h in keep:
-                        report.duplicates_dropped += 1
+                        stats["dups"] += 1
                     keep[h] = serialised
                 else:
-                    report.relocated += 1
-                    if h in strays:
-                        report.duplicates_dropped += 1
-                    strays[h] = serialised
-            handle.truncate(0)
-            # "a+" mode: every write lands at EOF, which truncate just
-            # moved to 0 — the rewrite fills the same inode appenders
-            # are blocked on
-            for h in sorted(keep):
-                handle.write(keep[h] + "\n")
-            kept_total += len(keep)
+                    if h in stats["strays"]:
+                        stats["dups"] += 1
+                    stats["strays"][h] = serialised
+            stats["kept"] = len(keep)
+            return "".join(keep[h] + "\n" for h in sorted(keep)), stats
 
-    # phase 2 — refile each stray into the shard its hash names (under
-    # that shard's lock); if the target already holds the cell, the
+        stats = _cas_rewrite(store.backend, shard_key, dedup)
+        report.records_in += stats["records_in"]
+        report.corrupt_dropped += stats["corrupt"]
+        report.duplicates_dropped += stats["dups"]
+        report.relocated += len(stats["strays"])
+        for h, serialised in stats["strays"].items():
+            if h in strays:
+                report.duplicates_dropped += 1
+            strays[h] = serialised
+        kept_total += stats["kept"]
+
+    # phase 2 — refile each stray into the shard its hash names (one
+    # CAS append each); if the target already holds the cell, the
     # in-place copy wins and the stray drops as one more duplicate —
     # value-irrelevant either way, duplicate records of a cell carry
     # identical values (content-derived seeds)
-    shard_dir = store.root / "shards"
     for h in sorted(strays):
-        target = shard_dir / f"{h[:2]}.jsonl"
-        with locked(target) as handle:
-            handle.seek(0)
+        target_key = f"shards/{h[:2]}.jsonl"
+
+        def refile(text: str, h: str = h) -> tuple[str, bool]:
             present = False
-            for line in handle.read().splitlines():
+            for line in text.splitlines():
                 try:
                     present = present or parse_record(line)["hash"] == h
                 except ValueError:
                     continue
             if present:
-                report.duplicates_dropped += 1
-                report.relocated -= 1
-            else:
-                handle.write(strays[h] + "\n")
-                kept_total += 1
+                return text, False
+            return text + strays[h] + "\n", True
+
+        if _cas_rewrite(store.backend, target_key, refile):
+            kept_total += 1
+        else:
+            report.duplicates_dropped += 1
+            report.relocated -= 1
     report.records_out = kept_total
 
-    # phase 3 — prune the ledger down to live leases, under its lock
-    if ledger.path.exists():
-        with locked(ledger.path) as handle:
-            handle.seek(0)
-            records = ledger._parse(handle.read())
-            state = ledger._replay(records)
-            keep_lines = [
-                json.dumps(r, sort_keys=True)
-                for r in records
-                if r["op"] == "claim"
-                and r["hash"] in state
-                and not state[r["hash"]].expired(now)
-            ]
-            report.claims_dropped = len(records) - len(keep_lines)
-            handle.truncate(0)
-            for line in keep_lines:
-                handle.write(line + "\n")
+    # phase 3 — prune the ledger down to live leases, one CAS rewrite
+    def prune(text: str) -> tuple[str, int]:
+        records = ledger._parse(text)
+        state = ledger._replay(records)
+        keep_lines = [
+            json.dumps(r, sort_keys=True)
+            for r in records
+            if r["op"] == "claim"
+            and r["hash"] in state
+            and not state[r["hash"]].expired(now)
+        ]
+        return (
+            "".join(line + "\n" for line in keep_lines),
+            len(records) - len(keep_lines),
+        )
+
+    report.claims_dropped = _cas_rewrite(store.backend, CLAIMS_FILE, prune)
 
     store.refresh()
     return report
+
+
+# ----------------------------------------------------------------------
+# declared sweeps — the registry ``sweep work --loop`` daemons poll
+# ----------------------------------------------------------------------
+
+def declare_sweep(
+    store: str | Path | StorageBackend,
+    name: str,
+    *,
+    scale: str = "quick",
+    seed: int = 0,
+    by: str | None = None,
+) -> dict[str, Any]:
+    """Announce a sweep in the store's ``sweeps.jsonl`` registry.
+
+    One merge-safe line append: ``{"name", "scale", "seed", "ts",
+    "by"}``.  Looping workers (``sweep work --loop``) poll
+    :func:`declared_sweeps` and drain anything new; declaring the same
+    (name, scale, seed) twice is harmless — the registry deduplicates
+    on read, and the cells are content-addressed anyway.
+
+    Parameters
+    ----------
+    store : str, Path, or StorageBackend
+        Where the registry lives (beside the shards).
+    name : str
+        A registered sweep name (see ``repro.store.spec.build_sweep``).
+    scale : str
+        Sweep scale preset forwarded to ``build_sweep``.
+    seed : int
+        Root seed forwarded to ``build_sweep``.
+    by : str, optional
+        Declaring principal for provenance (default
+        :func:`default_owner`).
+
+    Returns
+    -------
+    dict
+        The registry record as appended.
+    """
+    backend = resolve_backend(store)
+    if backend is None:
+        raise ValueError("declare_sweep needs a store path or backend")
+    record = {
+        "name": name,
+        "scale": scale,
+        "seed": int(seed),
+        "ts": round(time.time(), 3),
+        "by": by if by is not None else default_owner(),
+    }
+    backend.append_line(SWEEPS_FILE, json.dumps(record, sort_keys=True))
+    return record
+
+
+def declared_sweeps(
+    store: str | Path | StorageBackend,
+) -> list[dict[str, Any]]:
+    """All declared sweeps, deduplicated, in declaration order.
+
+    Parameters
+    ----------
+    store : str, Path, or StorageBackend
+        Where the registry lives.
+
+    Returns
+    -------
+    list of dict
+        One ``{"name", "scale", "seed", "ts", "by"}`` per distinct
+        (name, scale, seed) declaration, first declaration wins;
+        torn or malformed lines are skipped (same tolerance as every
+        other ledger).
+    """
+    backend = resolve_backend(store)
+    if backend is None:
+        raise ValueError("declared_sweeps needs a store path or backend")
+    blob = backend.read_blob(SWEEPS_FILE)
+    if blob is None:
+        return []
+    out: list[dict[str, Any]] = []
+    seen: set[tuple[str, str, int]] = set()
+    for line in blob[0].decode("utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not (
+            isinstance(record, dict)
+            and isinstance(record.get("name"), str)
+            and isinstance(record.get("scale"), str)
+            and isinstance(record.get("seed"), int)
+        ):
+            continue
+        ident = (record["name"], record["scale"], record["seed"])
+        if ident in seen:
+            continue
+        seen.add(ident)
+        out.append(record)
+    return out

@@ -52,10 +52,15 @@ from typing import Any
 import numpy as np
 
 from ..sim.montecarlo import TrialSummary
-from .locking import append_line
+from .backend import LocalBackend, StorageBackend, resolve_backend
 from .spec import STORE_SCHEMA_VERSION, RunKey, canonical_json
 
-__all__ = ["ResultStore", "Frame", "record_row", "parse_record"]
+__all__ = ["ResultStore", "Frame", "FRAME_SCHEMA", "record_row", "parse_record"]
+
+#: schema tag stamped on every serialized Frame — the one canonical
+#: wire format shared by ``Frame.to_json``, ``sweep show --json`` and
+#: the ``sweep serve`` ``/frame`` endpoint
+FRAME_SCHEMA = "repro.frame/1"
 
 _RESULT_FIELDS = ("values", "mean", "std", "median", "ci95_half_width", "failures")
 
@@ -379,6 +384,97 @@ class Frame:
 
         return fit_power_law_rows(self.rows, x=x, y=y)
 
+    def columns(self) -> list[str]:
+        """All column names, in first-appearance order across rows.
+
+        Returns
+        -------
+        list of str
+            The union of row keys (stable: row order, then key order
+            within each row).
+        """
+        seen: dict[str, None] = {}
+        for row in self.rows:
+            for name in row:
+                seen.setdefault(name)
+        return list(seen)
+
+    def payload(self) -> dict[str, Any]:
+        """The canonical JSON-safe form of the frame.
+
+        One schema for every serialized frame in the repo::
+
+            {"schema": "repro.frame/1",
+             "columns": [...],      # first-appearance order
+             "rows": [{...}, ...]}  # plain dicts, row order preserved
+
+        Returns
+        -------
+        dict
+            What :meth:`to_json` serializes and :meth:`from_json`
+            validates.
+        """
+        return {
+            "schema": FRAME_SCHEMA,
+            "columns": self.columns(),
+            "rows": self.rows,
+        }
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Serialize the frame to its canonical JSON document.
+
+        NaNs (budget-exhausted cells, empty-sample statistics) survive
+        via Python's JSON NaN extension — :meth:`from_json` reads them
+        back as ``float('nan')``.
+
+        Parameters
+        ----------
+        indent : int, optional
+            Pretty-print indent (default: compact).
+
+        Returns
+        -------
+        str
+            The ``repro.frame/1`` document.
+        """
+        return json.dumps(self.payload(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Frame":
+        """Rebuild a frame from :meth:`to_json` output.
+
+        Parameters
+        ----------
+        text : str
+            A ``repro.frame/1`` JSON document.
+
+        Returns
+        -------
+        Frame
+            Row-for-row equal to the frame that was serialized.
+
+        Raises
+        ------
+        ValueError
+            On malformed JSON, a wrong/missing schema tag, or rows
+            that are not objects.
+        """
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"not a frame document: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("schema") != FRAME_SCHEMA:
+            raise ValueError(
+                f"expected a {FRAME_SCHEMA!r} document, got schema "
+                f"{doc.get('schema') if isinstance(doc, dict) else None!r}"
+            )
+        rows = doc.get("rows")
+        if not isinstance(rows, list) or any(
+            not isinstance(r, dict) for r in rows
+        ):
+            raise ValueError("frame rows must be a list of objects")
+        return cls(rows)
+
 
 class ResultStore:
     """Content-addressed store of sweep-cell summaries.
@@ -387,29 +483,56 @@ class ResultStore:
     ----------
     root : str or Path or None
         Store directory (created on first write).  ``None`` keeps
-        everything in memory — same API, no persistence.
+        everything in memory — same API, no persistence — unless a
+        *backend* is given.
+    backend : StorageBackend, optional
+        Explicit persistence seam (:mod:`repro.store.backend`).  A
+        path *root* is shorthand for ``backend=LocalBackend(root)``;
+        an object-store backend (``InMemoryCASBackend``,
+        ``HTTPCASBackend``, …) makes the store durable with **no
+        filesystem at all** — same records, same layout, same claim
+        ledger.
     """
 
-    def __init__(self, root: str | Path | None = None) -> None:
-        self.root = Path(root) if root is not None else None
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        backend: StorageBackend | None = None,
+    ) -> None:
+        if root is not None and backend is not None:
+            raise ValueError("pass root= or backend=, not both")
+        self.backend = backend if backend is not None else resolve_backend(root)
+        self.root = (
+            self.backend.root if isinstance(self.backend, LocalBackend) else None
+        )
         self._cache: dict[str, dict[str, Any]] = {}
         self._loaded_shards: set[str] = set()
-        self._all_loaded = self.root is None
-        if self.root is not None and self.root.exists():
-            meta_path = self.root / "meta.json"
-            if meta_path.exists():
+        self._all_loaded = self.backend is None
+        if self.backend is not None:
+            blob = self.backend.read_blob("meta.json")
+            if blob is not None:
                 try:
-                    meta = json.loads(meta_path.read_text(encoding="utf-8"))
-                except json.JSONDecodeError:
+                    meta = json.loads(blob[0].decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
                     meta = {}
                 version = meta.get("schema")
                 if version not in (None, STORE_SCHEMA_VERSION):
                     warnings.warn(
-                        f"store at {self.root} has schema {version!r}, this "
-                        f"code writes {STORE_SCHEMA_VERSION}; old records "
-                        "will simply never match new keys",
+                        f"store at {self.location} has schema {version!r}, "
+                        f"this code writes {STORE_SCHEMA_VERSION}; old "
+                        "records will simply never match new keys",
                         stacklevel=2,
                     )
+
+    @property
+    def location(self) -> str:
+        """Human-readable description of where the store lives."""
+        if self.root is not None:
+            return str(self.root)
+        if self.backend is not None:
+            return f"{type(self.backend).__name__}"
+        return "(memory)"
 
     # ------------------------------------------------------------------
     # shard plumbing
@@ -421,33 +544,32 @@ class ResultStore:
             raise ValueError("expected a RunKey or a hex cell hash")
         return h
 
-    def _shard_path(self, prefix: str) -> Path:
-        assert self.root is not None
-        return self.root / "shards" / f"{prefix}.jsonl"
+    @staticmethod
+    def _shard_key(prefix: str) -> str:
+        return f"shards/{prefix}.jsonl"
 
     def _load_shard(self, prefix: str) -> None:
-        if self.root is None or prefix in self._loaded_shards:
+        if self.backend is None or prefix in self._loaded_shards:
             return
         self._loaded_shards.add(prefix)
-        path = self._shard_path(prefix)
-        if not path.exists():
+        blob = self.backend.read_blob(self._shard_key(prefix))
+        if blob is None:
             return
         bad = 0
-        with path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = parse_record(line)
-                except ValueError:
-                    bad += 1
-                    continue
-                self._cache[record["hash"]] = record
+        for line in blob[0].decode("utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = parse_record(line)
+            except ValueError:
+                bad += 1
+                continue
+            self._cache[record["hash"]] = record
         if bad:
             warnings.warn(
-                f"store shard {path} had {bad} corrupt record(s); the "
-                "affected cells will re-run",
+                f"store shard {self._shard_key(prefix)} had {bad} corrupt "
+                "record(s); the affected cells will re-run",
                 stacklevel=2,
             )
 
@@ -455,11 +577,9 @@ class ResultStore:
         if self._all_loaded:
             return
         self._all_loaded = True
-        assert self.root is not None
-        shard_dir = self.root / "shards"
-        if shard_dir.is_dir():
-            for path in sorted(shard_dir.glob("*.jsonl")):
-                self._load_shard(path.stem)
+        assert self.backend is not None
+        for key in self.shard_keys():
+            self._load_shard(key.rsplit("/", 1)[-1].removesuffix(".jsonl"))
 
     # ------------------------------------------------------------------
     # the store API
@@ -526,52 +646,69 @@ class ResultStore:
             "result": _summary_payload(summary),
             "provenance": dict(provenance or {}),
         }
-        if self.root is not None:
+        if self.backend is not None:
             self._ensure_meta()
-            # merge-safe append: one whole record per locked write, so
+            # merge-safe append: one whole record per backend append, so
             # any number of worker processes can commit concurrently
-            append_line(
-                self._shard_path(key.hash[:2]), json.dumps(record, sort_keys=True)
+            self.backend.append_line(
+                self._shard_key(key.hash[:2]), json.dumps(record, sort_keys=True)
             )
         self._cache[key.hash] = record
         return record
 
     def _ensure_meta(self) -> None:
         """Create ``meta.json`` exactly once, racing writers tolerated."""
-        assert self.root is not None
-        meta_path = self.root / "meta.json"
-        if meta_path.exists():
+        assert self.backend is not None
+        if self.backend.read_blob("meta.json") is not None:
             return
-        meta_path.parent.mkdir(parents=True, exist_ok=True)
-        try:
-            with meta_path.open("x", encoding="utf-8") as fh:
-                fh.write(canonical_json({"schema": STORE_SCHEMA_VERSION}) + "\n")
-        except FileExistsError:  # another worker won the race — same bytes
-            pass
+        payload = (canonical_json({"schema": STORE_SCHEMA_VERSION}) + "\n").encode()
+        # create-only CAS: a racing worker's conflict writes the same
+        # bytes, so losing the race is success
+        self.backend.compare_and_swap("meta.json", payload, None)
 
     def refresh(self) -> None:
         """Let later lookups see records appended by other processes.
 
         Drops the shard-was-loaded bookkeeping so the next *miss*
-        re-reads its shard from disk.  Cached records are kept: the
-        store is content-addressed, so a hash→record binding can only
-        ever appear, never change — which keeps a dispatch worker's
-        per-round refresh O(pending shards), not O(all records).  A
-        no-op for memory-only stores (there is no disk to re-read).
+        re-reads its shard through the backend.  Cached records are
+        kept: the store is content-addressed, so a hash→record binding
+        can only ever appear, never change — which keeps a dispatch
+        worker's per-round refresh O(pending shards), not O(all
+        records).  A no-op for memory-only stores (there is nothing to
+        re-read).
         """
-        if self.root is None:
+        if self.backend is None:
             return
         self._loaded_shards.clear()
         self._all_loaded = False
 
+    def shard_keys(self) -> list[str]:
+        """Existing shard blob keys, sorted (``[]`` for memory stores).
+
+        Returns
+        -------
+        list of str
+            One ``shards/<prefix>.jsonl`` key per non-empty shard —
+            the raw material of ``sweep fsck`` and ``sweep compact``,
+            over any backend.
+        """
+        if self.backend is None:
+            return []
+        return [
+            key
+            for key in self.backend.list_prefix("shards/")
+            if key.endswith(".jsonl")
+        ]
+
     def shard_paths(self) -> list[Path]:
-        """Existing shard files, sorted by name (``[]`` for memory stores).
+        """Existing shard files, sorted by name (``[]`` off-filesystem).
 
         Returns
         -------
         list of Path
-            One path per ``shards/*.jsonl`` file — the raw material of
-            ``sweep fsck`` and ``sweep compact``.
+            One path per ``shards/*.jsonl`` file — kept for
+            filesystem-side tooling; backend-agnostic code should use
+            :meth:`shard_keys`.
         """
         if self.root is None:
             return []

@@ -145,11 +145,12 @@ class TestSweepCli:
         assert main(["sweep", "show", "BRW_minima", "--store", store]) == 0
         assert "(pending)" in capsys.readouterr().out
 
-    def test_sweep_unknown_name(self, tmp_path):
-        import pytest
-
-        with pytest.raises(KeyError, match="unknown sweep"):
-            main(["sweep", "run", "nope", "--store", str(tmp_path / "s")])
+    def test_sweep_unknown_name(self, capsys, tmp_path):
+        # the unified exit-code contract: usage errors are exit 2 with
+        # one `error:` line on stderr, never a traceback
+        assert main(["sweep", "run", "nope", "--store", str(tmp_path / "s")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown sweep") and "nope" in err
 
 
 class TestLintVerb:

@@ -17,6 +17,7 @@ from repro.lint import ERROR, WARNING, all_rules, get_rule, lint_source
 ENGINE = "src/repro/sim/engine.py"
 STORE = "src/repro/store/store.py"
 LOCKING = "src/repro/store/locking.py"
+BACKEND = "src/repro/store/backend.py"
 RNG = "src/repro/sim/rng.py"
 DISPATCH = "src/repro/store/dispatch.py"
 FACADE = "src/repro/sim/facade.py"
@@ -170,11 +171,27 @@ class TestRPL110RawStoreWrites:
     def test_read_mode_is_allowed(self):
         assert not findings_for('open("x", "r")\n', STORE, "RPL110")
 
-    def test_locking_module_is_exempt(self):
-        assert not findings_for('open("x", "a")\n', LOCKING, "RPL110")
+    @pytest.mark.parametrize("method", ["write_text", "write_bytes"])
+    def test_whole_blob_rewrite_fires(self, method):
+        src = f"""\
+        from pathlib import Path
+        Path("shards/x.jsonl").{method}(data)
+        """
+        (finding,) = findings_for(src, STORE, "RPL110")
+        assert "compare_and_swap" in finding.message
+
+    @pytest.mark.parametrize("path", [LOCKING, BACKEND])
+    def test_seam_modules_are_exempt(self, path):
+        assert not findings_for('open("x", "a")\n', path, "RPL110")
+        assert not findings_for(
+            'Path("x").write_text("y")\n', path, "RPL110"
+        )
 
     def test_outside_store_is_allowed(self):
         assert not findings_for('open("x", "w")\n', EXAMPLE, "RPL110")
+        assert not findings_for(
+            'Path("x").write_text("y")\n', EXAMPLE, "RPL110"
+        )
 
 
 class TestRPL111FlockRelease:
@@ -218,6 +235,47 @@ class TestRPL111FlockRelease:
             fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
         """
         assert not findings_for(src, EXAMPLE, "RPL111")
+
+
+class TestRPL111LeaseRelease:
+    """The seam generalisation: try_claim must pair with a release on
+    the error path, the lease analogue of flock/LOCK_UN."""
+
+    def test_claim_without_abandon_path_fires(self):
+        src = """\
+        def work(ledger, hashes, owner):
+            won = ledger.try_claim(hashes, owner=owner)
+            for h in won:
+                run(h)
+                ledger.release(h, owner=owner, op="done")
+        """
+        (finding,) = findings_for(src, DISPATCH, "RPL111")
+        assert "abandon" in finding.message
+
+    def test_release_in_except_handler_is_allowed(self):
+        src = """\
+        def work(ledger, hashes, owner):
+            won = ledger.try_claim(hashes, owner=owner)
+            for h in won:
+                try:
+                    run(h)
+                except BaseException:
+                    ledger.release(h, owner=owner, op="abandon")
+                    raise
+                ledger.release(h, owner=owner, op="done")
+        """
+        assert not findings_for(src, DISPATCH, "RPL111")
+
+    def test_release_in_finally_is_allowed(self):
+        src = """\
+        def work(ledger, h, owner):
+            ledger.try_claim([h], owner=owner)
+            try:
+                run(h)
+            finally:
+                ledger.release(h, owner=owner)
+        """
+        assert not findings_for(src, DISPATCH, "RPL111")
 
 
 SPEC_PREFIX = "from repro.sim.processes import ProcessSpec\n"

@@ -135,6 +135,9 @@ SERIAL_PARITY_CASES: list[tuple[str, dict[str, Any], str | None, int | None]] = 
     ("push", {}, None, None),
     ("pull", {}, None, None),
     ("push_pull", {}, None, None),
+    ("push", {}, "hit", 63),
+    ("pull", {}, "hit", 63),
+    ("push_pull", {}, "hit", 63),
     ("parallel", {"walkers": 4}, None, None),
     ("walt", {}, None, None),
     ("walt", {"delta": 0.25, "lazy": False}, None, None),

@@ -25,6 +25,7 @@ from repro.sim import (
     batched_coalescing_cover_trials,
     batched_cobra_active_sizes,
     batched_cobra_hit_trials,
+    batched_gossip_hit_trials,
     batched_gossip_spread_trials,
     batched_lazy_cover_trials,
     batched_lazy_hit_trials,
@@ -97,7 +98,10 @@ class TestAutoSelection:
                         strategy="serial")
         assert np.array_equal(auto.values, ser.values, equal_nan=True)
 
-    @pytest.mark.parametrize("name", ["cobra", "simple", "lazy", "walt"])
+    @pytest.mark.parametrize(
+        "name",
+        ["cobra", "simple", "lazy", "walt", "push", "pull", "push_pull"],
+    )
     def test_auto_hit_is_vectorized(self, g, name):
         assert get_process(name).batch_hit is not None
         auto = run_batch(g, name, trials=6, metric="hit", target=g.n - 1, seed=4)
@@ -110,7 +114,8 @@ class TestAutoSelection:
     def test_engine_coverage_floor(self):
         """The "every process is batched" milestone: every registered
         cover/spread-capable process — the biased walk included — has a
-        cover engine, plus cobra/simple/lazy/walt hit engines."""
+        cover engine, plus hit engines for cobra/simple/lazy/walt and
+        all three gossip variants."""
         covered = [
             s.name
             for s in map(
@@ -121,7 +126,8 @@ class TestAutoSelection:
             if s.batch_cover is not None
         ]
         assert len(covered) == 11
-        for name in ("cobra", "simple", "lazy", "walt"):
+        for name in ("cobra", "simple", "lazy", "walt",
+                     "push", "pull", "push_pull"):
             assert get_process(name).batch_hit is not None
 
 
@@ -166,6 +172,44 @@ class TestGossipEngine:
             batched_gossip_spread_trials(g, trials=2, start=g.n)
         with pytest.raises(ValueError, match="trial"):
             batched_gossip_spread_trials(g, trials=0)
+
+
+class TestGossipHitEngine:
+    def test_hit_at_start_is_zero(self, g):
+        t = batched_gossip_hit_trials(g, 0, trials=4, seed=1)
+        assert (t == 0.0).all()
+
+    def test_hit_at_least_distance(self):
+        # push-only on a cycle: the informed set is an interval growing
+        # by at most one vertex per side per round, so reaching the
+        # antipode takes at least its graph distance
+        c = cycle_graph(31)
+        t = batched_gossip_hit_trials(c, 15, trials=8, seed=7, pull=False)
+        assert np.isfinite(t).all()
+        assert (t >= 15).all()
+
+    def test_pull_on_star_leaf_is_fast(self):
+        # every leaf polls the hub each round: any leaf target is
+        # informed within two rounds under pull
+        s = star_graph(30)
+        t = batched_gossip_hit_trials(
+            s, s.n - 1, trials=8, seed=2, push=False, pull=True
+        )
+        assert (t <= 2).all()
+
+    def test_budget_exhaustion_nan(self):
+        t = batched_gossip_hit_trials(
+            cycle_graph(64), 32, trials=4, seed=0, max_steps=2
+        )
+        assert np.isnan(t).all()
+
+    def test_validation(self, g):
+        with pytest.raises(ValueError, match="push/pull"):
+            batched_gossip_hit_trials(g, 1, trials=2, push=False, pull=False)
+        with pytest.raises(ValueError, match="target"):
+            batched_gossip_hit_trials(g, g.n, trials=2)
+        with pytest.raises(ValueError, match="start"):
+            batched_gossip_hit_trials(g, 1, trials=2, start=g.n)
 
 
 class TestParallelEngine:

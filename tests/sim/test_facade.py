@@ -222,10 +222,10 @@ class TestRunBatch:
     def test_vectorized_unavailable_raises(self, g):
         with pytest.raises(ValueError, match="no vectorized engine"):
             run_batch(g, "biased", trials=2, target=1, strategy="vectorized")
-        # walt now carries a hit engine too; the gossip processes are
-        # the remaining hit-less batch family
+        # gossip closed its hit gap in PR 10; parallel and branching
+        # are the remaining hit-less batch family
         with pytest.raises(ValueError, match="no vectorized engine"):
-            run_batch(g, "push", trials=2, metric="hit", target=1,
+            run_batch(g, "parallel", trials=2, metric="hit", target=1,
                       strategy="vectorized")
 
     def test_bad_strategy(self, g):

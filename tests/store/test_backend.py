@@ -1,0 +1,238 @@
+"""Backend conformance: every ``StorageBackend`` honours the same seam.
+
+Three pillars:
+
+* a parametric contract suite — ``LocalBackend`` (flock over a
+  directory) and ``InMemoryCASBackend`` (conditional-put fake) must be
+  observationally identical through the four protocol operations,
+  including the zero-byte-blob-is-absent rule compaction relies on;
+* the lost-CAS-race path: a claim loser must re-read (seeing the
+  winner's line) and retry without ever double-appending;
+* the dispatch acceptance bar, lifted to the CAS seam: N workers
+  draining one shared ``InMemoryCASBackend`` store value-for-value
+  identical to a single local ``Campaign.run()``, and ``fsck`` clean
+  on both backends afterward.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.store import (
+    Campaign,
+    ClaimLedger,
+    InMemoryCASBackend,
+    LocalBackend,
+    ResultStore,
+    SeedPolicy,
+    StorageBackend,
+    SweepSpec,
+    drain,
+    fsck,
+)
+from repro.store.dispatch import CLAIMS_FILE
+
+BACKENDS = ["local", "memory"]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, tmp_path):
+    if request.param == "local":
+        return LocalBackend(tmp_path / "store")
+    return InMemoryCASBackend()
+
+
+class TestProtocolConformance:
+    """The four operations, identical over both backends."""
+
+    def test_satisfies_the_protocol(self, backend):
+        assert isinstance(backend, StorageBackend)
+
+    def test_absent_blob_reads_none(self, backend):
+        assert backend.read_blob("claims.jsonl") is None
+
+    def test_append_then_read_round_trips(self, backend):
+        backend.append_line("claims.jsonl", '{"op": "claim"}')
+        backend.append_line("claims.jsonl", '{"op": "done"}')
+        data, etag = backend.read_blob("claims.jsonl")
+        assert data == b'{"op": "claim"}\n{"op": "done"}\n'
+        assert etag
+
+    def test_etag_moves_when_content_changes(self, backend):
+        backend.append_line("a.jsonl", "one")
+        _, before = backend.read_blob("a.jsonl")
+        backend.append_line("a.jsonl", "two")
+        data, after = backend.read_blob("a.jsonl")
+        assert before != after
+        assert data == b"one\ntwo\n"
+
+    def test_list_prefix_sorted_and_filtered(self, backend):
+        backend.append_line("shards/ff.jsonl", "x")
+        backend.append_line("shards/00.jsonl", "y")
+        backend.append_line("claims.jsonl", "z")
+        assert backend.list_prefix("shards/") == [
+            "shards/00.jsonl",
+            "shards/ff.jsonl",
+        ]
+        assert "claims.jsonl" in backend.list_prefix("")
+
+    def test_cas_create_only_if_absent(self, backend):
+        etag = backend.compare_and_swap("meta.json", b'{"v": 1}', None)
+        assert etag is not None
+        # a second create-only put loses: the blob already exists
+        assert backend.compare_and_swap("meta.json", b'{"v": 2}', None) is None
+        data, _ = backend.read_blob("meta.json")
+        assert data == b'{"v": 1}'
+
+    def test_cas_with_matching_etag_replaces(self, backend):
+        first = backend.compare_and_swap("meta.json", b"old", None)
+        second = backend.compare_and_swap("meta.json", b"new", first)
+        assert second is not None and second != first
+        data, etag = backend.read_blob("meta.json")
+        assert data == b"new" and etag == second
+
+    def test_cas_with_stale_etag_fails(self, backend):
+        stale = backend.compare_and_swap("meta.json", b"old", None)
+        backend.compare_and_swap("meta.json", b"mid", stale)
+        assert backend.compare_and_swap("meta.json", b"new", stale) is None
+        data, _ = backend.read_blob("meta.json")
+        assert data == b"mid"
+
+    def test_zero_byte_blob_is_absent(self, backend):
+        # compaction may truncate a shard to nothing; both backends
+        # must then report it absent, hide it from listings, and let a
+        # create-only CAS through (the post-compaction append path)
+        etag = backend.compare_and_swap("shards/00.jsonl", b"row\n", None)
+        assert backend.compare_and_swap("shards/00.jsonl", b"", etag) is not None
+        assert backend.read_blob("shards/00.jsonl") is None
+        assert backend.list_prefix("shards/") == []
+        assert backend.compare_and_swap("shards/00.jsonl", b"back\n", None)
+        data, _ = backend.read_blob("shards/00.jsonl")
+        assert data == b"back\n"
+
+    def test_append_after_truncation(self, backend):
+        etag = backend.compare_and_swap("claims.jsonl", b"old\n", None)
+        backend.compare_and_swap("claims.jsonl", b"", etag)
+        backend.append_line("claims.jsonl", "fresh")
+        data, _ = backend.read_blob("claims.jsonl")
+        assert data == b"fresh\n"
+
+
+class RacingBackend:
+    """Proxy that injects a rival append just before the first CAS on
+    the claim ledger — a deterministic re-enactment of two workers
+    racing ``try_claim``."""
+
+    def __init__(self, inner, rival_line: str) -> None:
+        self.inner = inner
+        self.rival_line = rival_line
+        self.cas_calls = 0
+
+    def read_blob(self, key):
+        return self.inner.read_blob(key)
+
+    def append_line(self, key, line):
+        self.inner.append_line(key, line)
+
+    def list_prefix(self, prefix):
+        return self.inner.list_prefix(prefix)
+
+    def compare_and_swap(self, key, data, etag):
+        self.cas_calls += 1
+        if key == CLAIMS_FILE and self.cas_calls == 1:
+            # the rival's claim lands first: our ETag is now stale
+            self.inner.append_line(key, self.rival_line)
+        return self.inner.compare_and_swap(key, data, etag)
+
+
+class TestLostCASRace:
+    def test_loser_rereads_and_retries_without_double_append(self, backend):
+        rival = json.dumps(
+            {
+                "op": "claim",
+                "hash": "h1",
+                "owner": "rival",
+                "expires_unix": 9e12,
+                "ts": 0.0,
+            },
+            sort_keys=True,
+        )
+        racing = RacingBackend(backend, rival)
+        ledger = ClaimLedger(racing)
+        won = ledger.try_claim(["h1", "h2"], owner="loser", limit=None)
+        # first swap failed against the rival's append; the retry saw
+        # the rival holding h1 and claimed only h2
+        assert racing.cas_calls == 2
+        assert won == ["h2"]
+        leases = ledger.active(now=1.0)
+        assert leases["h1"].owner == "rival"
+        assert leases["h2"].owner == "loser"
+        # exactly one claim line per hash: nothing double-appended
+        claims = [r["hash"] for r in ledger.records() if r["op"] == "claim"]
+        assert sorted(claims) == ["h1", "h2"]
+
+
+def _spec(**over):
+    base = dict(
+        name="backend-drain",
+        process="cobra",
+        graph="grid",
+        graph_grid={"n": [6, 8], "d": [2]},
+        params_grid={"k": [1, 2]},
+        trials=3,
+        seed=SeedPolicy(root=5),
+    )
+    base.update(over)
+    return SweepSpec(**base)
+
+
+class TestDispatchOverCAS:
+    """The acceptance bar every storage layer met before this one:
+    concurrent drain == single-worker local run, value for value."""
+
+    def test_n_worker_cas_drain_matches_local_campaign(self):
+        spec = _spec()
+        reference = ResultStore()
+        Campaign(spec, reference).run()
+
+        shared = ResultStore(backend=InMemoryCASBackend())
+        reports = {}
+
+        def worker(name: str) -> None:
+            # each worker gets its own store handle onto one backend,
+            # like separate processes sharing one object store
+            handle = ResultStore(backend=shared.backend)
+            reports[name] = drain(spec, handle, owner=name)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        ran = [h for r in reports.values() for h in r.ran]
+        assert len(ran) == 4 and len(set(ran)) == 4, (
+            "claim exclusivity broke: a cell ran twice or not at all"
+        )
+        shared.refresh()
+        for cell in spec.expand():
+            assert (
+                shared.get(cell)["result"] == reference.get(cell)["result"]
+            ), "a CAS-drained cell diverged from Campaign.run()"
+
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_fsck_clean_on_both_backends(self, kind, tmp_path):
+        spec = _spec()
+        backend = (
+            LocalBackend(tmp_path / "s") if kind == "local"
+            else InMemoryCASBackend()
+        )
+        store = ResultStore(backend=backend)
+        report = drain(spec, store, owner="w1")
+        assert report.complete
+        check = fsck(store)
+        assert check.clean, check.summary()
+        assert check.cells == 4 and not check.live_leases

@@ -60,6 +60,31 @@ class TestDispatchSmoke:
         assert '"report"' in source or "'report'" in source
 
 
+class TestServiceSmoke:
+    def test_serve_declare_loop_drain_passes(self):
+        smoke = load_script("ci/smoke_service.py")
+        assert smoke.main() == 0
+
+    def test_sweep_is_registered(self):
+        from repro.store import sweep_names
+
+        smoke = load_script("ci/smoke_service.py")
+        assert smoke.SWEEP in sweep_names()
+
+    def test_smoke_pins_the_service_contract(self):
+        """The smoke must keep asserting what docs/service.md promises:
+        an in-memory store served over HTTP, a declared sweep drained by
+        a --loop daemon, strong-ETag 304 revalidation, and clean SIGTERM
+        shutdown of both processes."""
+        source = (REPO / "ci" / "smoke_service.py").read_text(encoding="utf-8")
+        assert ":memory:" in source
+        assert "--loop" in source
+        assert "If-None-Match" in source
+        assert "status == 304" in source
+        assert "stopped on signal" in source
+        assert "serve: stopped" in source
+
+
 class TestBenchEmit:
     def test_writes_schema_stamped_json(self, tmp_path):
         emit = load_script("benchmarks/_emit.py")
@@ -118,6 +143,7 @@ class TestImplicitBudgetSmoke:
         "ci/smoke_sweep_resume.py",
         "ci/smoke_dispatch.py",
         "ci/smoke_implicit_budget.py",
+        "ci/smoke_service.py",
         "benchmarks/bench_implicit.py",
         "benchmarks/bench_kernels_numba.py",
         "ci/check_bench_regression.py",
